@@ -1,0 +1,86 @@
+"""Figure 2 — nonlinear transmission line with voltage source.
+
+Paper §3.1: 100-stage diode line, voltage-driven (lifted QLDAE *with*
+the D1 term), reduced to a ~13th-order ROM by matching 6 moments of H1,
+3 of A2(H2) and 2 of A3(H3).  Regenerates:
+
+* Fig. 2(b): transient response of the full model vs the proposed ROM,
+* Fig. 2(c): the peak-normalized relative error trace.
+
+The benchmark-timed kernel is the projection-basis construction (the
+paper's "Arnoldi" phase).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    max_relative_error,
+    relative_error_trace,
+    series_summary,
+)
+from repro.circuits import nonlinear_transmission_line
+from repro.mor import AssociatedTransformMOR
+from repro.simulation import simulate, sine_source
+
+from .conftest import paper_scale
+
+N_NODES = 100 if paper_scale() else 16
+# (8, 3, 2) at s0 = 1.0 gives a stable order-13 ROM — matching the
+# paper's reported order exactly.  Lifted QLDAEs are singular at DC, and
+# one-sided Galerkin stability is sensitive to (orders, s0); see the
+# order-sweep ablation.
+ORDERS = (8, 3, 2)
+EXPANSION = 1.0
+# dt = 0.02: the trapezoidal rule needs to resolve the stiff input
+# diode (linearized conductance ~40); dt = 0.05 oscillates.
+T_END, DT = 30.0, 0.02
+
+
+@pytest.fixture(scope="module")
+def system():
+    ntl = nonlinear_transmission_line(
+        n_nodes=N_NODES, source="voltage", diode_at_input=True
+    )
+    return ntl.quadratic_linearize()
+
+
+def test_fig2_transient_and_error(system, benchmark):
+    reducer = AssociatedTransformMOR(
+        orders=ORDERS, expansion_points=(EXPANSION,)
+    )
+    rom = benchmark.pedantic(
+        lambda: reducer.reduce(system), rounds=1, iterations=1
+    )
+    assert rom.order <= 16
+
+    # Drive level chosen so node voltages stay in the paper's Fig-2
+    # range (|v| < 0.08 V): with i_D = e^{40 v}, a 0.15 V swing is deep
+    # saturation and outside any Volterra model's validity.
+    u = sine_source(amplitude=0.08, frequency=0.08)
+    full = simulate(system, u, T_END, DT)
+    red = simulate(rom.system, u, T_END, DT)
+    err_trace = relative_error_trace(full.output(0), red.output(0))
+    err = float(err_trace.max())
+
+    print()
+    print("=" * 70)
+    print(f"FIG 2 | NTL + voltage source | lifted dim {system.n_states} "
+          f"(paper: 100 stages), D1 present: {system.d1 is not None}")
+    print("=" * 70)
+    print(series_summary("Fig2(b) original ", full.times, full.output(0)))
+    print(series_summary("Fig2(b) ROM      ", red.times, red.output(0)))
+    print(series_summary("Fig2(c) rel error", full.times, err_trace))
+    print(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["full order", "~200 (100 stages lifted)", system.n_states],
+            ["ROM order", 13, rom.order],
+            ["max rel err", "~0.01 (Fig 2c)", err],
+            ["basis build time [s]", "n/a", rom.build_time],
+        ],
+        title="Fig. 2 summary",
+    ))
+    assert err < 0.02, "Fig-2 ROM accuracy regressed"
+    assert np.isfinite(red.states).all()

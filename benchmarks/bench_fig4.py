@@ -1,0 +1,99 @@
+"""Figure 4 — MISO RF receiver with a coupled interferer.
+
+Paper §3.3: a 173-unknown receiver driven by the desired signal u1 with
+an environmental interferer u2, modeled as a 2-input QLDAE with D1 = 0;
+at the same moment orders the proposed method reduces it to 14 states
+vs NORM's 27.  Regenerates:
+
+* Fig. 4(b): transient responses (original, proposed ROM, NORM ROM),
+* Fig. 4(c): both relative-error traces,
+
+plus the ROM-size rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    relative_error_trace,
+    series_summary,
+)
+from repro.circuits import rf_receiver_chain
+from repro.mor import AssociatedTransformMOR, NORMReducer
+from repro.simulation import simulate, sine_source, stack_sources
+
+from .conftest import paper_scale
+
+N_NODES = 173 if paper_scale() else 40
+ORDERS = (6, 3, 1)
+# Expand near the drive band (tones at ω ≈ 0.31 / 0.75): a mid-band real
+# point resolves the carriers 10-20x better than DC at the same order.
+EXPANSION = 0.3
+T_END, DT = 60.0, 0.05
+
+
+@pytest.fixture(scope="module")
+def system():
+    return rf_receiver_chain(n_nodes=N_NODES).to_explicit()
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    return stack_sources(
+        [sine_source(0.25, 0.05), sine_source(0.10, 0.12)]
+    )
+
+
+@pytest.fixture(scope="module")
+def full_transient(system, stimulus):
+    return simulate(system, stimulus, T_END, DT)
+
+
+def test_fig4_proposed(system, stimulus, full_transient, benchmark):
+    reducer = AssociatedTransformMOR(
+        orders=ORDERS, expansion_points=(EXPANSION,)
+    )
+    rom = benchmark.pedantic(
+        lambda: reducer.reduce(system), rounds=1, iterations=1
+    )
+    red = simulate(rom.system, stimulus, T_END, DT)
+    err = relative_error_trace(full_transient.output(0), red.output(0))
+    print()
+    print("=" * 70)
+    print(f"FIG 4 | MISO RF receiver | {system.n_states} states, "
+          f"{system.n_inputs} inputs (paper: 173)")
+    print("=" * 70)
+    print(series_summary(
+        "Fig4(b) original", full_transient.times, full_transient.output(0)
+    ))
+    print(series_summary("Fig4(b) proposed", red.times, red.output(0)))
+    print(series_summary("Fig4(c) err(proposed)", red.times, err))
+    print(f"proposed ROM order: {rom.order}  (paper: 14)")
+    assert float(err.max()) < 0.05
+    test_fig4_proposed.rom_order = rom.order
+
+
+def test_fig4_norm_baseline(system, stimulus, full_transient, benchmark):
+    reducer = NORMReducer(orders=ORDERS, s0=EXPANSION)
+    rom = benchmark.pedantic(
+        lambda: reducer.reduce(system), rounds=1, iterations=1
+    )
+    red = simulate(rom.system, stimulus, T_END, DT)
+    err = relative_error_trace(full_transient.output(0), red.output(0))
+    print()
+    print(series_summary("Fig4(b) NORM    ", red.times, red.output(0)))
+    print(series_summary("Fig4(c) err(NORM)", red.times, err))
+    proposed = getattr(test_fig4_proposed, "rom_order", None)
+    print(format_table(
+        ["model", "order", "paper"],
+        [
+            ["original", system.n_states, 173],
+            ["proposed", proposed, 14],
+            ["NORM", rom.order, 27],
+        ],
+        title="Fig. 4 ROM sizes",
+    ))
+    assert float(err.max()) < 0.05
+    if proposed is not None:
+        assert proposed < rom.order

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures at
+paper scale (state counts matching §3) and prints the corresponding
+rows/series.  Absolute runtimes obviously differ from the paper's 2012
+Pentium 4 numbers; the *shape* — who wins, by roughly what factor —
+is what gets compared (see EXPERIMENTS.md).
+
+Set ``REPRO_BENCH_QUICK=1`` to run structurally identical but smaller
+instances (useful for smoke-testing the harness).
+"""
+
+import os
+
+import pytest
+
+
+def paper_scale():
+    return os.environ.get("REPRO_BENCH_QUICK", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return "paper" if paper_scale() else "quick"

@@ -1,0 +1,76 @@
+"""Harmonic-distortion verification of a ROM, frequency domain.
+
+The paper targets analog/RF verification, where what designers actually
+read off a weakly nonlinear block are HD2/HD3 and intermodulation
+products.  These are algebraic functions of H1, H2, H3 on the imaginary
+axis, so they give a transient-free way to validate a nonlinear ROM over
+a whole band — and to see the difference between the proposed method and
+two baselines:
+
+* NORM (multivariate moment matching) pins the distortion figures near
+  the expansion point essentially exactly;
+* the associated transform matches moments of the *diagonal-kernel*
+  transforms — a slightly different space — and tracks the distortion
+  figures to a few percent at a much smaller ROM;
+* degree-2 Carleman bilinearization (the classical route) reproduces H2
+  exactly but needs the full n + n² state space to do it.
+
+Run:  python examples/harmonic_distortion.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    distortion_sweep,
+    format_table,
+    single_tone_distortion,
+)
+from repro.circuits import quadratic_rc_ladder
+from repro.mor import AssociatedTransformMOR, NORMReducer
+
+
+def main():
+    system = quadratic_rc_ladder(n_nodes=50)
+    explicit = system.to_explicit()
+    print(f"system: {system}")
+
+    rom_a = AssociatedTransformMOR(orders=(6, 3, 2)).reduce(system)
+    rom_n = NORMReducer(orders=(6, 3, 2)).reduce(system)
+    print(f"proposed ROM order {rom_a.order}, NORM ROM order {rom_n.order}")
+
+    amplitude = 0.1
+    omegas = np.array([0.02, 0.05, 0.1, 0.2, 0.5])
+    rows = []
+    for w in omegas:
+        full = single_tone_distortion(explicit, w, amplitude)
+        a_m = single_tone_distortion(rom_a.system, w, amplitude)
+        n_m = single_tone_distortion(rom_n.system, w, amplitude)
+        rows.append([
+            w,
+            full["hd2"],
+            a_m["hd2"],
+            n_m["hd2"],
+            abs(a_m["hd2"] / full["hd2"] - 1.0),
+        ])
+    print()
+    print(format_table(
+        ["omega", "HD2 full", "HD2 proposed", "HD2 NORM",
+         "proposed rel dev"],
+        rows,
+        title=f"Second-harmonic distortion at A = {amplitude}",
+    ))
+
+    _, hd2, hd3 = distortion_sweep(
+        explicit, omegas, amplitude=amplitude
+    )
+    _, hd2_r, hd3_r = distortion_sweep(
+        rom_a.system, omegas, amplitude=amplitude
+    )
+    worst_hd3 = np.max(np.abs(hd3_r / hd3 - 1.0))
+    print(f"\nworst HD3 deviation of the proposed ROM over the band: "
+          f"{worst_hd3:.2%}")
+    assert np.max(np.abs(hd2_r / hd2 - 1.0)) < 0.15
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: reduce a weakly nonlinear circuit in five lines.
+
+Builds a 70-node RC ladder with quadratic shunt conductances (a QLDAE),
+reduces it with the paper's associated-transform method, and compares a
+step-response transient of the full model against the ROM.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import max_relative_error, series_summary
+from repro.circuits import quadratic_rc_ladder
+from repro.mor import AssociatedTransformMOR
+from repro.simulation import simulate, step_source
+
+
+def main():
+    # 1. A nonlinear system: 70 states, quadratic nonlinearities.
+    system = quadratic_rc_ladder(n_nodes=70)
+    print(f"full system : {system}")
+
+    # 2. Reduce: match 6 moments of H1(s), 3 of A2(H2)(s) — the
+    #    associated transform makes H2 a *single-s* linear system, so
+    #    this costs 9 Krylov vectors instead of NORM's O(6 + 3^3).
+    reducer = AssociatedTransformMOR(orders=(6, 3, 0))
+    rom = reducer.reduce(system)
+    print(f"reduced     : order {rom.order} (from {rom.full_order}), "
+          f"built in {rom.build_time:.3f}s")
+
+    # 3. Simulate both under a step input.
+    u = step_source(0.25)
+    full = simulate(system.to_explicit(), u, t_end=10.0, dt=0.02)
+    red = simulate(rom.system, u, t_end=10.0, dt=0.02)
+
+    # 4. Compare.
+    err = max_relative_error(full.output(0), red.output(0))
+    print()
+    print(series_summary("full  v1(t)", full.times, full.output(0)))
+    print(series_summary("ROM   v1(t)", red.times, red.output(0)))
+    print(f"\nmax relative error (peak-normalized): {err:.2e}")
+    print(f"full-model ODE solve: {full.wall_time:.3f}s, "
+          f"ROM: {red.wall_time:.3f}s")
+    assert err < 1e-2, "quickstart accuracy regression"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""MISO RF receiver reduction — the paper's §3.3 workload.
+
+A two-input QLDAE: the desired signal u1 drives the LNA input while an
+interferer u2 couples into the power-amplifier stage (paper Fig. 4a).
+The associated transform handles MIMO transfer matrices directly
+(Theorems 1-2 are matrix-valued), so nothing special is needed: the
+moment chains simply carry one column per symmetric input multiset.
+
+The demo also shows a hallmark of quadratic nonlinearity: with
+u1 at f1 and u2 at f2, the output spectrum contains intermodulation
+lines at f1±f2 that a *linear* ROM cannot reproduce.
+
+Run:  python examples/rf_receiver_miso.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, max_relative_error
+from repro.circuits import rf_receiver_chain
+from repro.mor import AssociatedTransformMOR, NORMReducer
+from repro.simulation import simulate, sine_source, stack_sources
+
+F_SIGNAL = 0.05
+F_INTERF = 0.12
+
+
+def spectrum_peak(times, trace, freq):
+    """Single-bin DFT magnitude at *freq* (ignores leakage)."""
+    window = np.hanning(times.size)
+    phase = np.exp(-2j * np.pi * freq * times)
+    return abs(np.sum(window * trace * phase)) / np.sum(window)
+
+
+def main():
+    rf = rf_receiver_chain(n_nodes=173).to_explicit()
+    print(f"receiver model: {rf}  "
+          f"({rf.n_states} states, {rf.n_inputs} inputs — paper: 173)")
+
+    orders = (6, 3, 1)
+    # expand near the drive band (paper §4: non-DC expansion is natural)
+    rom_a = AssociatedTransformMOR(
+        orders=orders, expansion_points=(0.3,)
+    ).reduce(rf)
+    rom_n = NORMReducer(orders=orders, s0=0.3).reduce(rf)
+    print(f"proposed ROM order: {rom_a.order}   "
+          f"NORM ROM order: {rom_n.order}  (paper: 14 vs 27)")
+
+    u = stack_sources(
+        [sine_source(0.25, F_SIGNAL), sine_source(0.10, F_INTERF)]
+    )
+    t_end, dt = 60.0, 0.05
+    full = simulate(rf, u, t_end, dt)
+    red_a = simulate(rom_a.system, u, t_end, dt)
+    red_n = simulate(rom_n.system, u, t_end, dt)
+
+    rows = [
+        ["proposed", rom_a.order,
+         max_relative_error(full.output(0), red_a.output(0))],
+        ["NORM", rom_n.order,
+         max_relative_error(full.output(0), red_n.output(0))],
+    ]
+    print(format_table(["ROM", "order", "max rel err"], rows))
+
+    # Intermodulation: the f1+f2 line exists only through H2.
+    tail = slice(full.steps // 2, None)
+    lines = []
+    for name, freq in [
+        ("signal f1", F_SIGNAL),
+        ("interferer f2", F_INTERF),
+        ("IM2 f1+f2", F_SIGNAL + F_INTERF),
+        ("IM2 f2-f1", F_INTERF - F_SIGNAL),
+    ]:
+        mag_full = spectrum_peak(
+            full.times[tail], full.output(0)[tail], freq
+        )
+        mag_rom = spectrum_peak(
+            red_a.times[tail], red_a.output(0)[tail], freq
+        )
+        lines.append([name, mag_full, mag_rom])
+    print()
+    print(format_table(
+        ["spectral line", "full model", "proposed ROM"], lines,
+        title="Output spectrum (single-bin DFT magnitudes)",
+    ))
+    im2 = lines[2][1]
+    assert im2 > 0, "quadratic intermodulation must be present"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Nonlinear transmission line MOR — the paper's §3.1/§3.2 workloads.
+
+Demonstrates the full pipeline on the diode transmission line:
+
+1. build the circuit netlist (exponential diodes, i = e^{40v} − 1),
+2. quadratic-linearize it exactly into a QLDAE (adds one state per
+   diode; the voltage-source variant acquires the paper's D1 term),
+3. reduce with the associated-transform method and with the NORM
+   baseline at the same moment orders,
+4. compare transient responses and ROM sizes.
+
+Run:  python examples/transmission_line_mor.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, max_relative_error, series_summary
+from repro.circuits import nonlinear_transmission_line
+from repro.mor import AssociatedTransformMOR, NORMReducer
+from repro.simulation import simulate, sine_source, step_source
+
+# Lifted QLDAEs carry structural zero eigenvalues (the added states are
+# slaved to the diode manifold), so we expand near DC instead of at DC —
+# the paper's §4 notes non-DC expansion is natural in this framework.
+EXPANSION = 0.5
+
+
+def voltage_driven_case():
+    print("=" * 68)
+    print("Voltage-driven line (paper §3.1): lifted QLDAE WITH D1 term")
+    print("=" * 68)
+    ntl = nonlinear_transmission_line(
+        n_nodes=40, source="voltage", diode_at_input=True
+    )
+    qldae = ntl.quadratic_linearize()
+    print(f"lifted QLDAE: {qldae}  (D1 present: {qldae.d1 is not None})")
+
+    rom = AssociatedTransformMOR(
+        orders=(8, 3, 2), expansion_points=(1.0,)
+    ).reduce(qldae)
+    print(f"associated-transform ROM: order {rom.order} "
+          f"(stable: {rom.details['rom_linear_stable']})")
+
+    u = sine_source(amplitude=0.08, frequency=0.08)
+    full = simulate(qldae, u, t_end=30.0, dt=0.02)
+    red = simulate(rom.system, u, t_end=30.0, dt=0.02)
+    err = max_relative_error(full.output(0), red.output(0))
+    print(series_summary("full v1(t)", full.times, full.output(0)))
+    print(series_summary("ROM  v1(t)", red.times, red.output(0)))
+    print(f"max relative error: {err:.2e}\n")
+
+
+def current_driven_case():
+    print("=" * 68)
+    print("Current-driven line (paper §3.2): QLDAE WITHOUT D1, "
+          "proposed vs NORM")
+    print("=" * 68)
+    ntl = nonlinear_transmission_line(
+        n_nodes=36, source="current", diode_at_input=False, diode_start=2
+    )
+    qldae = ntl.quadratic_linearize()
+    print(f"lifted QLDAE: {qldae}  -> x in R^{qldae.n_states} "
+          "(paper: R^70)")
+
+    orders = (6, 3, 2)
+    rom_a = AssociatedTransformMOR(
+        orders=orders, expansion_points=(EXPANSION,)
+    ).reduce(qldae)
+    rom_n = NORMReducer(orders=orders, s0=EXPANSION).reduce(qldae)
+
+    u = step_source(0.25)
+    full = simulate(qldae, u, t_end=30.0, dt=0.05)
+    red_a = simulate(rom_a.system, u, t_end=30.0, dt=0.05)
+    red_n = simulate(rom_n.system, u, t_end=30.0, dt=0.05)
+
+    rows = [
+        ["original", qldae.n_states, "-", full.wall_time],
+        [
+            "proposed",
+            rom_a.order,
+            max_relative_error(full.output(0), red_a.output(0)),
+            red_a.wall_time,
+        ],
+        [
+            "NORM",
+            rom_n.order,
+            max_relative_error(full.output(0), red_n.output(0)),
+            red_n.wall_time,
+        ],
+    ]
+    print(format_table(
+        ["model", "order", "max rel err", "sim time [s]"], rows
+    ))
+    print()
+    assert rom_a.order < rom_n.order, (
+        "the associated-transform ROM should be the more compact one"
+    )
+
+
+if __name__ == "__main__":
+    voltage_driven_case()
+    current_driven_case()

@@ -1,0 +1,63 @@
+"""repro — Nonlinear model order reduction via associated transforms of
+high-order Volterra transfer functions.
+
+Reproduction of: Zhang, Liu, Wang, Fong, Wong, "Fast Nonlinear Model
+Order Reduction via Associated Transforms of High-Order Volterra Transfer
+Functions", DAC 2012, pp. 289-294.
+
+Quickstart
+----------
+>>> from repro.circuits import nonlinear_transmission_line
+>>> from repro.mor import AssociatedTransformMOR
+>>> from repro.simulation import simulate, step_source
+>>> system = nonlinear_transmission_line(20).quadratic_linearize()
+>>> rom = AssociatedTransformMOR(orders=(4, 2, 0)).reduce(system)
+>>> result = simulate(rom.system, step_source(0.1), t_end=5.0, dt=0.01)
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (  # noqa: F401
+    ConvergenceError,
+    NumericalError,
+    ReproError,
+    SystemStructureError,
+    ValidationError,
+)
+from .mor import (  # noqa: F401
+    AssociatedTransformMOR,
+    NORMReducer,
+    ReducedOrderModel,
+    balanced_truncation,
+    suggest_orders,
+)
+from .simulation import simulate  # noqa: F401
+from .systems import (  # noqa: F401
+    CubicODE,
+    ExponentialODE,
+    PolynomialODE,
+    QLDAE,
+    StateSpace,
+)
+
+__all__ = [
+    "ConvergenceError",
+    "NumericalError",
+    "ReproError",
+    "SystemStructureError",
+    "ValidationError",
+    "AssociatedTransformMOR",
+    "NORMReducer",
+    "ReducedOrderModel",
+    "balanced_truncation",
+    "suggest_orders",
+    "simulate",
+    "CubicODE",
+    "ExponentialODE",
+    "PolynomialODE",
+    "QLDAE",
+    "StateSpace",
+    "__version__",
+]

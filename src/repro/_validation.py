@@ -1,0 +1,148 @@
+"""Internal argument-validation helpers.
+
+These helpers normalize user input into the canonical representations the
+library works with (C-contiguous float/complex ndarrays, scipy CSR
+matrices) and raise :class:`repro.errors.ValidationError` with readable
+messages when the input cannot be used.
+"""
+
+import numbers
+
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import ValidationError
+
+__all__ = [
+    "as_matrix",
+    "as_square_matrix",
+    "as_vector",
+    "as_sparse",
+    "check_shape",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "is_sparse",
+]
+
+
+def is_sparse(obj):
+    """Return True when *obj* is any scipy sparse matrix/array."""
+    return sp.issparse(obj)
+
+
+def as_matrix(value, name="matrix", dtype=None, allow_sparse=False):
+    """Coerce *value* to a 2-D ndarray (or keep it sparse when allowed).
+
+    Parameters
+    ----------
+    value : array_like or sparse
+        Input to coerce.
+    name : str
+        Name used in error messages.
+    dtype : numpy dtype, optional
+        Target dtype; defaults to the input's (float64 for integer input).
+    allow_sparse : bool
+        When True, scipy sparse inputs are passed through as CSR.
+    """
+    if sp.issparse(value):
+        if not allow_sparse:
+            value = value.toarray()
+        else:
+            mat = sp.csr_matrix(value)
+            if dtype is not None:
+                mat = mat.astype(dtype)
+            return mat
+    arr = np.asarray(value)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} must be 2-dimensional, got ndim={arr.ndim}"
+        )
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype.kind in "iub":
+        arr = arr.astype(np.float64)
+    elif arr.dtype.kind not in "fc":
+        raise ValidationError(
+            f"{name} must be numeric, got dtype={arr.dtype}"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def as_square_matrix(value, name="matrix", dtype=None, allow_sparse=False):
+    """Like :func:`as_matrix` but additionally require a square shape."""
+    mat = as_matrix(value, name=name, dtype=dtype, allow_sparse=allow_sparse)
+    if mat.shape[0] != mat.shape[1]:
+        raise ValidationError(
+            f"{name} must be square, got shape {mat.shape}"
+        )
+    return mat
+
+
+def as_vector(value, name="vector", dtype=None):
+    """Coerce *value* to a 1-D ndarray.
+
+    2-D column/row vectors (shape (n, 1) or (1, n)) are flattened; any
+    other 2-D shape is rejected.
+    """
+    if sp.issparse(value):
+        value = value.toarray()
+    arr = np.asarray(value)
+    if arr.ndim == 2 and 1 in arr.shape:
+        arr = arr.reshape(-1)
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"{name} must be 1-dimensional, got shape {arr.shape}"
+        )
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype.kind in "iub":
+        arr = arr.astype(np.float64)
+    elif arr.dtype.kind not in "fc":
+        raise ValidationError(f"{name} must be numeric, got dtype={arr.dtype}")
+    return np.ascontiguousarray(arr)
+
+
+def as_sparse(value, name="matrix", dtype=None):
+    """Coerce *value* to CSR sparse format."""
+    if not sp.issparse(value):
+        arr = as_matrix(value, name=name, dtype=dtype)
+        return sp.csr_matrix(arr)
+    mat = sp.csr_matrix(value)
+    if dtype is not None:
+        mat = mat.astype(dtype)
+    return mat
+
+
+def check_shape(arr, shape, name="array"):
+    """Require ``arr.shape == shape``; entries of -1 in *shape* are free."""
+    actual = arr.shape
+    if len(actual) != len(shape):
+        raise ValidationError(
+            f"{name} must have {len(shape)} dimensions, got shape {actual}"
+        )
+    for got, want in zip(actual, shape):
+        if want != -1 and got != want:
+            raise ValidationError(
+                f"{name} must have shape {tuple(shape)}, got {actual}"
+            )
+    return arr
+
+
+def check_positive_int(value, name="value"):
+    """Require a strictly positive integer; return it as a builtin int."""
+    if not isinstance(value, numbers.Integral) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(value, name="value"):
+    """Require a non-negative integer; return it as a builtin int."""
+    if not isinstance(value, numbers.Integral) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value

@@ -1,0 +1,27 @@
+"""Error metrics, harmonic-distortion analysis and text reporting."""
+
+from .distortion import (
+    distortion_sweep,
+    single_tone_distortion,
+    two_tone_intermodulation,
+)
+from .metrics import (
+    max_relative_error,
+    relative_error_trace,
+    rms_error,
+    speedup,
+)
+from .reporting import format_table, series_summary, sparkline
+
+__all__ = [
+    "distortion_sweep",
+    "single_tone_distortion",
+    "two_tone_intermodulation",
+    "max_relative_error",
+    "relative_error_trace",
+    "rms_error",
+    "speedup",
+    "format_table",
+    "series_summary",
+    "sparkline",
+]

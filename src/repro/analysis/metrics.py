@@ -1,0 +1,70 @@
+"""Error metrics for ROM-vs-full comparisons (paper-style plots)."""
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "relative_error_trace",
+    "max_relative_error",
+    "rms_error",
+    "speedup",
+]
+
+
+def relative_error_trace(reference, candidate, normalization="peak"):
+    """Pointwise relative error trace, as plotted in Figs. 2(c)–4(c).
+
+    Parameters
+    ----------
+    reference, candidate : (steps,) arrays
+    normalization : {"peak", "pointwise"}
+        ``"peak"`` divides by ``max |reference|`` (bounded, what the
+        paper's error plots show); ``"pointwise"`` divides by
+        ``|reference|`` sample-by-sample (spikes near zero crossings).
+    """
+    ref = np.asarray(reference, dtype=float).reshape(-1)
+    cand = np.asarray(candidate, dtype=float).reshape(-1)
+    if ref.shape != cand.shape:
+        raise ValidationError(
+            f"traces have different lengths: {ref.size} vs {cand.size}"
+        )
+    err = np.abs(cand - ref)
+    if normalization == "peak":
+        scale = np.abs(ref).max()
+        if scale == 0.0:
+            raise ValidationError("reference trace is identically zero")
+        return err / scale
+    if normalization == "pointwise":
+        floor = 1e-12 * max(np.abs(ref).max(), 1.0)
+        return err / np.maximum(np.abs(ref), floor)
+    raise ValidationError(
+        f"unknown normalization {normalization!r}; "
+        "use 'peak' or 'pointwise'"
+    )
+
+
+def max_relative_error(reference, candidate, normalization="peak"):
+    """Scalar max of :func:`relative_error_trace`."""
+    return float(
+        relative_error_trace(reference, candidate, normalization).max()
+    )
+
+
+def rms_error(reference, candidate):
+    """Root-mean-square absolute error between two traces."""
+    ref = np.asarray(reference, dtype=float).reshape(-1)
+    cand = np.asarray(candidate, dtype=float).reshape(-1)
+    if ref.shape != cand.shape:
+        raise ValidationError(
+            f"traces have different lengths: {ref.size} vs {cand.size}"
+        )
+    return float(np.sqrt(np.mean((ref - cand) ** 2)))
+
+
+def speedup(reference_seconds, candidate_seconds):
+    """Simulation-time ratio (the paper reports a 61% reduction in §3.2
+    as ``1 − candidate/reference``); returns the reduction fraction."""
+    if reference_seconds <= 0:
+        raise ValidationError("reference time must be positive")
+    return 1.0 - candidate_seconds / reference_seconds

@@ -1,0 +1,80 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benches print paper-shaped artifacts: Table 1's runtime rows and the
+time-series that back Figs. 2-5 (as ASCII sparklines plus summary
+numbers), so the reproduction can be eyeballed without a plotting stack.
+"""
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["format_table", "sparkline", "series_summary"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns.
+
+    Cells are stringified; floats get 4 significant digits.
+    """
+    headers = [str(h) for h in headers]
+
+    def render(cell):
+        if isinstance(cell, float):
+            if cell == 0.0:
+                return "0"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows))
+        if str_rows
+        else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values, width=72):
+    """Compress a trace into one line of density characters."""
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ValidationError("cannot sparkline an empty trace")
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = values.min(), values.max()
+    if hi == lo:
+        return _SPARK_CHARS[0] * values.size
+    idx = ((values - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def series_summary(name, times, values):
+    """One-line summary plus sparkline for a time series."""
+    times = np.asarray(times)
+    values = np.asarray(values, dtype=float).reshape(-1)
+    return (
+        f"{name}: t in [{times[0]:.3g}, {times[-1]:.3g}], "
+        f"min={values.min():.4g}, max={values.max():.4g}\n"
+        f"  [{sparkline(values)}]"
+    )

@@ -1,0 +1,34 @@
+"""Circuit substrate: devices, netlists, MNA assembly and the paper's
+benchmark circuit generators."""
+
+from .devices import (
+    Capacitor,
+    CurrentSource,
+    ExponentialDiode,
+    Inductor,
+    PolynomialConductance,
+    Resistor,
+)
+from .examples import (
+    nonlinear_transmission_line,
+    quadratic_rc_ladder,
+    rf_receiver_chain,
+    varistor_surge_protector,
+)
+from .mna import assemble
+from .netlist import Netlist
+
+__all__ = [
+    "Capacitor",
+    "CurrentSource",
+    "ExponentialDiode",
+    "Inductor",
+    "PolynomialConductance",
+    "Resistor",
+    "nonlinear_transmission_line",
+    "quadratic_rc_ladder",
+    "rf_receiver_chain",
+    "varistor_surge_protector",
+    "assemble",
+    "Netlist",
+]

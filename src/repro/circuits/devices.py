@@ -1,0 +1,142 @@
+"""Two-terminal circuit device descriptions.
+
+Devices connect ``node_pos`` to ``node_neg`` (0 is ground).  Sign
+convention: positive device current flows from ``node_pos`` to
+``node_neg`` through the device, so it leaves the positive node's KCL.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CurrentSource",
+    "PolynomialConductance",
+    "ExponentialDiode",
+]
+
+
+def _check_nodes(node_pos, node_neg):
+    for node in (node_pos, node_neg):
+        if not isinstance(node, int) or node < 0:
+            raise ValidationError(
+                f"nodes must be non-negative integers, got {node!r}"
+            )
+    if node_pos == node_neg:
+        raise ValidationError("device terminals must differ")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor ``i = (v_pos − v_neg) / resistance``."""
+
+    node_pos: int
+    node_neg: int
+    resistance: float
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.resistance <= 0:
+            raise ValidationError("resistance must be positive")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor ``i = capacitance · d(v_pos − v_neg)/dt``."""
+
+    node_pos: int
+    node_neg: int
+    capacitance: float
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.capacitance <= 0:
+            raise ValidationError("capacitance must be positive")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Linear inductor; adds a branch-current state.
+
+    Branch equation ``L di/dt = v_pos − v_neg``; the current ``i`` flows
+    from ``node_pos`` to ``node_neg``.
+    """
+
+    node_pos: int
+    node_neg: int
+    inductance: float
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.inductance <= 0:
+            raise ValidationError("inductance must be positive")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source driven by input channel ``input_index``.
+
+    Injects ``gain · u_k(t)`` *into* ``node_pos`` (and out of
+    ``node_neg``).  Voltage sources are modeled by their Thevenin
+    equivalent (source resistor + current source), which keeps the mass
+    matrix regular — see :func:`repro.circuits.examples`.
+    """
+
+    node_pos: int
+    node_neg: int
+    input_index: int = 0
+    gain: float = 1.0
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.input_index < 0:
+            raise ValidationError("input_index must be >= 0")
+
+
+@dataclass(frozen=True)
+class PolynomialConductance:
+    """Polynomial voltage-controlled current
+    ``i(v) = g1 v + g2 v² + g3 v³`` with ``v = v_pos − v_neg``.
+
+    The quadratic/cubic coefficients stamp directly into the system's
+    ``G2``/``G3`` Kronecker coefficient matrices — no lifting needed.
+    """
+
+    node_pos: int
+    node_neg: int
+    g1: float = 0.0
+    g2: float = 0.0
+    g3: float = 0.0
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.g1 == 0.0 and self.g2 == 0.0 and self.g3 == 0.0:
+            raise ValidationError(
+                "polynomial conductance needs at least one nonzero "
+                "coefficient"
+            )
+
+
+@dataclass(frozen=True)
+class ExponentialDiode:
+    """Diode ``i = i_s (exp(kappa (v_pos − v_neg)) − 1)``.
+
+    The paper's transmission line uses ``i_s = 1``, ``kappa = 40``.
+    Exponential devices force the compiled system through the exact
+    quadratic-linearization of :mod:`repro.systems.exponential`.
+    """
+
+    node_pos: int
+    node_neg: int
+    i_s: float = 1.0
+    kappa: float = 40.0
+
+    def __post_init__(self):
+        _check_nodes(self.node_pos, self.node_neg)
+        if self.i_s <= 0:
+            raise ValidationError("saturation current must be positive")
+        if self.kappa == 0:
+            raise ValidationError("kappa must be nonzero")

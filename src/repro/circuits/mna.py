@@ -1,0 +1,256 @@
+"""Modified nodal analysis: netlist → polynomial/exponential system.
+
+State vector layout: node voltages ``v_1 .. v_N`` followed by one branch
+current per inductor.  The assembled equations are
+
+    mass · x' = G1 x + G2 (x⊗x) + G3 (x⊗x⊗x) + Σ exp-terms + B u
+
+with ``mass = diag(C-stamps, L-values)``.  Every node must carry
+capacitance (add a parasitic if needed) so the mass matrix stays regular
+— circuits violating this raise with a pointer to
+:mod:`repro.systems.descriptor`.
+
+The compiled class depends on the devices present:
+
+* any :class:`ExponentialDiode` → :class:`repro.systems.ExponentialODE`
+  (call ``.quadratic_linearize()`` for the QLDAE),
+* cubic terms only → :class:`repro.systems.CubicODE`,
+* otherwise → :class:`repro.systems.QLDAE`.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import SystemStructureError
+from ..systems.exponential import ExponentialODE, ExpTerm
+from ..systems.polynomial import CubicODE, QLDAE
+from .devices import (
+    Capacitor,
+    CurrentSource,
+    ExponentialDiode,
+    Inductor,
+    PolynomialConductance,
+    Resistor,
+)
+
+__all__ = ["assemble"]
+
+
+class _Stamper:
+    """Accumulates MNA stamps for one netlist."""
+
+    def __init__(self, netlist):
+        self.netlist = netlist
+        self.n_nodes = netlist.n_nodes
+        inductors = [d for d in netlist.devices if isinstance(d, Inductor)]
+        self.inductors = inductors
+        self.n = self.n_nodes + len(inductors)
+        self.mass = np.zeros((self.n, self.n))
+        self.g1 = np.zeros((self.n, self.n))
+        self.b = np.zeros((self.n, netlist.n_inputs))
+        self.g2_entries = []  # (row, col, value) over n² columns
+        self.g3_entries = []
+        self.exp_terms = []
+
+    # node index -> state index (ground collapses to None)
+    def _state(self, node):
+        return None if node == 0 else node - 1
+
+    def _voltage_form(self, device):
+        """Sparse coefficient vector of v = v_pos − v_neg."""
+        coeffs = {}
+        pos = self._state(device.node_pos)
+        neg = self._state(device.node_neg)
+        if pos is not None:
+            coeffs[pos] = coeffs.get(pos, 0.0) + 1.0
+        if neg is not None:
+            coeffs[neg] = coeffs.get(neg, 0.0) - 1.0
+        return coeffs
+
+    def _kcl_rows(self, device):
+        """(row, sign) pairs: current leaves node_pos, enters node_neg."""
+        rows = []
+        pos = self._state(device.node_pos)
+        neg = self._state(device.node_neg)
+        if pos is not None:
+            rows.append((pos, -1.0))  # mass v' = −(current out)
+        if neg is not None:
+            rows.append((neg, +1.0))
+        return rows
+
+    # -- stamps ------------------------------------------------------------------
+
+    def stamp(self, device):
+        if isinstance(device, Resistor):
+            self._stamp_conductance_linear(device, 1.0 / device.resistance)
+        elif isinstance(device, Capacitor):
+            self._stamp_capacitor(device)
+        elif isinstance(device, Inductor):
+            pass  # handled jointly in _stamp_inductors
+        elif isinstance(device, CurrentSource):
+            self._stamp_current_source(device)
+        elif isinstance(device, PolynomialConductance):
+            if device.g1:
+                self._stamp_conductance_linear(device, device.g1)
+            if device.g2:
+                self._stamp_poly(device, device.g2, order=2)
+            if device.g3:
+                self._stamp_poly(device, device.g3, order=3)
+        elif isinstance(device, ExponentialDiode):
+            self._stamp_diode(device)
+        else:
+            raise SystemStructureError(
+                f"unknown device type {type(device).__name__}"
+            )
+
+    def _stamp_conductance_linear(self, device, conductance):
+        volt = self._voltage_form(device)
+        for row, sign in self._kcl_rows(device):
+            for col, coeff in volt.items():
+                self.g1[row, col] += sign * conductance * coeff
+
+    def _stamp_capacitor(self, device):
+        volt = self._voltage_form(device)
+        pos = self._state(device.node_pos)
+        neg = self._state(device.node_neg)
+        for row_state, row_sign in ((pos, 1.0), (neg, -1.0)):
+            if row_state is None:
+                continue
+            for col, coeff in volt.items():
+                self.mass[row_state, col] += (
+                    row_sign * device.capacitance * coeff
+                )
+
+    def _stamp_current_source(self, device):
+        pos = self._state(device.node_pos)
+        neg = self._state(device.node_neg)
+        if pos is not None:
+            self.b[pos, device.input_index] += device.gain
+        if neg is not None:
+            self.b[neg, device.input_index] -= device.gain
+
+    def _stamp_poly(self, device, coeff, order):
+        volt = self._voltage_form(device)
+        items = list(volt.items())
+        entries = self.g2_entries if order == 2 else self.g3_entries
+        n = self.n
+        for row, sign in self._kcl_rows(device):
+            if order == 2:
+                for i, ci in items:
+                    for j, cj in items:
+                        entries.append((row, i * n + j, sign * coeff * ci * cj))
+            else:
+                for i, ci in items:
+                    for j, cj in items:
+                        for k, ck in items:
+                            entries.append(
+                                (
+                                    row,
+                                    (i * n + j) * n + k,
+                                    sign * coeff * ci * cj * ck,
+                                )
+                            )
+
+    def _stamp_diode(self, device):
+        volt = self._voltage_form(device)
+        exponent = np.zeros(self.n)
+        for col, coeff in volt.items():
+            exponent[col] = device.kappa * coeff
+        coefficient = np.zeros(self.n)
+        for row, sign in self._kcl_rows(device):
+            coefficient[row] += sign * device.i_s
+        self.exp_terms.append(ExpTerm(coefficient, exponent))
+
+    def _stamp_inductors(self):
+        for idx, device in enumerate(self.inductors):
+            state = self.n_nodes + idx
+            self.mass[state, state] = device.inductance
+            volt = self._voltage_form(device)
+            # Branch: L di/dt = v_pos − v_neg.
+            for col, coeff in volt.items():
+                self.g1[state, col] += coeff
+            # KCL: current i flows pos -> neg.
+            pos = self._state(device.node_pos)
+            neg = self._state(device.node_neg)
+            if pos is not None:
+                self.g1[pos, state] += -1.0
+            if neg is not None:
+                self.g1[neg, state] += +1.0
+
+
+def assemble(netlist):
+    """Compile *netlist* into a system object (see module docstring)."""
+    if netlist.n_nodes == 0:
+        raise SystemStructureError("netlist has no nodes")
+    stamper = _Stamper(netlist)
+    for device in netlist.devices:
+        stamper.stamp(device)
+    stamper._stamp_inductors()
+
+    # Every state needs mass (a capacitor on each node, L on each branch).
+    diag = np.abs(np.diag(stamper.mass))
+    if np.any(diag == 0.0):
+        missing = np.nonzero(diag == 0.0)[0]
+        raise SystemStructureError(
+            f"states {missing.tolist()} carry no mass (node without "
+            "capacitance); add a parasitic capacitor or use "
+            "repro.systems.descriptor for the singular pencil"
+        )
+
+    n = stamper.n
+    output = None
+    if netlist.output_nodes is not None:
+        output = np.zeros((len(netlist.output_nodes), n))
+        for row, node in enumerate(netlist.output_nodes):
+            output[row, node - 1] = 1.0
+
+    mass = stamper.mass
+    if np.allclose(mass, np.eye(n)):
+        mass = None
+
+    def build_sparse(entries, width):
+        if not entries:
+            return None
+        rows, cols, vals = zip(*entries)
+        return sp.csr_matrix(
+            (vals, (rows, cols)), shape=(n, width)
+        )
+
+    g2 = build_sparse(stamper.g2_entries, n * n)
+    g3 = build_sparse(stamper.g3_entries, n * n * n)
+
+    name = netlist.name
+    if stamper.exp_terms:
+        if g2 is not None or g3 is not None:
+            raise SystemStructureError(
+                "mixing exponential diodes with polynomial conductances "
+                "in one netlist is not supported; lift the polynomial "
+                "terms manually"
+            )
+        return ExponentialODE(
+            stamper.g1,
+            stamper.b,
+            stamper.exp_terms,
+            mass=mass,
+            output=output,
+            name=name,
+        )
+    if g3 is not None and g2 is None:
+        return CubicODE(
+            stamper.g1, stamper.b, g3=g3, mass=mass, output=output, name=name
+        )
+    if g3 is None:
+        return QLDAE(
+            stamper.g1, stamper.b, g2=g2, mass=mass, output=output, name=name
+        )
+    from ..systems.polynomial import PolynomialODE
+
+    return PolynomialODE(
+        stamper.g1,
+        stamper.b,
+        g2=g2,
+        g3=g3,
+        mass=mass,
+        output=output,
+        name=name,
+    )

@@ -1,0 +1,125 @@
+"""Netlist container: a typed list of devices plus output selection."""
+
+import numpy as np
+
+from ..errors import ValidationError
+from .devices import (
+    Capacitor,
+    CurrentSource,
+    ExponentialDiode,
+    Inductor,
+    PolynomialConductance,
+    Resistor,
+)
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """A circuit under construction.
+
+    Nodes are positive integers (0 is ground) and may be used before
+    being "declared"; the node count is the largest index seen.  Use the
+    ``add_*`` helpers, pick output nodes with :meth:`set_output_nodes`,
+    then :meth:`compile` (from :mod:`repro.circuits.mna`) to obtain a
+    system object.
+    """
+
+    def __init__(self, name=""):
+        self.name = str(name)
+        self.devices = []
+        self._n_nodes = 0
+        self._n_inputs = 0
+        self._output_nodes = None
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _register(self, device):
+        self._n_nodes = max(self._n_nodes, device.node_pos, device.node_neg)
+        self.devices.append(device)
+        return device
+
+    def add_resistor(self, node_pos, node_neg, resistance):
+        return self._register(Resistor(node_pos, node_neg, resistance))
+
+    def add_capacitor(self, node_pos, node_neg, capacitance):
+        return self._register(Capacitor(node_pos, node_neg, capacitance))
+
+    def add_inductor(self, node_pos, node_neg, inductance):
+        return self._register(Inductor(node_pos, node_neg, inductance))
+
+    def add_current_source(self, node_pos, node_neg, input_index=0, gain=1.0):
+        device = CurrentSource(node_pos, node_neg, input_index, gain)
+        self._n_inputs = max(self._n_inputs, input_index + 1)
+        return self._register(device)
+
+    def add_conductance(self, node_pos, node_neg, g1=0.0, g2=0.0, g3=0.0):
+        return self._register(
+            PolynomialConductance(node_pos, node_neg, g1=g1, g2=g2, g3=g3)
+        )
+
+    def add_diode(self, node_pos, node_neg, i_s=1.0, kappa=40.0):
+        return self._register(
+            ExponentialDiode(node_pos, node_neg, i_s=i_s, kappa=kappa)
+        )
+
+    def add_voltage_source_thevenin(
+        self, node, source_resistance, input_index=0
+    ):
+        """Voltage source + series resistor, as its Norton equivalent.
+
+        Stamps a resistor ``R_s`` from *node* to ground and a current
+        source ``u / R_s`` into *node*.  This is how the paper-style
+        "voltage source injected into the circuit" is modeled while
+        keeping the mass matrix regular.
+        """
+        if source_resistance <= 0:
+            raise ValidationError("source resistance must be positive")
+        self.add_resistor(node, 0, source_resistance)
+        return self.add_current_source(
+            node, 0, input_index=input_index, gain=1.0 / source_resistance
+        )
+
+    # -- outputs ---------------------------------------------------------------
+
+    def set_output_nodes(self, nodes):
+        """Observe the voltages of the given nodes (1-based, no ground)."""
+        nodes = [int(n) for n in np.atleast_1d(nodes)]
+        for node in nodes:
+            if node <= 0:
+                raise ValidationError(
+                    "output nodes must be positive (ground is not a state)"
+                )
+        self._output_nodes = nodes
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def n_nodes(self):
+        return self._n_nodes
+
+    @property
+    def n_inputs(self):
+        return max(self._n_inputs, 1)
+
+    @property
+    def output_nodes(self):
+        return self._output_nodes
+
+    def count(self, device_type):
+        return sum(
+            1 for dev in self.devices if isinstance(dev, device_type)
+        )
+
+    def __repr__(self):
+        return (
+            f"Netlist(name={self.name!r}, nodes={self.n_nodes}, "
+            f"devices={len(self.devices)})"
+        )
+
+    def compile(self):
+        """Assemble the MNA system (delegates to
+        :func:`repro.circuits.mna.assemble`)."""
+        from .mna import assemble
+
+        return assemble(self)

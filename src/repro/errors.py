@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses separate the three broad failure domains: bad user input,
+numerical breakdown inside a solver, and model/system inconsistencies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, or value)."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical procedure broke down.
+
+    Examples: a Sylvester equation with a singular spectrum pairing
+    (lambda_i(A) + lambda_j(B) == 0), a shifted solve at an eigenvalue,
+    or an Arnoldi iteration that cannot produce a new direction.
+    """
+
+
+class SystemStructureError(ReproError):
+    """A system object is structurally inconsistent.
+
+    Raised, e.g., when matrix dimensions in a QLDAE do not agree, when a
+    descriptor system's pencil is singular, or when an operation requires
+    a SISO system but a MIMO one was supplied.
+    """
+
+
+class ConvergenceError(NumericalError):
+    """An iterative procedure (Newton, transient step) failed to converge."""
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up (may be None).
+        self.iterations = iterations
+        #: Last residual norm observed (may be None).
+        self.residual = residual

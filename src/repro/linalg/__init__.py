@@ -1,0 +1,71 @@
+"""Linear-algebra substrate: Kronecker algebra, Schur/Sylvester solvers,
+matrix-free lifted operators, Arnoldi, and moment utilities."""
+
+from .arnoldi import ArnoldiResult, arnoldi, merge_bases, orthonormalize
+from .kronecker import (
+    commutation_matrix,
+    kron,
+    kron_many,
+    kron_matvec,
+    kron_power,
+    kron_sum,
+    kron_sum_many,
+    kron_sum_matvec,
+    kron_sum_power,
+    kron_sum_power_matvec,
+    mode_apply,
+    symmetrize_pair,
+    unvec,
+    vec,
+)
+from .moments import moment_chain, moment_chain_operator, transfer_moments_dense
+from .operators import (
+    DenseOperator,
+    KronSumOperator,
+    QuadraticLiftedOperator,
+    solve_left_kron_sum,
+    solve_right_kron_sum,
+)
+from .schur import SchurForm
+from .sylvester import (
+    KronSumSolver,
+    pi_sylvester_residual,
+    solve_pi_sylvester,
+    triangular_sylvester_solve,
+    triangular_sylvester_solve_transposed,
+)
+
+__all__ = [
+    "ArnoldiResult",
+    "arnoldi",
+    "merge_bases",
+    "orthonormalize",
+    "commutation_matrix",
+    "kron",
+    "kron_many",
+    "kron_matvec",
+    "kron_power",
+    "kron_sum",
+    "kron_sum_many",
+    "kron_sum_matvec",
+    "kron_sum_power",
+    "kron_sum_power_matvec",
+    "mode_apply",
+    "symmetrize_pair",
+    "unvec",
+    "vec",
+    "moment_chain",
+    "moment_chain_operator",
+    "transfer_moments_dense",
+    "DenseOperator",
+    "KronSumOperator",
+    "QuadraticLiftedOperator",
+    "solve_left_kron_sum",
+    "solve_right_kron_sum",
+    "SchurForm",
+    "KronSumSolver",
+    "pi_sylvester_residual",
+    "solve_pi_sylvester",
+    "triangular_sylvester_solve",
+    "triangular_sylvester_solve_transposed",
+]

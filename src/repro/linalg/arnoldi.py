@@ -1,0 +1,191 @@
+"""Arnoldi iteration and orthonormal-basis utilities.
+
+The projection bases for both the proposed associated-transform NMOR and
+the NORM baseline are built here: a standard Arnoldi process (modified
+Gram–Schmidt with one reorthogonalization pass, happy-breakdown aware)
+plus helpers to merge several Krylov/moment blocks into one orthonormal
+projection matrix with rank deflation.
+"""
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..errors import NumericalError, ValidationError
+
+__all__ = [
+    "arnoldi",
+    "orthonormalize",
+    "merge_bases",
+    "ArnoldiResult",
+]
+
+#: Vectors whose norm falls below this multiple of the starting norm are
+#: treated as linearly dependent (happy breakdown / deflation).
+_DEFLATION_RTOL = 1e-10
+
+
+class ArnoldiResult:
+    """Container for an Arnoldi factorization ``A V_m = V_{m+1} H̄_m``.
+
+    Attributes
+    ----------
+    basis : (n, m) ndarray
+        Orthonormal Krylov basis ``V_m``.
+    hessenberg : (m+1, m) or (m, m) ndarray
+        The (extended) Hessenberg matrix; square when breakdown occurred.
+    breakdown : bool
+        True when the iteration terminated early because the Krylov space
+        is invariant (happy breakdown).
+    """
+
+    def __init__(self, basis, hessenberg, breakdown):
+        self.basis = basis
+        self.hessenberg = hessenberg
+        self.breakdown = breakdown
+
+    @property
+    def size(self):
+        return self.basis.shape[1]
+
+
+def arnoldi(apply_op, start, steps, reorthogonalize=True):
+    """Run *steps* Arnoldi iterations of the operator *apply_op*.
+
+    Parameters
+    ----------
+    apply_op : callable
+        Maps a vector of length ``n`` to a vector of length ``n`` (e.g.
+        ``lambda v: lu_solve(lu, v)`` for shift-invert moment matching).
+    start : (n,) array_like
+        Starting vector (need not be normalized).
+    steps : int
+        Maximum Krylov dimension.
+    reorthogonalize : bool
+        Apply a second modified-Gram-Schmidt pass for numerical
+        orthogonality (recommended; cheap relative to the solves).
+
+    Returns
+    -------
+    ArnoldiResult
+    """
+    steps = check_positive_int(steps, "steps")
+    v0 = np.asarray(start, dtype=float if np.isrealobj(start) else complex)
+    v0 = v0.reshape(-1)
+    norm0 = np.linalg.norm(v0)
+    if norm0 == 0.0:
+        raise ValidationError("Arnoldi starting vector is zero")
+    n = v0.size
+    dtype = v0.dtype if v0.dtype.kind == "c" else np.float64
+    basis = np.empty((n, steps + 1), dtype=dtype)
+    hess = np.zeros((steps + 1, steps), dtype=dtype)
+    basis[:, 0] = v0 / norm0
+    breakdown = False
+    m = steps
+    for j in range(steps):
+        w = np.asarray(apply_op(basis[:, j]))
+        if w.shape != (n,):
+            raise ValidationError(
+                f"operator returned shape {w.shape}, expected ({n},)"
+            )
+        if w.dtype.kind == "c" and dtype == np.float64:
+            # Promote lazily if the operator introduces complex arithmetic.
+            basis = basis.astype(complex)
+            hess = hess.astype(complex)
+            dtype = basis.dtype
+        w = w.astype(dtype, copy=True)
+        scale = np.linalg.norm(w)
+        for i in range(j + 1):
+            coeff = np.vdot(basis[:, i], w)
+            hess[i, j] += coeff
+            w -= coeff * basis[:, i]
+        if reorthogonalize:
+            for i in range(j + 1):
+                coeff = np.vdot(basis[:, i], w)
+                hess[i, j] += coeff
+                w -= coeff * basis[:, i]
+        h_next = np.linalg.norm(w)
+        hess[j + 1, j] = h_next
+        if h_next <= _DEFLATION_RTOL * max(scale, 1e-300):
+            breakdown = True
+            m = j + 1
+            break
+        basis[:, j + 1] = w / h_next
+    if breakdown:
+        return ArnoldiResult(basis[:, :m], hess[:m, :m], True)
+    return ArnoldiResult(basis[:, :steps], hess[: steps + 1, :steps], False)
+
+
+def orthonormalize(vectors, tol=1e-10):
+    """Orthonormalize the columns of *vectors* with rank deflation.
+
+    Uses an SVD so the retained columns span the numerically significant
+    range of the input.  Columns contributing singular values below
+    ``tol * s_max`` are dropped.
+
+    Returns an (n, r) ndarray with orthonormal columns, ``r <= ncols``.
+    """
+    mat = np.atleast_2d(np.asarray(vectors))
+    if mat.ndim != 2:
+        raise ValidationError("expected a matrix of column vectors")
+    if mat.shape[1] == 0:
+        return mat.reshape(mat.shape[0], 0)
+    u, s, _ = np.linalg.svd(mat, full_matrices=False)
+    if s.size == 0 or s[0] == 0.0:
+        raise NumericalError("cannot orthonormalize an all-zero block")
+    rank = int(np.sum(s > tol * s[0]))
+    return np.ascontiguousarray(u[:, :rank])
+
+
+def merge_bases(blocks, tol=1e-10):
+    """Merge several basis blocks into one orthonormal projection matrix.
+
+    Blocks are concatenated in order and deflated jointly; real and
+    imaginary parts of complex blocks are split so the final basis is
+    real (projecting real system matrices with a real V keeps the ROM
+    real, which the transient simulator requires).
+
+    Every column is normalized to unit length before the joint SVD: the
+    spanned subspace is scale-invariant, and without normalization the
+    higher-order kernel chains (whose raw magnitude scales with
+    ``‖G2‖ ‖b‖²`` or ``‖G3‖ ‖b‖³``) would be deflated away whenever the
+    nonlinearity is numerically weak.
+
+    Parameters
+    ----------
+    blocks : sequence of (n, k_i) arrays
+    tol : float
+        Relative singular-value cutoff for deflation.
+
+    Returns
+    -------
+    (n, r) float ndarray with orthonormal columns.
+    """
+    cols = []
+    n = None
+    for block in blocks:
+        arr = np.atleast_2d(np.asarray(block))
+        if arr.shape[1] == 0:
+            continue
+        if n is None:
+            n = arr.shape[0]
+        elif arr.shape[0] != n:
+            raise ValidationError(
+                "basis blocks have inconsistent row counts "
+                f"({arr.shape[0]} vs {n})"
+            )
+        if np.iscomplexobj(arr):
+            cols.append(arr.real)
+            imag = arr.imag
+            if np.abs(imag).max() > tol * max(np.abs(arr.real).max(), 1.0):
+                cols.append(imag)
+        else:
+            cols.append(arr)
+    if not cols:
+        raise ValidationError("no nonempty basis blocks to merge")
+    stacked = np.hstack(cols)
+    norms = np.linalg.norm(stacked, axis=0)
+    keep = norms > 0.0
+    if not np.any(keep):
+        raise NumericalError("all basis columns are zero")
+    stacked = stacked[:, keep] / norms[keep]
+    return orthonormalize(stacked, tol=tol)

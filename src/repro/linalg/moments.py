@@ -1,0 +1,87 @@
+"""Moment (Taylor-coefficient) utilities for transfer functions.
+
+For a transfer function ``H(s) = C (s E − A)^{-1} B`` expanded at ``s0``,
+the k-th moment is ``C ((A − s0 E)^{-1} E)^k (A − s0 E)^{-1} B`` up to
+sign.  Krylov projection matrices that contain the corresponding chain of
+vectors match those moments implicitly (PRIMA-style); this module
+generates the chains and evaluates moments for verification.
+"""
+
+import numpy as np
+
+from .._validation import check_nonnegative_int, check_positive_int
+from ..errors import ValidationError
+
+__all__ = [
+    "moment_chain",
+    "moment_chain_operator",
+    "transfer_moments_dense",
+]
+
+
+def moment_chain(solve, start, count):
+    """Generate the shift-invert Krylov chain ``x_k = solve^k(start)``.
+
+    Parameters
+    ----------
+    solve : callable
+        Applies ``(A - s0 I)^{-1}`` (or any fixed solve) to a vector.
+    start : array_like
+        Chain seed (typically ``B`` or a coupling vector).
+    count : int
+        Number of chain vectors to produce.
+
+    Returns
+    -------
+    list of ndarray, length *count*:
+    ``[solve(start), solve²(start), ...]``.
+    """
+    count = check_positive_int(count, "count")
+    vectors = []
+    current = np.asarray(start)
+    for _ in range(count):
+        current = np.asarray(solve(current))
+        vectors.append(current)
+    return vectors
+
+
+def moment_chain_operator(operator, start, count, shift=0.0):
+    """Moment chain using an operator's ``solve_shifted`` method.
+
+    Produces ``[(A - s0 I)^{-1} start, (A - s0 I)^{-2} start, ...]`` where
+    the expansion point enters as ``shift = -s0`` in the operator call
+    ``solve_shifted(shift, ·)`` (which solves ``(A + shift I) x = rhs``).
+    """
+    count = check_positive_int(count, "count")
+    vectors = []
+    current = np.asarray(start)
+    for _ in range(count):
+        current = operator.solve_shifted(shift, current)
+        vectors.append(current)
+    return vectors
+
+
+def transfer_moments_dense(a, b, c, count, s0=0.0):
+    """Moments of ``H(s) = c (sI − a)^{-1} b`` about ``s0`` (dense).
+
+    Returns the list ``[m_0, ..., m_{count-1}]`` with
+    ``m_k = c (s0 I − a)^{-(k+1)} b * (-1)^k`` — i.e. the Taylor
+    coefficients of ``H`` at ``s0``: ``H(s) = Σ_k m_k (s − s0)^k``.
+
+    Intended for verification on small systems: reduced models that match
+    moments can be checked against the originals with this routine.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    count = check_nonnegative_int(count, "count")
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValidationError(f"a must be square, got {a.shape}")
+    base = s0 * np.eye(n) - a
+    moments = []
+    current = b
+    for k in range(count):
+        current = np.linalg.solve(base, current)
+        moments.append(((-1.0) ** k) * (c @ current))
+    return moments

@@ -1,0 +1,239 @@
+"""Matrix-free linear operators for the lifted associated realizations.
+
+The associated transform turns the second-order Volterra transfer function
+of an ``n``-state QLDAE into a linear system with state matrix (paper
+eq. 17)::
+
+    Ã2 = [ G1   G2      ]        (size n + n²)
+         [ 0    G1 ⊕ G1 ]
+
+and the third-order one into block-triangular systems whose inner blocks
+are Kronecker sums of ``Ã2`` and ``G1`` (sizes ``n·(n+n²)``).  These are
+far too large to form; this module provides operator objects exposing
+``matvec`` and shifted solves that exploit the block-triangular +
+Kronecker-sum structure, so a Krylov iteration touches only
+``O(n²)``/``O(n³)`` memory.
+"""
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from .._validation import as_square_matrix, as_sparse
+from ..errors import ValidationError
+from .kronecker import kron_sum_power, kron_sum_power_matvec
+from .schur import SchurForm
+from .sylvester import KronSumSolver
+
+__all__ = [
+    "DenseOperator",
+    "KronSumOperator",
+    "QuadraticLiftedOperator",
+    "solve_left_kron_sum",
+    "solve_right_kron_sum",
+]
+
+
+class DenseOperator:
+    """Thin operator wrapper around a dense matrix (testing / small n).
+
+    Provides the same ``matvec`` / ``solve_shifted`` interface as the
+    structured operators, with one LU factorization cached per shift.
+    """
+
+    def __init__(self, a):
+        self.a = as_square_matrix(a, "a")
+        self.shape = self.a.shape
+        self._lu_cache = {}
+
+    @property
+    def dim(self):
+        return self.shape[0]
+
+    def matvec(self, x):
+        return self.a @ np.asarray(x)
+
+    def _lu(self, shift, transpose):
+        key = (complex(shift), bool(transpose))
+        if key not in self._lu_cache:
+            mat = self.a.T if transpose else self.a
+            shifted = mat.astype(complex) + shift * np.eye(self.dim)
+            self._lu_cache[key] = sla.lu_factor(shifted)
+        return self._lu_cache[key]
+
+    def solve_shifted(self, shift, rhs):
+        """Solve ``(A + shift I) x = rhs``."""
+        return sla.lu_solve(self._lu(shift, False), np.asarray(rhs, complex))
+
+    def solve_shifted_transpose(self, shift, rhs):
+        """Solve ``(Aᵀ + shift I) x = rhs``."""
+        return sla.lu_solve(self._lu(shift, True), np.asarray(rhs, complex))
+
+    def dense(self):
+        return self.a.copy()
+
+
+class KronSumOperator:
+    """Operator for ``k© A = A ⊕ ... ⊕ A`` (k terms) of size ``n**k``."""
+
+    def __init__(self, a, k, solver=None):
+        self.a = as_square_matrix(a, "a")
+        self.k = int(k)
+        if self.k < 1 or self.k > 3:
+            raise ValidationError(f"k must be 1..3, got {k}")
+        self.n = self.a.shape[0]
+        self.shape = (self.n**self.k,) * 2
+        self.solver = solver if solver is not None else KronSumSolver(self.a)
+
+    @property
+    def dim(self):
+        return self.shape[0]
+
+    def matvec(self, x):
+        if self.k == 1:
+            return self.a @ np.asarray(x)
+        return kron_sum_power_matvec(self.a, self.k, x)
+
+    def solve_shifted(self, shift, rhs):
+        """Solve ``((k© A) + shift I) x = rhs`` via the Schur sweeps."""
+        return self.solver.solve(rhs, k=self.k, shift=shift)
+
+    def solve_shifted_transpose(self, shift, rhs):
+        return self.solver.solve_transpose(rhs, k=self.k, shift=shift)
+
+    def dense(self):
+        if self.dim > 4096:
+            raise ValidationError(
+                f"refusing to densify a {self.dim}-dimensional Kronecker sum"
+            )
+        mat = kron_sum_power(self.a, self.k)
+        return mat.toarray() if sp.issparse(mat) else np.asarray(mat)
+
+
+class QuadraticLiftedOperator:
+    """The paper's eq.-(17) state matrix ``Ã2`` as a structured operator.
+
+    ``Ã2 = [[G1, G2], [0, G1 ⊕ G1]]`` with ``G1`` dense ``n × n`` and
+    ``G2`` (sparse) ``n × n²``.  Shifted solves use block back-substitution
+    with the Schur-based Kronecker-sum solver for the ``(2, 2)`` block —
+    never forming the ``n² × n²`` matrix — at ``O(n³)`` per solve.
+    """
+
+    def __init__(self, g1, g2, kron_solver=None, schur=None):
+        self.g1 = as_square_matrix(g1, "g1")
+        self.n = self.g1.shape[0]
+        self.g2 = as_sparse(g2, "g2")
+        if self.g2.shape != (self.n, self.n**2):
+            raise ValidationError(
+                f"g2 must be (n, n^2) = ({self.n}, {self.n ** 2}), "
+                f"got {self.g2.shape}"
+            )
+        self.kron_solver = (
+            kron_solver if kron_solver is not None else KronSumSolver(self.g1)
+        )
+        # The (1,1)-block shifted solves reuse the same Schur factors.
+        self.schur = schur if schur is not None else self.kron_solver.schur
+        self.shape = (self.n + self.n**2,) * 2
+
+    @property
+    def dim(self):
+        return self.shape[0]
+
+    def split(self, x):
+        """Split a lifted vector into its (n,) and (n²,) parts."""
+        x = np.asarray(x)
+        if x.shape[-1] != self.dim and x.size != self.dim:
+            raise ValidationError(
+                f"vector has length {x.size}, expected {self.dim}"
+            )
+        x = x.reshape(self.dim)
+        return x[: self.n], x[self.n :]
+
+    def matvec(self, x):
+        x1, x2 = self.split(x)
+        top = self.g1 @ x1 + self.g2 @ x2
+        bottom = kron_sum_power_matvec(self.g1, 2, x2)
+        return np.concatenate([top, bottom])
+
+    def solve_shifted(self, shift, rhs):
+        """Solve ``(Ã2 + shift I) x = rhs`` by block back-substitution."""
+        r1, r2 = self.split(np.asarray(rhs, dtype=complex))
+        x2 = self.kron_solver.solve(r2, k=2, shift=shift)
+        x1 = self.schur.solve_shifted(shift, r1 - self.g2 @ x2)
+        return np.concatenate([x1, x2])
+
+    def solve_shifted_transpose(self, shift, rhs):
+        """Solve ``(Ã2ᵀ + shift I) x = rhs`` (forward block substitution)."""
+        r1, r2 = self.split(np.asarray(rhs, dtype=complex))
+        x1 = self.schur.solve_shifted_transpose(shift, r1)
+        x2 = self.kron_solver.solve_transpose(
+            r2 - self.g2.T @ x1, k=2, shift=shift
+        )
+        return np.concatenate([x1, x2])
+
+    def dense(self):
+        """Materialize ``Ã2`` (small systems / tests only)."""
+        if self.dim > 4096:
+            raise ValidationError(
+                f"refusing to densify a {self.dim}-dimensional lifted matrix"
+            )
+        top = np.hstack([self.g1, self.g2.toarray()])
+        ks = kron_sum_power(self.g1, 2)
+        ks = ks.toarray() if sp.issparse(ks) else np.asarray(ks)
+        bottom = np.hstack([np.zeros((self.n**2, self.n)), ks])
+        return np.vstack([top, bottom])
+
+
+def solve_left_kron_sum(schur_a, b_op, v, shift=0.0):
+    """Solve ``((A ⊕ B) + shift I) x = v`` with small ``A``, operator ``B``.
+
+    ``A`` is ``n_A × n_A`` (given by its :class:`SchurForm` *schur_a*),
+    ``B`` is any operator exposing ``solve_shifted``; ``v`` is ``vec(V)``
+    with ``V`` of shape ``(n_A, dim_B)`` row-major.
+
+    With ``A = Q T Qᴴ`` the equation ``A X + X Bᵀ + shift X = V`` becomes
+    ``T Y + Y Bᵀ + shift Y = Qᴴ V``; rows are swept bottom-up and each row
+    costs one shifted ``B``-solve.
+    """
+    if not isinstance(schur_a, SchurForm):
+        schur_a = SchurForm(schur_a)
+    na = schur_a.n
+    nb = b_op.dim
+    v_mat = np.asarray(v, dtype=complex).reshape(na, nb)
+    t = schur_a.t
+    q = schur_a.q
+    w = q.conj().T @ v_mat
+    y = np.empty((na, nb), dtype=complex)
+    for i in range(na - 1, -1, -1):
+        rhs = w[i, :]
+        if i + 1 < na:
+            rhs = rhs - t[i, i + 1 :] @ y[i + 1 :, :]
+        y[i, :] = b_op.solve_shifted(shift + t[i, i], rhs)
+    x_mat = q @ y
+    return x_mat.reshape(-1)
+
+
+def solve_right_kron_sum(b_op, schur_a, v, shift=0.0):
+    """Solve ``((B ⊕ A) + shift I) x = v`` with operator ``B``, small ``A``.
+
+    ``v`` is ``vec(V)`` with ``V`` of shape ``(dim_B, n_A)`` row-major.
+    The equation ``B X + X Aᵀ + shift X = V`` is transformed on the right
+    with ``conj(Q)`` so the coupling matrix becomes ``Tᵀ``; columns are
+    swept right-to-left with one shifted ``B``-solve each.
+    """
+    if not isinstance(schur_a, SchurForm):
+        schur_a = SchurForm(schur_a)
+    na = schur_a.n
+    nb = b_op.dim
+    v_mat = np.asarray(v, dtype=complex).reshape(nb, na)
+    t = schur_a.t
+    q = schur_a.q
+    w = v_mat @ q.conj()
+    x = np.empty((nb, na), dtype=complex)
+    for j in range(na - 1, -1, -1):
+        rhs = w[:, j]
+        if j + 1 < na:
+            rhs = rhs - x[:, j + 1 :] @ t[j, j + 1 :]
+        x[:, j] = b_op.solve_shifted(shift + t[j, j], rhs)
+    x_mat = x @ q.T
+    return x_mat.reshape(-1)

@@ -1,0 +1,351 @@
+"""Sylvester-equation and Kronecker-sum solvers.
+
+These routines implement the computational core of the paper's §2.3:
+every Krylov step of the associated-transform method needs solves with
+shifted repeated Kronecker sums ``(k© G1 − s I)`` whose dimension is
+``n^k``.  Forming those matrices is hopeless for the paper's circuit
+sizes; instead, one Schur decomposition of ``G1`` (n × n) turns each solve
+into triangular sweeps of total cost ``O(n^{k+1})`` and memory ``O(n^k)``.
+
+Identities used (row-major ``vec``; see :mod:`repro.linalg.kronecker`)::
+
+    (A ⊕ A) vec(X)      = vec(A X + X Aᵀ)
+    (A ⊕ A ⊕ A) vec(X)  = vec of summed mode products of the 3-tensor X
+
+The module also solves the paper's eq.-(18) decoupling equation
+
+    G1 Π + G2 = Π (G1 ⊕ G1)
+
+which splits the associated second-order transfer function into two
+independent LTI subsystems.
+"""
+
+import numpy as np
+import scipy.linalg as sla
+
+from .._validation import as_matrix, as_square_matrix
+from ..errors import NumericalError, ValidationError
+from .kronecker import mode_apply
+from .schur import SchurForm
+
+__all__ = [
+    "triangular_sylvester_solve",
+    "triangular_sylvester_solve_transposed",
+    "KronSumSolver",
+    "solve_pi_sylvester",
+    "pi_sylvester_residual",
+]
+
+_SINGULAR_RTOL = 1e-13
+
+
+def _check_diag_gap(values, scale):
+    gap = np.abs(values).min()
+    if gap <= _SINGULAR_RTOL * scale:
+        raise NumericalError(
+            "Sylvester/Kronecker-sum solve is numerically singular "
+            f"(smallest shifted eigenvalue magnitude = {gap:.3e}); "
+            "the spectrum pairing lambda_i + lambda_j + shift vanishes"
+        )
+
+
+def triangular_sylvester_solve(t, alpha, w):
+    """Solve ``T Y + Y Tᵀ + alpha Y = W`` with upper-triangular ``T``.
+
+    This is the Bartels–Stewart back-substitution specialized to the case
+    where both coefficient matrices come from the same (complex) Schur
+    factor.  Columns are swept from right to left; each step is one
+    shifted triangular solve.
+
+    Parameters
+    ----------
+    t : (n, n) complex ndarray, upper triangular.
+    alpha : complex
+        Scalar shift.
+    w : (n, m) complex ndarray
+        Right-hand side; ``m`` need not equal ``n`` — the general contract
+        is ``T Y + Y S + alpha Y = W`` with ``S = Tᵀ[:m, :m]`` when
+        ``m <= n``.  In this library it is always called with ``m == n``.
+
+    Returns
+    -------
+    (n, m) complex ndarray.
+    """
+    t = np.asarray(t)
+    w = np.asarray(w, dtype=complex)
+    n, m = w.shape
+    diag = np.diag(t)
+    pair_sums = diag[:, None] + diag[None, :m] + alpha
+    _check_diag_gap(pair_sums, max(np.abs(diag).max(), 1.0))
+    y = np.empty((n, m), dtype=complex)
+    eye = np.eye(n)
+    for j in range(m - 1, -1, -1):
+        rhs = w[:, j]
+        if j + 1 < m:
+            # Couplings from Y Tᵀ: column j receives Y[:, k] * T[j, k]
+            # for k > j.
+            rhs = rhs - y[:, j + 1 :] @ t[j, j + 1 : m]
+        shifted = t + (t[j, j] + alpha) * eye
+        y[:, j] = sla.solve_triangular(shifted, rhs, lower=False)
+    return y
+
+
+def triangular_sylvester_solve_transposed(t, alpha, w):
+    """Solve ``Tᵀ Y + Y T + alpha Y = W`` with upper-triangular ``T``.
+
+    The transposed counterpart of :func:`triangular_sylvester_solve`;
+    columns are swept left to right and each step is one lower-triangular
+    (transposed upper) solve.
+    """
+    t = np.asarray(t)
+    w = np.asarray(w, dtype=complex)
+    n, m = w.shape
+    diag = np.diag(t)
+    pair_sums = diag[:, None] + diag[None, :m] + alpha
+    _check_diag_gap(pair_sums, max(np.abs(diag).max(), 1.0))
+    y = np.empty((n, m), dtype=complex)
+    eye = np.eye(n)
+    for j in range(m):
+        rhs = w[:, j]
+        if j > 0:
+            # Couplings from Y T: column j receives Y[:, k] * T[k, j]
+            # for k < j.
+            rhs = rhs - y[:, :j] @ t[:j, j]
+        shifted = t + (t[j, j] + alpha) * eye
+        y[:, j] = sla.solve_triangular(shifted, rhs, lower=False, trans="T")
+    return y
+
+
+class KronSumSolver:
+    """Shifted solves with repeated Kronecker sums of a fixed matrix.
+
+    Given a square ``A`` (n × n), precomputes its complex Schur form once
+    and then solves, matrix-free,
+
+    * ``(A + shift I) x = rhs``                      (``k = 1``),
+    * ``((A ⊕ A) + shift I) x = rhs``                (``k = 2``),
+    * ``((A ⊕ A ⊕ A) + shift I) x = rhs``            (``k = 3``),
+
+    plus the transposed variants for ``k ∈ {1, 2}``.  This is exactly the
+    paper's Schur trick: ``k© A = (Q k©)(k© T)(Q k©)ᴴ`` so each solve is a
+    sequence of triangular substitutions.
+
+    Results are complex; use :meth:`solve_real` when the right-hand side
+    and operator are real and a real answer is expected.
+    """
+
+    def __init__(self, a, schur=None):
+        a = as_square_matrix(a, "a")
+        self.n = a.shape[0]
+        if schur is not None and schur.n != self.n:
+            raise ValidationError(
+                "precomputed Schur form has mismatching dimension"
+            )
+        self.schur = schur if schur is not None else SchurForm(a)
+
+    # -- internal transforms ------------------------------------------------
+
+    def _to_schur_basis(self, x_mat, conjugate_right):
+        q = self.schur.q
+        qh = q.conj().T
+        if conjugate_right:
+            # Y = Qᴴ X conj(Q)
+            return qh @ x_mat @ q.conj()
+        # Y = Qᵀ X Q
+        return q.T @ x_mat @ q
+
+    def _from_schur_basis(self, y_mat, conjugate_right):
+        q = self.schur.q
+        if conjugate_right:
+            # X = Q Y Qᵀ
+            return q @ y_mat @ q.T
+        # X = conj(Q) Y Qᴴ
+        return q.conj() @ y_mat @ q.conj().T
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(self, rhs, k=2, shift=0.0):
+        """Solve ``((k© A) + shift I) x = rhs`` for ``k`` in {1, 2, 3}.
+
+        ``rhs`` is a flat vector of length ``n**k`` in row-major tensor
+        ordering.  Returns a complex vector of the same length.
+        """
+        n = self.n
+        rhs = np.asarray(rhs, dtype=complex).reshape(-1)
+        if rhs.size != n**k:
+            raise ValidationError(
+                f"rhs has length {rhs.size}, expected n**k = {n**k}"
+            )
+        if k == 1:
+            return self.schur.solve_shifted(shift, rhs)
+        if k == 2:
+            v_mat = rhs.reshape(n, n)
+            w = self._to_schur_basis(v_mat, conjugate_right=True)
+            y = triangular_sylvester_solve(self.schur.t, shift, w)
+            return self._from_schur_basis(y, conjugate_right=True).reshape(-1)
+        if k == 3:
+            return self._solve_three_way(rhs, shift)
+        raise ValidationError(f"k must be 1, 2 or 3, got {k}")
+
+    def solve_transpose(self, rhs, k=2, shift=0.0):
+        """Solve ``((k© Aᵀ) + shift I) x = rhs`` for ``k`` in {1, 2}."""
+        n = self.n
+        rhs = np.asarray(rhs, dtype=complex).reshape(-1)
+        if rhs.size != n**k:
+            raise ValidationError(
+                f"rhs has length {rhs.size}, expected n**k = {n**k}"
+            )
+        if k == 1:
+            return self.schur.solve_shifted_transpose(shift, rhs)
+        if k == 2:
+            v_mat = rhs.reshape(n, n)
+            w = self._to_schur_basis(v_mat, conjugate_right=False)
+            y = triangular_sylvester_solve_transposed(self.schur.t, shift, w)
+            return self._from_schur_basis(
+                y, conjugate_right=False
+            ).reshape(-1)
+        raise ValidationError(f"k must be 1 or 2 for transpose, got {k}")
+
+    def solve_real(self, rhs, k=2, shift=0.0, rtol=1e-8):
+        """Like :meth:`solve` but assert and return a real result."""
+        x = self.solve(rhs, k=k, shift=shift)
+        scale = max(np.abs(x).max(), 1.0)
+        if np.abs(x.imag).max() > rtol * scale:
+            raise NumericalError(
+                "expected a real solution but imaginary residue "
+                f"{np.abs(x.imag).max():.3e} exceeds tolerance"
+            )
+        return x.real.copy()
+
+    def _solve_three_way(self, rhs, shift):
+        """Triangular sweep for ``(A ⊕ A ⊕ A + shift I) x = rhs``.
+
+        In the Schur basis the equation for the 3-tensor ``Y`` is
+
+            mode0(T) Y + mode1(T) Y + mode2(T) Y + shift Y = W.
+
+        Sweeping the last index ``r`` from high to low reduces each slab
+        to a two-way triangular Sylvester solve with an extra diagonal
+        shift ``T[r, r]``.
+        """
+        n = self.n
+        t = self.schur.t
+        q = self.schur.q
+        qh = q.conj().T
+        w = rhs.reshape(n, n, n)
+        for axis in range(3):
+            w = mode_apply(w, qh, axis)
+        diag = np.diag(t)
+        triple = (
+            diag[:, None, None] + diag[None, :, None] + diag[None, None, :]
+        ) + shift
+        _check_diag_gap(triple, max(np.abs(diag).max(), 1.0))
+        y = np.empty((n, n, n), dtype=complex)
+        for r in range(n - 1, -1, -1):
+            rhs_slab = w[:, :, r].copy()
+            if r + 1 < n:
+                # Couplings along the last mode: T[r, p] Y[:, :, p], p > r.
+                rhs_slab -= np.tensordot(
+                    y[:, :, r + 1 :], t[r, r + 1 :], axes=([2], [0])
+                )
+            y[:, :, r] = triangular_sylvester_solve(
+                t, shift + t[r, r], rhs_slab
+            )
+        for axis in range(3):
+            y = mode_apply(y, q, axis)
+        return y.reshape(-1)
+
+
+def solve_pi_sylvester(g1, g2, solver=None):
+    """Solve the paper's eq.-(18) Sylvester equation for ``Π``.
+
+    Finds the ``n × n²`` matrix ``Π`` with::
+
+        G1 Π + G2 = Π (G1 ⊕ G1)
+
+    which exists whenever no eigenvalue of ``G1`` equals the sum of two
+    eigenvalues of ``G1`` (always true for stable ``G1``).  ``Π`` realizes
+    the similarity transform that block-diagonalizes the lifted
+    second-order state matrix (paper eq. 17 → 18).
+
+    Parameters
+    ----------
+    g1 : (n, n) array_like
+    g2 : (n, n²) array_like or sparse
+    solver : KronSumSolver, optional
+        Reused Schur factorization of ``g1``; computed when omitted.
+
+    Returns
+    -------
+    (n, n²) float ndarray.
+
+    Notes
+    -----
+    Writing the unknown as the 3-tensor ``P[i, j, k]`` the equation reads
+    ``mode0(G1) P − mode1(G1ᵀ) P − mode2(G1ᵀ) P = −G2`` and is solved by
+    triangular sweeps over the trailing two indices in the Schur basis;
+    cost ``O(n⁴)``, memory ``O(n³)`` complex.
+    """
+    g1 = as_square_matrix(g1, "g1")
+    n = g1.shape[0]
+    g2 = as_matrix(g2, "g2")
+    if g2.shape != (n, n * n):
+        raise ValidationError(
+            f"g2 must have shape (n, n^2) = ({n}, {n * n}), got {g2.shape}"
+        )
+    if solver is None:
+        solver = KronSumSolver(g1)
+    t = solver.schur.t
+    q = solver.schur.q
+    qh = q.conj().T
+    diag = np.diag(t)
+    combo = diag[:, None, None] - diag[None, :, None] - diag[None, None, :]
+    _check_diag_gap(combo, max(np.abs(diag).max(), 1.0))
+
+    # Schur-basis right-hand side: C = mode0(Qᴴ) mode1(Qᵀ) mode2(Qᵀ) (−G2).
+    c = (-g2).reshape(n, n, n).astype(complex)
+    c = mode_apply(c, qh, 0)
+    c = mode_apply(c, q.T, 1)
+    c = mode_apply(c, q.T, 2)
+
+    # Solve mode0(T) Y − mode1(Tᵀ) Y − mode2(Tᵀ) Y = C by ascending sweep
+    # over (j, k): couplings come from p < j (mode 1) and p < k (mode 2).
+    y = np.empty((n, n, n), dtype=complex)
+    eye = np.eye(n)
+    for k in range(n):
+        for j in range(n):
+            rhs = c[:, j, k].copy()
+            if j > 0:
+                rhs += y[:, :j, k] @ t[:j, j]
+            if k > 0:
+                rhs += y[:, j, :k] @ t[:k, k]
+            shifted = t - (t[j, j] + t[k, k]) * eye
+            y[:, j, k] = sla.solve_triangular(shifted, rhs, lower=False)
+
+    # Back-transform: Π = mode0(Q) mode1(conj(Q)) mode2(conj(Q)) Y.
+    y = mode_apply(y, q, 0)
+    y = mode_apply(y, q.conj(), 1)
+    y = mode_apply(y, q.conj(), 2)
+    pi = y.reshape(n, n * n)
+    scale = max(np.abs(pi).max(), 1.0)
+    if np.abs(pi.imag).max() > 1e-8 * scale:
+        raise NumericalError(
+            "Pi came out complex beyond rounding; inputs may be complex"
+        )
+    return np.ascontiguousarray(pi.real)
+
+
+def pi_sylvester_residual(g1, g2, pi):
+    """Residual ``‖G1 Π + G2 − Π (G1 ⊕ G1)‖_F`` (testing helper).
+
+    Evaluated matrix-free via mode products so it stays ``O(n³)`` in
+    memory.
+    """
+    g1 = as_square_matrix(g1, "g1")
+    n = g1.shape[0]
+    g2 = as_matrix(g2, "g2")
+    p3 = np.asarray(pi).reshape(n, n, n)
+    term = mode_apply(p3, g1, 0)
+    term = term - mode_apply(p3, g1.T, 1) - mode_apply(p3, g1.T, 2)
+    resid = term.reshape(n, n * n) + g2
+    return float(np.linalg.norm(resid))

@@ -1,0 +1,21 @@
+"""Model order reduction: the proposed associated-transform NMOR, the
+NORM baseline, linear Krylov projection, balanced truncation, and
+HSV-based automatic order selection."""
+
+from .assoc import AssociatedTransformMOR
+from .balanced import balanced_truncation
+from .base import ReducedOrderModel
+from .krylov import krylov_basis, reduce_lti
+from .norm import NORMReducer
+from .selection import realization_hankel_values, suggest_orders
+
+__all__ = [
+    "AssociatedTransformMOR",
+    "balanced_truncation",
+    "ReducedOrderModel",
+    "krylov_basis",
+    "reduce_lti",
+    "NORMReducer",
+    "realization_hankel_values",
+    "suggest_orders",
+]

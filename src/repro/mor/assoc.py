@@ -1,0 +1,201 @@
+"""The proposed NMOR method: moment matching on associated transforms.
+
+This is the paper's algorithm.  For a QLDAE (or cubic ODE) the reducer
+
+1. builds the associated single-``s`` realizations of ``H1``, ``A2(H2)``
+   and ``A3(H3)`` (exact linear systems; §2.2),
+2. generates ``q1``/``q2``/``q3`` shift-invert Krylov vectors for each,
+   projected onto the original ``n``-dimensional state space through the
+   ``c̃ = [I_n, 0]`` output maps (§2.3),
+3. merges the blocks into one orthonormal ``V`` (rank-deflated), and
+4. Galerkin-projects the polynomial system onto ``span(V)``.
+
+The resulting ROM order is ``O(q1 + q2 + q3)`` — the paper's headline —
+versus the ``O(q1 + q2³ + q3⁴)`` of NORM (see :mod:`repro.mor.norm`).
+
+Two subspace strategies are provided:
+
+* ``"coupled"`` — chains on the block-triangular lifted operators
+  directly (paper eq. 17),
+* ``"decoupled"`` — the eq.-(18) Sylvester similarity transform, which
+  splits ``A2(H2)`` into independent subsystems whose chains could be
+  generated in parallel.
+
+Multipoint (rational Krylov) expansion is supported by passing several
+``expansion_points`` (paper §4, third bullet).
+"""
+
+import time
+
+import numpy as np
+
+from .._validation import check_nonnegative_int
+from ..errors import ValidationError
+from ..linalg.arnoldi import merge_bases
+from ..volterra.associated import (
+    AssociatedWorkspace,
+    associated_h1,
+    associated_h2,
+    associated_h2_decoupled,
+    associated_h3,
+)
+from .base import ReducedOrderModel
+
+__all__ = ["AssociatedTransformMOR"]
+
+
+def _rom_stability_details(reduced):
+    """Spectral-abscissa diagnostics of a reduced system's linear part.
+
+    One-sided Galerkin projection does not guarantee stability in
+    general; recording the reduced spectrum lets callers detect (and
+    re-tune orders / expansion points on) an unstable ROM.  Structural
+    zero modes from exact lifting (uncontrollable, projecting to ~1e-12
+    eigenvalues) are tolerated.
+    """
+    if reduced.mass is not None:
+        pencil = np.linalg.solve(reduced.mass, reduced.g1)
+    else:
+        pencil = reduced.g1
+    eig_max = float(np.linalg.eigvals(pencil).real.max())
+    scale = max(float(np.abs(pencil).max()), 1.0)
+    return {
+        "rom_linear_spectral_abscissa": eig_max,
+        "rom_linear_stable": bool(eig_max < 1e-8 * scale),
+    }
+
+
+class AssociatedTransformMOR:
+    """Projection-based NMOR via associated transforms (the paper's method).
+
+    Parameters
+    ----------
+    orders : tuple (q1, q2, q3)
+        Moments to match for ``H1``, ``A2(H2)`` and ``A3(H3)``.  A zero
+        skips that transfer function entirely.
+    expansion_points : sequence of complex
+        Frequency expansion points ``s0`` (default: DC).  Several points
+        give a multipoint/rational-Krylov basis.
+    strategy : {"coupled", "decoupled"}
+        Subspace construction for ``A2(H2)`` — see module docstring.
+    deduplicate : bool
+        Chain only one input column per symmetric multiset (no loss of
+        span for symmetrized kernels).
+    tol : float
+        Relative SVD cutoff when merging/deflating basis blocks.
+    """
+
+    def __init__(
+        self,
+        orders=(6, 3, 2),
+        expansion_points=(0.0,),
+        strategy="coupled",
+        deduplicate=True,
+        tol=1e-10,
+    ):
+        if len(orders) != 3:
+            raise ValidationError("orders must be a (q1, q2, q3) triple")
+        self.orders = tuple(
+            check_nonnegative_int(q, f"orders[{idx}]")
+            for idx, q in enumerate(orders)
+        )
+        if sum(self.orders) == 0:
+            raise ValidationError("at least one moment order must be > 0")
+        self.expansion_points = tuple(expansion_points)
+        if not self.expansion_points:
+            raise ValidationError("need at least one expansion point")
+        if strategy not in ("coupled", "decoupled"):
+            raise ValidationError(
+                f"strategy must be 'coupled' or 'decoupled', got {strategy!r}"
+            )
+        self.strategy = strategy
+        self.deduplicate = bool(deduplicate)
+        self.tol = float(tol)
+
+    def build_basis(self, system, workspace=None):
+        """Construct the projection basis ``V`` (without projecting).
+
+        Returns ``(V, details)`` where *details* records per-block vector
+        counts and which transfer functions were present.
+        """
+        system = system.to_explicit()
+        workspace = workspace or AssociatedWorkspace(system)
+        q1, q2, q3 = self.orders
+        blocks = []
+        details = {"blocks": []}
+
+        r1 = associated_h1(system, workspace) if q1 > 0 else None
+        r2 = None
+        dec2 = None
+        if q2 > 0:
+            if self.strategy == "decoupled":
+                dec2 = associated_h2_decoupled(system, workspace)
+            else:
+                r2 = associated_h2(system, workspace)
+        r3 = associated_h3(system, workspace) if q3 > 0 else None
+
+        for s0 in self.expansion_points:
+            if r1 is not None:
+                block = r1.moment_vectors(
+                    q1, s0=s0, deduplicate=self.deduplicate
+                )
+                blocks.append(block)
+                details["blocks"].append(("H1", s0, block.shape[1]))
+            if dec2 is not None:
+                for idx, block in enumerate(
+                    dec2.basis_blocks(q2, s0=s0, deduplicate=self.deduplicate)
+                ):
+                    blocks.append(block)
+                    details["blocks"].append(
+                        (f"H2-sub{idx}", s0, block.shape[1])
+                    )
+            elif r2 is not None:
+                block = r2.moment_vectors(
+                    q2, s0=s0, deduplicate=self.deduplicate
+                )
+                blocks.append(block)
+                details["blocks"].append(("H2", s0, block.shape[1]))
+            if r3 is not None:
+                block = r3.moment_vectors(
+                    q3, s0=s0, deduplicate=self.deduplicate
+                )
+                blocks.append(block)
+                details["blocks"].append(("H3", s0, block.shape[1]))
+
+        if not blocks:
+            raise ValidationError(
+                "no basis blocks were generated; the requested transfer "
+                "functions are all identically zero for this system"
+            )
+        basis = merge_bases(blocks, tol=self.tol)
+        details["raw_vectors"] = int(sum(b.shape[1] for b in blocks))
+        details["deflated_to"] = int(basis.shape[1])
+        return basis, details
+
+    def reduce(self, system):
+        """Reduce *system* and return a :class:`ReducedOrderModel`.
+
+        The Krylov basis is generated from the explicit form (the
+        associated realizations need ``mass = I``), but the projection is
+        applied to the *original* system: for a mass-form passive MNA
+        model the congruence ``(VᵀMV, VᵀG1V, ...)`` preserves the
+        definiteness structure — and hence ROM stability — that folding
+        the mass matrix would destroy.  Both forms have identical
+        transfer functions, so the matched moments are the same.
+        """
+        explicit = system.to_explicit()
+        start = time.perf_counter()
+        basis, details = self.build_basis(explicit)
+        build_time = time.perf_counter() - start
+        target = system if system.mass is not None else explicit
+        reduced = target.project(basis)
+        details.update(_rom_stability_details(reduced))
+        return ReducedOrderModel(
+            reduced,
+            basis,
+            method=f"associated-transform ({self.strategy})",
+            orders=self.orders,
+            expansion_points=self.expansion_points,
+            build_time=build_time,
+            details=details,
+        )

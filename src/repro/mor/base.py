@@ -1,0 +1,84 @@
+"""Reduced-order model container and shared projection helpers."""
+
+import numpy as np
+
+from .._validation import as_matrix
+from ..errors import ValidationError
+
+__all__ = ["ReducedOrderModel"]
+
+
+class ReducedOrderModel:
+    """Result of a projection-based model order reduction.
+
+    Attributes
+    ----------
+    system : PolynomialODE (or subclass)
+        The reduced system ``(VᵀG1V, VᵀG2(V⊗V), ..., VᵀB, CV)``.
+    basis : (n, q) ndarray
+        Orthonormal projection matrix ``V``.
+    method : str
+        Human-readable reducer name (``"associated-transform"``,
+        ``"norm"``, ...).
+    orders : tuple
+        Moment counts ``(q1, q2, q3)`` requested per transfer function.
+    expansion_points : tuple of complex
+        Frequency expansion points used for the Krylov chains.
+    build_time : float
+        Wall-clock seconds spent constructing the projection basis (the
+        paper's "Arnoldi" column in Table 1).
+    details : dict
+        Reducer-specific diagnostics (block sizes, deflation counts...).
+    """
+
+    def __init__(
+        self,
+        system,
+        basis,
+        method,
+        orders=None,
+        expansion_points=(0.0,),
+        build_time=None,
+        details=None,
+    ):
+        self.system = system
+        self.basis = as_matrix(np.asarray(basis), "basis")
+        self.method = str(method)
+        self.orders = None if orders is None else tuple(orders)
+        self.expansion_points = tuple(expansion_points)
+        self.build_time = build_time
+        self.details = dict(details or {})
+
+    @property
+    def order(self):
+        """Dimension of the reduced state space."""
+        return self.basis.shape[1]
+
+    @property
+    def full_order(self):
+        """Dimension of the original state space."""
+        return self.basis.shape[0]
+
+    def lift(self, reduced_states):
+        """Map reduced states back to the full space (``x ≈ V x_r``).
+
+        Accepts a single state ``(q,)`` or a trajectory ``(steps, q)``.
+        """
+        arr = np.asarray(reduced_states)
+        if arr.ndim == 1:
+            if arr.shape[0] != self.order:
+                raise ValidationError(
+                    f"state has length {arr.shape[0]}, expected {self.order}"
+                )
+            return self.basis @ arr
+        if arr.shape[1] != self.order:
+            raise ValidationError(
+                f"trajectory has {arr.shape[1]} columns, expected {self.order}"
+            )
+        return arr @ self.basis.T
+
+    def __repr__(self):
+        return (
+            f"ReducedOrderModel(method={self.method!r}, "
+            f"order={self.order}, full_order={self.full_order})"
+        )

@@ -1,0 +1,39 @@
+"""Transient simulation: input sources, Newton, implicit integrators,
+and the fixed-step driver used for the paper's runtime comparisons."""
+
+from .integrators import (
+    THETA_BACKWARD_EULER,
+    THETA_TRAPEZOIDAL,
+    implicit_step,
+)
+from .newton import newton_solve
+from .sources import (
+    cosine_source,
+    exponential_pulse_source,
+    multitone_source,
+    pulse_source,
+    sine_source,
+    stack_sources,
+    step_source,
+    surge_source,
+    zero_source,
+)
+from .transient import TransientResult, simulate
+
+__all__ = [
+    "THETA_BACKWARD_EULER",
+    "THETA_TRAPEZOIDAL",
+    "implicit_step",
+    "newton_solve",
+    "cosine_source",
+    "exponential_pulse_source",
+    "multitone_source",
+    "pulse_source",
+    "sine_source",
+    "stack_sources",
+    "step_source",
+    "surge_source",
+    "zero_source",
+    "TransientResult",
+    "simulate",
+]

@@ -1,0 +1,83 @@
+"""Damped Newton solver for the implicit integration steps."""
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..errors import ConvergenceError
+
+__all__ = ["newton_solve"]
+
+
+def newton_solve(
+    residual,
+    jacobian,
+    x0,
+    tol=1e-10,
+    max_iterations=25,
+    damping_steps=4,
+):
+    """Solve ``residual(x) = 0`` by Newton's method with backtracking.
+
+    Parameters
+    ----------
+    residual : callable ``x -> (n,)``
+    jacobian : callable ``x -> (n, n)``
+    x0 : (n,) initial guess
+    tol : float
+        Convergence threshold on ``‖residual‖_∞`` relative to the scale
+        of the first residual (plus an absolute floor).
+    max_iterations : int
+    damping_steps : int
+        Number of step-halving attempts per iteration when the full step
+        does not decrease the residual norm.
+
+    Returns
+    -------
+    (x, iterations)
+
+    Raises
+    ------
+    ConvergenceError
+        When the iteration stalls or exceeds *max_iterations*.
+    """
+    x = np.array(x0, dtype=float)
+    res = residual(x)
+    norm = np.abs(res).max()
+    floor = tol * max(norm, 1.0) + 1e-14
+    if norm <= floor:
+        return x, 0
+    for iteration in range(1, max_iterations + 1):
+        jac = jacobian(x)
+        try:
+            step = sla.lu_solve(sla.lu_factor(jac), res)
+        except (ValueError, sla.LinAlgError) as exc:
+            raise ConvergenceError(
+                f"Newton Jacobian is singular at iteration {iteration}",
+                iterations=iteration,
+                residual=float(norm),
+            ) from exc
+        scale = 1.0
+        for _ in range(damping_steps + 1):
+            trial = x - scale * step
+            trial_res = residual(trial)
+            trial_norm = np.abs(trial_res).max()
+            if trial_norm < norm or not np.isfinite(norm):
+                break
+            scale *= 0.5
+        else:
+            raise ConvergenceError(
+                "Newton backtracking failed to reduce the residual",
+                iterations=iteration,
+                residual=float(norm),
+            )
+        x = trial
+        res = trial_res
+        norm = trial_norm
+        if norm <= floor:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton did not converge in {max_iterations} iterations "
+        f"(residual {norm:.3e})",
+        iterations=max_iterations,
+        residual=float(norm),
+    )

@@ -1,0 +1,142 @@
+"""Input-signal generators for transient simulation.
+
+Each factory returns a callable ``u(t) -> float``; multi-input systems
+combine several with :func:`stack_sources`.  The shapes cover the paper's
+experiments: steps and sinusoids for the transmission-line circuits
+(Figs. 2-3), two-tone/interferer pairs for the RF receiver (Fig. 4) and
+the double-exponential surge for the varistor circuit (Fig. 5).
+"""
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "step_source",
+    "pulse_source",
+    "sine_source",
+    "cosine_source",
+    "multitone_source",
+    "exponential_pulse_source",
+    "surge_source",
+    "stack_sources",
+    "zero_source",
+]
+
+
+def zero_source():
+    """The identically-zero input."""
+
+    def u(t):
+        return 0.0
+
+    return u
+
+
+def step_source(amplitude=1.0, t_on=0.0):
+    """Unit-style step: ``amplitude`` for ``t >= t_on``, else 0."""
+
+    def u(t):
+        return amplitude if t >= t_on else 0.0
+
+    return u
+
+
+def pulse_source(amplitude=1.0, t_on=0.0, width=1.0):
+    """Rectangular pulse of the given width."""
+    if width <= 0:
+        raise ValidationError("pulse width must be positive")
+
+    def u(t):
+        return amplitude if t_on <= t < t_on + width else 0.0
+
+    return u
+
+
+def sine_source(amplitude=1.0, frequency=1.0, phase=0.0):
+    """``amplitude * sin(2π f t + phase)``."""
+    omega = 2.0 * np.pi * frequency
+
+    def u(t):
+        return amplitude * np.sin(omega * t + phase)
+
+    return u
+
+
+def cosine_source(amplitude=1.0, frequency=1.0, phase=0.0):
+    """``amplitude * cos(2π f t + phase)``."""
+    omega = 2.0 * np.pi * frequency
+
+    def u(t):
+        return amplitude * np.cos(omega * t + phase)
+
+    return u
+
+
+def multitone_source(amplitudes, frequencies, phases=None):
+    """Sum of sinusoids — the classic weakly-nonlinear test stimulus."""
+    amplitudes = np.atleast_1d(np.asarray(amplitudes, dtype=float))
+    frequencies = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    if phases is None:
+        phases = np.zeros_like(amplitudes)
+    phases = np.atleast_1d(np.asarray(phases, dtype=float))
+    if not (amplitudes.shape == frequencies.shape == phases.shape):
+        raise ValidationError(
+            "amplitudes, frequencies and phases must have equal lengths"
+        )
+    omegas = 2.0 * np.pi * frequencies
+
+    def u(t):
+        return float(np.sum(amplitudes * np.sin(omegas * t + phases)))
+
+    return u
+
+
+def exponential_pulse_source(amplitude=1.0, tau_rise=1.0, tau_fall=5.0):
+    """Double-exponential pulse ``A (e^{-t/τ_fall} − e^{-t/τ_rise})``.
+
+    Normalized so the peak value equals *amplitude*.
+    """
+    if tau_rise <= 0 or tau_fall <= 0:
+        raise ValidationError("time constants must be positive")
+    if tau_rise >= tau_fall:
+        raise ValidationError("tau_rise must be smaller than tau_fall")
+    t_peak = (
+        np.log(tau_fall / tau_rise)
+        * tau_rise
+        * tau_fall
+        / (tau_fall - tau_rise)
+    )
+    peak = np.exp(-t_peak / tau_fall) - np.exp(-t_peak / tau_rise)
+
+    def u(t):
+        if t < 0:
+            return 0.0
+        return (
+            amplitude
+            * (np.exp(-t / tau_fall) - np.exp(-t / tau_rise))
+            / peak
+        )
+
+    return u
+
+
+def surge_source(amplitude=9.8e3, tau_rise=0.1, tau_fall=2.0):
+    """Lightning-style surge (paper Fig. 5: US = 9.8 kV pulse).
+
+    A convenience alias of :func:`exponential_pulse_source` with
+    surge-test-like rise/fall ratios.
+    """
+    return exponential_pulse_source(amplitude, tau_rise, tau_fall)
+
+
+def stack_sources(sources):
+    """Combine scalar sources into one vector-valued input ``u(t)``."""
+    sources = list(sources)
+    if not sources:
+        raise ValidationError("need at least one source")
+
+    def u(t):
+        return np.array([float(src(t)) for src in sources])
+
+    return u

@@ -1,0 +1,21 @@
+"""System classes: LTI state spaces, QLDAE / cubic polynomial systems,
+and descriptor-pencil regularization."""
+
+from .bilinear import BilinearSystem, carleman_bilinearize
+from .descriptor import DescriptorPencil, regularize_polynomial
+from .exponential import ExponentialODE, ExpTerm
+from .lti import StateSpace
+from .polynomial import CubicODE, PolynomialODE, QLDAE
+
+__all__ = [
+    "BilinearSystem",
+    "carleman_bilinearize",
+    "DescriptorPencil",
+    "regularize_polynomial",
+    "ExponentialODE",
+    "ExpTerm",
+    "StateSpace",
+    "CubicODE",
+    "PolynomialODE",
+    "QLDAE",
+]

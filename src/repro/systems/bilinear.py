@@ -1,0 +1,243 @@
+"""Bilinear systems and Carleman bilinearization.
+
+Before QLDAE-based approaches, the standard route to projection-based
+NMOR (Phillips [10 in the paper]) was to approximate a polynomial system
+by a *bilinear* one via Carleman linearization: augment the state with
+its Kronecker powers and truncate,
+
+    z = [x; x ⊗ x],      z' = A z + Σᵢ Nᵢ z uᵢ + B u.
+
+For the QLDAE ``x' = G1 x + G2 (x⊗x) + D1 x u + b u`` the degree-2
+Carleman matrices are
+
+    A = [[G1, G2], [0, G1 ⊕ G1]]          <- note: exactly the paper's Ã2!
+    N = [[D1, 0], [b ⊗ I + I ⊗ b, 0]]
+    B = [b; 0]
+
+The shared state matrix is no coincidence: the associated transform's
+eq.-(17) realization and the Carleman system have the same linear
+skeleton — but Carleman *simulates* in the ``n + n²`` space (the memory
+explosion the paper's method avoids), while the associated transform
+only runs Krylov chains through it.  This module provides the bilinear
+class (with the simulation protocol) and the Carleman construction, both
+as a baseline and as executable documentation of that connection.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import as_matrix, as_square_matrix
+from ..errors import SystemStructureError, ValidationError
+from ..linalg.kronecker import kron_sum_power
+
+__all__ = ["BilinearSystem", "carleman_bilinearize"]
+
+
+class BilinearSystem:
+    """Bilinear control system ``x' = A x + Σᵢ Nᵢ x uᵢ + B u``.
+
+    Implements the same evaluation protocol as
+    :class:`repro.systems.PolynomialODE` (``rhs``/``jacobian``/``mass``/
+    ``observe``) so :func:`repro.simulation.simulate` integrates it
+    directly.
+    """
+
+    def __init__(self, a, n_mats, b, output=None, name=""):
+        self.a = as_square_matrix(a, "a")
+        n = self.a.shape[0]
+        b = np.asarray(b)
+        if b.ndim == 1:
+            b = b[:, None]
+        self.b = as_matrix(b, "b")
+        if self.b.shape[0] != n:
+            raise SystemStructureError(
+                f"b has {self.b.shape[0]} rows, expected {n}"
+            )
+        m = self.b.shape[1]
+        if sp.issparse(n_mats) or (
+            isinstance(n_mats, np.ndarray) and n_mats.ndim == 2
+        ):
+            n_mats = [n_mats]
+        mats = []
+        for idx, mat in enumerate(n_mats):
+            dense = mat.toarray() if sp.issparse(mat) else np.asarray(mat)
+            mats.append(as_square_matrix(dense, f"n_mats[{idx}]"))
+            if mats[-1].shape != (n, n):
+                raise SystemStructureError(
+                    f"n_mats[{idx}] has shape {mats[-1].shape}, "
+                    f"expected ({n}, {n})"
+                )
+        if len(mats) != m:
+            raise SystemStructureError(
+                f"got {len(mats)} bilinear matrices for {m} inputs"
+            )
+        self.n_mats = tuple(mats)
+        if output is None:
+            output = np.eye(n)
+        output = np.asarray(output)
+        if output.ndim == 1:
+            output = output[None, :]
+        self.output = as_matrix(output, "output")
+        if self.output.shape[1] != n:
+            raise SystemStructureError(
+                f"output has {self.output.shape[1]} columns, expected {n}"
+            )
+        self.name = str(name)
+        self.mass = None  # simulation protocol
+
+    @property
+    def n_states(self):
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self):
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self):
+        return self.output.shape[0]
+
+    def __repr__(self):
+        return (
+            f"BilinearSystem(n={self.n_states}, inputs={self.n_inputs})"
+        )
+
+    # -- evaluation protocol ------------------------------------------------------
+
+    def rhs(self, x, u):
+        x = np.asarray(x, dtype=float).reshape(self.n_states)
+        u = np.atleast_1d(np.asarray(u, dtype=float))
+        if u.shape != (self.n_inputs,):
+            raise ValidationError(
+                f"input must have shape ({self.n_inputs},), got {u.shape}"
+            )
+        f = self.a @ x + self.b @ u
+        for n_i, u_i in zip(self.n_mats, u):
+            if u_i != 0.0:
+                f = f + (n_i @ x) * u_i
+        return f
+
+    def jacobian(self, x, u):
+        u = np.atleast_1d(np.asarray(u, dtype=float))
+        jac = self.a.copy()
+        for n_i, u_i in zip(self.n_mats, u):
+            if u_i != 0.0:
+                jac += n_i * u_i
+        return jac
+
+    def observe(self, states):
+        states = np.asarray(states)
+        if states.ndim == 1:
+            return self.output @ states
+        return states @ self.output.T
+
+    # -- frequency domain ------------------------------------------------------------
+
+    def transfer_h1(self, s):
+        """Linear transfer function ``C (sI − A)^{-1} B``."""
+        n = self.n_states
+        return self.output @ np.linalg.solve(
+            s * np.eye(n) - self.a.astype(complex), self.b.astype(complex)
+        )
+
+    def transfer_h2(self, s1, s2):
+        """Second-order bilinear transfer function (regular kernel).
+
+        For a SISO bilinear system the growing-exponential method gives
+        ``H2(s1, s2) = ½ C ((s1+s2)I − A)^{-1} N (s1 I − A)^{-1} B``
+        symmetrized over ``s1 ↔ s2``.
+        """
+        if self.n_inputs != 1:
+            raise SystemStructureError(
+                "transfer_h2 currently supports single-input systems"
+            )
+        n = self.n_states
+        eye = np.eye(n)
+        n_mat = self.n_mats[0]
+
+        def phi(sa, sb):
+            inner = np.linalg.solve(
+                sa * eye - self.a.astype(complex),
+                self.b.astype(complex),
+            )
+            return np.linalg.solve(
+                (sa + sb) * eye - self.a.astype(complex), n_mat @ inner
+            )
+
+        return 0.5 * self.output @ (phi(s1, s2) + phi(s2, s1))
+
+
+def carleman_bilinearize(system, degree=2):
+    """Degree-2 Carleman bilinearization of a quadratic system.
+
+    Parameters
+    ----------
+    system : QLDAE / PolynomialODE (explicit; no cubic term)
+        The quadratic system to bilinearize.
+    degree : int
+        Only ``degree=2`` is implemented (state ``z = [x; x⊗x]``).
+
+    Returns
+    -------
+    BilinearSystem of dimension ``n + n²`` whose response agrees with the
+    original up to third-order terms in the input amplitude.
+
+    Notes
+    -----
+    The truncation drops the ``G2 ⊗ I``-type couplings into ``x⊗x⊗x``
+    and the second-order input couplings of the ``x⊗x`` block, which is
+    the standard degree-2 Carleman approximation.
+    """
+    if degree != 2:
+        raise ValidationError("only degree-2 Carleman is implemented")
+    if system.mass is not None:
+        raise SystemStructureError(
+            "carleman_bilinearize requires an explicit system"
+        )
+    if getattr(system, "g3", None) is not None:
+        raise SystemStructureError(
+            "cubic terms are not supported by degree-2 Carleman"
+        )
+    n = system.n_states
+    m = system.n_inputs
+    g1 = system.g1
+    g2 = (
+        system.g2.toarray()
+        if system.g2 is not None
+        else np.zeros((n, n * n))
+    )
+    ks = kron_sum_power(g1, 2)
+    ks = ks.toarray() if sp.issparse(ks) else np.asarray(ks)
+
+    dim = n + n * n
+    a = np.zeros((dim, dim))
+    a[:n, :n] = g1
+    a[:n, n:] = g2
+    a[n:, n:] = ks
+
+    b_big = np.zeros((dim, m))
+    b_big[:n] = system.b
+
+    eye = np.eye(n)
+    n_mats = []
+    for i in range(m):
+        n_i = np.zeros((dim, dim))
+        if system.d1 is not None:
+            n_i[:n, :n] = system.d1[i]
+        b_col = system.b[:, i]
+        # d(x⊗x)/dt picks up (b⊗I + I⊗b) x u from the input terms.
+        n_i[n:, :n] = np.kron(b_col[:, None], eye) + np.kron(
+            eye, b_col[:, None]
+        )
+        n_mats.append(n_i)
+
+    output = np.hstack(
+        [system.output, np.zeros((system.n_outputs, n * n))]
+    )
+    return BilinearSystem(
+        a,
+        n_mats,
+        b_big,
+        output=output,
+        name=f"{system.name}-carleman" if system.name else "carleman",
+    )

@@ -1,0 +1,289 @@
+"""Descriptor-system regularization (singular mass matrices).
+
+The paper trims eq. (1) to eq. (2) by assuming an invertible ``C`` and
+notes (§4, second bullet) that a singular ``C`` "can proceed with the
+regular part extraction ... by Weierstrass canonical transform or the
+descriptor-system projector technique".  This module implements that
+extraction for the linear pencil ``(C, G1)`` via a reordered QZ
+decomposition plus a coupled generalized Sylvester solve, and exposes a
+helper that regularizes a polynomial system whose nonlinearities live in
+the differential (regular) variables.
+"""
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from .._validation import as_matrix, as_square_matrix
+from ..errors import NumericalError, SystemStructureError
+from .lti import StateSpace
+from .polynomial import PolynomialODE
+
+__all__ = ["DescriptorPencil", "regularize_polynomial"]
+
+#: |beta| below this multiple of the pencil scale marks an infinite
+#: generalized eigenvalue.
+_INFINITE_TOL = 1e-10
+
+
+def _solve_coupled_sylvester(a11, a22, e11, e22, a12, e12):
+    """Solve the coupled generalized Sylvester system.
+
+    Finds ``R`` (n1 × n2) and ``L`` (n1 × n2) with::
+
+        A11 R - L A22 = -A12
+        E11 R - L E22 = -E12
+
+    by flattening to one dense linear system (the test-scale path of
+    LAPACK's *tgsyl*).  Sizes here are the regular/impulsive block sizes
+    of a descriptor pencil, small in practice.
+    """
+    n1, n2 = a12.shape
+    eye1 = np.eye(n1)
+    eye2 = np.eye(n2)
+    # Unknown vector [vec(R); vec(L)] with row-major vec:
+    # vec(A11 R) = (A11 ⊗ I2) vec(R);  vec(L A22) = (I1 ⊗ A22ᵀ) vec(L).
+    top = np.hstack([np.kron(a11, eye2), -np.kron(eye1, a22.T)])
+    bottom = np.hstack([np.kron(e11, eye2), -np.kron(eye1, e22.T)])
+    lhs = np.vstack([top, bottom])
+    rhs = -np.concatenate([a12.reshape(-1), e12.reshape(-1)])
+    try:
+        sol = np.linalg.solve(lhs, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalError(
+            "coupled Sylvester system for the Weierstrass decoupling is "
+            "singular; the pencil spectra are not disjoint"
+        ) from exc
+    r = sol[: n1 * n2].reshape(n1, n2)
+    l = sol[n1 * n2 :].reshape(n1, n2)
+    return r, l
+
+
+class DescriptorPencil:
+    """Regular/impulsive splitting of the matrix pencil ``λE − A``.
+
+    Parameters
+    ----------
+    e : (n, n) array_like
+        Mass matrix (possibly singular).
+    a : (n, n) array_like
+        State matrix.
+
+    Attributes
+    ----------
+    n_finite : int
+        Number of finite generalized eigenvalues (the ODE subsystem size).
+    v, w : (n, n) ndarrays
+        Right/left transformations such that ``Wᵀ E V`` and ``Wᵀ A V`` are
+        block diagonal with the finite part leading.
+    """
+
+    def __init__(self, e, a):
+        self.e = as_square_matrix(e, "e")
+        self.a = as_square_matrix(a, "a")
+        n = self.e.shape[0]
+        if self.a.shape != (n, n):
+            raise SystemStructureError(
+                f"pencil blocks disagree: E is {self.e.shape}, "
+                f"A is {self.a.shape}"
+            )
+        self.n = n
+        scale = max(np.abs(self.e).max(), np.abs(self.a).max(), 1.0)
+
+        def finite_first(alpha, beta):
+            return np.abs(beta) > _INFINITE_TOL * scale
+
+        s, t, alpha, beta, q, z = sla.ordqz(
+            self.a, self.e, sort=finite_first, output="real"
+        )
+        self._check_regularity(s, t, scale)
+        nf = int(np.sum(np.abs(beta) > _INFINITE_TOL * scale))
+        self.n_finite = nf
+        # Pencil is now  Qᵀ (λE − A) Z = λT − S, block upper triangular
+        # with the finite part in the leading nf × nf blocks.
+        s11, s12, s22 = s[:nf, :nf], s[:nf, nf:], s[nf:, nf:]
+        t11, t12, t22 = t[:nf, :nf], t[:nf, nf:], t[nf:, nf:]
+        if nf in (0, n):
+            r = np.zeros((nf, n - nf))
+            l = np.zeros((nf, n - nf))
+        else:
+            r, l = _solve_coupled_sylvester(s11, s22, t11, t22, s12, t12)
+        # Right transform V = Z [[I, R],[0, I]]; left transform (applied
+        # as Wᵀ from the left) W = Q [[I, -L],[0, I]]ᵀ-conjugate, i.e.
+        # Wᵀ = [[I, L],[0, I]]ᵀ?  Written out:
+        #   [[I, -L],[0, I]] (λT − S) [[I, R],[0, I]] is block diagonal.
+        upper_l = np.block(
+            [
+                [np.eye(nf), -l],
+                [np.zeros((n - nf, nf)), np.eye(n - nf)],
+            ]
+        )
+        upper_r = np.block(
+            [
+                [np.eye(nf), r],
+                [np.zeros((n - nf, nf)), np.eye(n - nf)],
+            ]
+        )
+        self.v = z @ upper_r
+        self.w = (upper_l @ q.T).T  # so that wᵀ = upper_l @ qᵀ
+        self.e_finite = t11
+        self.a_finite = s11
+        self.e_infinite = t22
+        self.a_infinite = s22
+
+    @staticmethod
+    def _check_regularity(s, t, scale):
+        diag_pairs = np.abs(np.diag(s)) + np.abs(np.diag(t))
+        if np.any(diag_pairs <= _INFINITE_TOL * scale):
+            raise SystemStructureError(
+                "the pencil (E, A) is singular: det(λE − A) vanishes "
+                "identically"
+            )
+
+    @property
+    def n_infinite(self):
+        return self.n - self.n_finite
+
+    def index_one(self, tol=1e-10):
+        """True when the impulsive block is index ≤ 1 (``T22 ≈ 0``)."""
+        if self.n_infinite == 0:
+            return True
+        return bool(
+            np.abs(self.e_infinite).max()
+            <= tol * max(np.abs(self.e).max(), 1.0)
+        )
+
+    def transform_residuals(self):
+        """Frobenius norms of the off-diagonal blocks after transforming.
+
+        Diagnostic: both should be at rounding level.
+        """
+        et = self.w.T @ self.e @ self.v
+        at = self.w.T @ self.a @ self.v
+        nf = self.n_finite
+        return (
+            float(np.linalg.norm(et[:nf, nf:])),
+            float(np.linalg.norm(at[:nf, nf:])),
+        )
+
+    def regular_state_space(self, b, c):
+        """Extract the finite (ODE) subsystem as an explicit StateSpace.
+
+        For an index-1 pencil the impulsive variables are algebraic,
+        ``z2 = −A22^{-1} B̃2 u``, and contribute a feedthrough term
+        ``D = −C V2 A22^{-1} B̃2``.
+        """
+        b = np.asarray(b)
+        if b.ndim == 1:
+            b = b[:, None]
+        b = as_matrix(b, "b")
+        c = np.asarray(c)
+        if c.ndim == 1:
+            c = c[None, :]
+        c = as_matrix(c, "c")
+        nf = self.n_finite
+        bt = self.w.T @ b
+        ct = c @ self.v
+        a_ode = np.linalg.solve(self.e_finite, self.a_finite)
+        b_ode = np.linalg.solve(self.e_finite, bt[:nf])
+        d = None
+        if self.n_infinite > 0:
+            if not self.index_one():
+                raise SystemStructureError(
+                    "pencil has index > 1; impulsive modes carry input "
+                    "derivatives and cannot be folded into a feedthrough"
+                )
+            z2 = -np.linalg.solve(self.a_infinite, bt[nf:])
+            d = ct[:, nf:] @ z2
+        return StateSpace(a_ode, b_ode, ct[:, :nf], d)
+
+
+def regularize_polynomial(system, nonlinear_tol=1e-10):
+    """Extract the regular (ODE) part of a polynomial descriptor system.
+
+    Applies the Weierstrass-like splitting of :class:`DescriptorPencil`
+    to ``(mass, G1)`` and rebuilds the quadratic/cubic/bilinear terms in
+    the differential coordinates.  Physical-circuit practice (paper §4):
+    the algebraic part is "often immaterial"; accordingly this routine
+    **requires** the nonlinear terms not to couple into the impulsive
+    variables and raises :class:`SystemStructureError` otherwise.
+
+    Returns an explicit :class:`PolynomialODE` of dimension ``n_finite``.
+    """
+    if system.mass is None:
+        return system.to_explicit()
+    pencil = DescriptorPencil(system.mass, system.g1)
+    nf = pencil.n_finite
+    n = system.n_states
+    if nf == n:
+        return system.to_explicit()
+    if not pencil.index_one():
+        raise SystemStructureError(
+            "descriptor system has index > 1; not supported"
+        )
+    v1 = pencil.v[:, :nf]
+    wt = pencil.w.T
+    bt = wt @ system.b
+    b_scale = max(np.abs(bt).max(), 1.0)
+    if np.abs(bt[nf:]).max() > nonlinear_tol * b_scale:
+        raise SystemStructureError(
+            "the input drives the algebraic (impulsive) equations; the "
+            "resulting feedthrough cannot be represented by a polynomial "
+            "ODE — handle the linear part with DescriptorPencil."
+            "regular_state_space instead"
+        )
+    e11_inv = np.linalg.inv(pencil.e_finite)
+
+    def finite_rows(mat):
+        return e11_inv @ (wt @ mat)[:nf]
+
+    g1_r = np.linalg.solve(pencil.e_finite, pencil.a_finite)
+    b_r = finite_rows(system.b)
+
+    def transform_poly(coeff, order):
+        if coeff is None:
+            return None
+        dense = coeff.toarray() if sp.issparse(coeff) else np.asarray(coeff)
+        # Columns act on x = V z; restricting to the differential block
+        # means substituting x ≈ V1 z1.  Verify the impulsive columns are
+        # inert first.
+        v_full = pencil.v
+        factors = [v_full] * order
+        kron_v = factors[0]
+        for fac in factors[1:]:
+            kron_v = np.kron(kron_v, fac)
+        in_z = dense @ kron_v
+        # Any column index touching an impulsive coordinate must vanish.
+        idx = np.arange(n**order)
+        touches_infinite = np.zeros(n**order, dtype=bool)
+        for pos in range(order):
+            coord = (idx // (n ** (order - 1 - pos))) % n
+            touches_infinite |= coord >= nf
+        bad = np.abs(in_z[:, touches_infinite]).max() if n**order else 0.0
+        scale = max(np.abs(in_z).max(), 1.0)
+        if bad > nonlinear_tol * scale:
+            raise SystemStructureError(
+                "nonlinear terms couple into the impulsive (algebraic) "
+                "variables; regular-part extraction is not valid here"
+            )
+        keep = ~touches_infinite
+        reduced_cols = in_z[:, keep]
+        reduced = e11_inv @ (wt @ reduced_cols)[:nf]
+        return sp.csr_matrix(reduced)
+
+    g2_r = transform_poly(system.g2, 2)
+    g3_r = transform_poly(system.g3, 3)
+    d1_r = None
+    if system.d1 is not None:
+        d1_r = [finite_rows(mat @ v1) for mat in system.d1]
+    out_r = system.output @ v1
+    return PolynomialODE(
+        g1_r,
+        b_r,
+        g2=g2_r,
+        g3=g3_r,
+        d1=d1_r,
+        mass=None,
+        output=out_r,
+        name=f"{system.name}-regular" if system.name else "regular",
+    )

@@ -1,0 +1,296 @@
+"""Systems with exponential (diode-type) nonlinearities and their exact
+quadratic-linearization.
+
+The paper's transmission-line examples use diodes with
+``i_D = e^{40 v_D} − 1``.  Such systems,
+
+    C x' = A x + Σ_e f_e (exp(a_eᵀ x) − 1) + B u,
+
+are *exactly* equivalent to a QLDAE after adding one state per
+exponential, ``y_e = exp(a_eᵀ x) − 1`` (QLMOR's polynomialization [4, 5
+in the paper]):
+
+    x'   = A x + F y + B u
+    y_e' = (1 + y_e) a_eᵀ x' = c_eᵀ z + y_e (c_eᵀ z) + (a_eᵀ B)(1 + y_e) u
+
+with ``z = [x; y]`` and ``c_eᵀ = a_eᵀ [A, F]``.  Note how the input
+coupling produces exactly the paper's ``D1 z u`` term **iff** some
+exponential "sees" the input (``a_eᵀ B ≠ 0``) — this is why the paper's
+voltage-source circuit (§3.1) has a ``D1`` term while the current-source
+variant (§3.2) does not.
+"""
+
+import numpy as np
+
+from .._validation import as_matrix, as_square_matrix, as_vector
+from ..errors import SystemStructureError
+from .polynomial import QLDAE
+
+__all__ = ["ExpTerm", "ExponentialODE"]
+
+
+class ExpTerm:
+    """One exponential nonlinearity ``f (exp(aᵀ x) − 1)``.
+
+    Parameters
+    ----------
+    coefficient : (n,) array_like
+        Direction ``f`` the current is injected into.
+    exponent : (n,) array_like
+        Linear form ``a`` inside the exponential.
+    """
+
+    def __init__(self, coefficient, exponent):
+        self.coefficient = as_vector(coefficient, "coefficient")
+        self.exponent = as_vector(exponent, "exponent")
+        if self.coefficient.shape != self.exponent.shape:
+            raise SystemStructureError(
+                "coefficient and exponent vectors must have equal length"
+            )
+
+    @property
+    def n(self):
+        return self.coefficient.size
+
+
+class ExponentialODE:
+    """ODE with exponential nonlinearities (pre-lifting form).
+
+    Implements the same evaluation protocol as
+    :class:`repro.systems.PolynomialODE` (``rhs``/``jacobian``/``mass``/
+    ``observe``) so the transient simulator can integrate it directly —
+    this provides the ground truth that the lifted QLDAE must match
+    exactly.
+    """
+
+    def __init__(self, g1, b, exp_terms, mass=None, output=None, name=""):
+        self.g1 = as_square_matrix(g1, "g1")
+        n = self.g1.shape[0]
+        b = np.asarray(b)
+        if b.ndim == 1:
+            b = b[:, None]
+        self.b = as_matrix(b, "b")
+        if self.b.shape[0] != n:
+            raise SystemStructureError(
+                f"b has {self.b.shape[0]} rows, expected {n}"
+            )
+        self.exp_terms = tuple(exp_terms)
+        for term in self.exp_terms:
+            if not isinstance(term, ExpTerm):
+                raise SystemStructureError(
+                    "exp_terms must contain ExpTerm instances"
+                )
+            if term.n != n:
+                raise SystemStructureError(
+                    f"ExpTerm dimension {term.n} != system dimension {n}"
+                )
+        self.mass = None if mass is None else as_square_matrix(mass, "mass")
+        if output is None:
+            output = np.eye(n)
+        output = np.asarray(output)
+        if output.ndim == 1:
+            output = output[None, :]
+        self.output = as_matrix(output, "output")
+        self.name = str(name)
+
+    @property
+    def n_states(self):
+        return self.g1.shape[0]
+
+    @property
+    def n_inputs(self):
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self):
+        return self.output.shape[0]
+
+    def __repr__(self):
+        return (
+            f"ExponentialODE(n={self.n_states}, inputs={self.n_inputs}, "
+            f"exp_terms={len(self.exp_terms)})"
+        )
+
+    # -- evaluation protocol (duck-typed with PolynomialODE) -----------------
+
+    def rhs(self, x, u):
+        x = np.asarray(x, dtype=float).reshape(self.n_states)
+        u = np.atleast_1d(np.asarray(u, dtype=float))
+        f = self.g1 @ x + self.b @ u
+        for term in self.exp_terms:
+            f = f + term.coefficient * np.expm1(term.exponent @ x)
+        return f
+
+    def jacobian(self, x, u):
+        x = np.asarray(x, dtype=float).reshape(self.n_states)
+        jac = self.g1.copy()
+        for term in self.exp_terms:
+            gain = np.exp(term.exponent @ x)
+            jac += np.outer(term.coefficient, term.exponent) * gain
+        return jac
+
+    def observe(self, states):
+        states = np.asarray(states)
+        if states.ndim == 1:
+            return self.output @ states
+        return states @ self.output.T
+
+    def to_explicit(self):
+        """Fold an invertible mass matrix into the coefficients."""
+        if self.mass is None:
+            return self
+        inv = np.linalg.inv(self.mass)
+        terms = [
+            ExpTerm(inv @ t.coefficient, t.exponent) for t in self.exp_terms
+        ]
+        return ExponentialODE(
+            inv @ self.g1,
+            inv @ self.b,
+            terms,
+            mass=None,
+            output=self.output,
+            name=self.name,
+        )
+
+    # -- polynomial approximations ------------------------------------------------
+
+    def taylor_polynomial(self, order=2):
+        """Taylor-truncate the exponentials to a polynomial system.
+
+        ``f (e^{aᵀx} − 1) ≈ f [aᵀx + (aᵀx)²/2 + (aᵀx)³/6]`` keeps the
+        state dimension at ``n`` (no lifting) and yields an invertible
+        ``G1`` (DC expansion works), at the cost of being approximate for
+        large signals.  ``order=2`` returns a :class:`QLDAE`, ``order=3``
+        a :class:`PolynomialODE` with both G2 and G3.
+
+        Unlike :meth:`quadratic_linearize` (exact, adds states, and has
+        structurally singular ``G1`` at DC), this is the classical
+        weakly-nonlinear modeling route.
+        """
+        if order not in (2, 3):
+            raise SystemStructureError("taylor order must be 2 or 3")
+        base = self.to_explicit()
+        n = base.n_states
+        g1 = base.g1.copy()
+        rows2, cols2, vals2 = [], [], []
+        rows3, cols3, vals3 = [], [], []
+        for term in base.exp_terms:
+            a = term.exponent
+            f = term.coefficient
+            nz_a = np.nonzero(a)[0]
+            nz_f = np.nonzero(f)[0]
+            g1 += np.outer(f, a)
+            for r in nz_f:
+                for i in nz_a:
+                    for j in nz_a:
+                        rows2.append(r)
+                        cols2.append(i * n + j)
+                        vals2.append(0.5 * f[r] * a[i] * a[j])
+                        if order >= 3:
+                            for k in nz_a:
+                                rows3.append(r)
+                                cols3.append((i * n + j) * n + k)
+                                vals3.append(
+                                    f[r] * a[i] * a[j] * a[k] / 6.0
+                                )
+        import scipy.sparse as sp
+
+        g2 = sp.csr_matrix(
+            (vals2, (rows2, cols2)), shape=(n, n * n)
+        ) if rows2 else None
+        if order == 2:
+            return QLDAE(
+                g1,
+                base.b,
+                g2=g2,
+                output=base.output,
+                name=f"{self.name}-taylor2" if self.name else "taylor2",
+            )
+        from .polynomial import PolynomialODE
+
+        g3 = sp.csr_matrix(
+            (vals3, (rows3, cols3)), shape=(n, n**3)
+        ) if rows3 else None
+        return PolynomialODE(
+            g1,
+            base.b,
+            g2=g2,
+            g3=g3,
+            output=base.output,
+            name=f"{self.name}-taylor3" if self.name else "taylor3",
+        )
+
+    # -- quadratic-linearization ------------------------------------------------
+
+    def quadratic_linearize(self):
+        """Exact lifting to a :class:`repro.systems.QLDAE`.
+
+        Adds one state ``y_e = exp(a_eᵀ x) − 1`` per exponential term; the
+        lifted system's trajectory restricted to the ``x`` block equals
+        the original system's trajectory exactly (for the consistent
+        initial condition ``y_e(0) = exp(a_eᵀ x(0)) − 1``).
+        """
+        base = self.to_explicit()
+        n = base.n_states
+        m = base.n_inputs
+        n_exp = len(base.exp_terms)
+        nz = n + n_exp
+        f_mat = (
+            np.column_stack([t.coefficient for t in base.exp_terms])
+            if n_exp
+            else np.zeros((n, 0))
+        )
+        a_mat = (
+            np.column_stack([t.exponent for t in base.exp_terms])
+            if n_exp
+            else np.zeros((n, 0))
+        )
+
+        g1 = np.zeros((nz, nz))
+        g1[:n, :n] = base.g1
+        g1[:n, n:] = f_mat
+        # y_e' linear part: a_eᵀ (A x + F y)
+        g1[n:, :n] = a_mat.T @ base.g1
+        g1[n:, n:] = a_mat.T @ f_mat
+
+        b = np.zeros((nz, m))
+        b[:n] = base.b
+        b[n:] = a_mat.T @ base.b
+
+        # Quadratic part: row (n + e) carries y_e * (c_eᵀ z).
+        rows = []
+        cols = []
+        vals = []
+        for e in range(n_exp):
+            c_e = g1[n + e, :]  # = a_eᵀ [A, F]
+            nonzero = np.nonzero(c_e)[0]
+            for j in nonzero:
+                rows.append(n + e)
+                cols.append((n + e) * nz + j)
+                vals.append(c_e[j])
+        import scipy.sparse as sp
+
+        g2 = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(nz, nz * nz)
+        )
+
+        # Bilinear input part: y_e * (a_eᵀ B u).
+        ab = a_mat.T @ base.b  # (n_exp, m)
+        d1 = None
+        if n_exp and np.any(ab != 0.0):
+            d1 = []
+            for i in range(m):
+                mat = np.zeros((nz, nz))
+                for e in range(n_exp):
+                    mat[n + e, n + e] = ab[e, i]
+                d1.append(mat)
+
+        output = np.hstack([base.output, np.zeros((base.n_outputs, n_exp))])
+        return QLDAE(
+            g1,
+            b,
+            g2=g2,
+            d1=d1,
+            output=output,
+            name=f"{self.name}-qldae" if self.name else "qldae",
+        )

@@ -1,0 +1,52 @@
+"""Volterra theory: multivariate transfer functions, associated-transform
+realizations (the paper's core contribution), variational time-domain
+responses, and numerical theorem checks."""
+
+from .associated import (
+    AssociatedH3Operator,
+    AssociatedRealization,
+    AssociatedWorkspace,
+    DecoupledH2Realization,
+    associated_h1,
+    associated_h2,
+    associated_h2_decoupled,
+    associated_h3,
+)
+from .response import VolterraResponse, volterra_series_response
+from .theorems import (
+    corollary1_residual,
+    factored_property_residual,
+    numerical_association_h2,
+    theorem1_residual,
+    theorem2_constant,
+)
+from .transfer import (
+    input_permutation,
+    output_transfer,
+    volterra_h1,
+    volterra_h2,
+    volterra_h3,
+)
+
+__all__ = [
+    "AssociatedH3Operator",
+    "AssociatedRealization",
+    "AssociatedWorkspace",
+    "DecoupledH2Realization",
+    "associated_h1",
+    "associated_h2",
+    "associated_h2_decoupled",
+    "associated_h3",
+    "VolterraResponse",
+    "volterra_series_response",
+    "corollary1_residual",
+    "factored_property_residual",
+    "numerical_association_h2",
+    "theorem1_residual",
+    "theorem2_constant",
+    "input_permutation",
+    "output_transfer",
+    "volterra_h1",
+    "volterra_h2",
+    "volterra_h3",
+]

@@ -1,0 +1,654 @@
+"""Associated transforms of Volterra transfer functions — the paper's core.
+
+The association of variables ``An`` collapses the multivariate transfer
+function ``Hn(s1, ..., sn)`` to a single-variable ``Hn(s)`` whose inverse
+Laplace transform is the diagonal kernel ``hn(t, ..., t)``.  The paper's
+contribution (§2.2) is that for QLDAE/polynomial systems the associated
+functions admit **exact linear state-space realizations** built from
+Kronecker sums:
+
+* ``A2(H2)``: state matrix ``Ã2 = [[G1, G2], [0, G1 ⊕ G1]]`` of size
+  ``n + n²`` (paper eq. 17), input ``b̃2 = [D1-coupling; sym(B ⊗ B)]``,
+  output ``c̃2 = [I_n, 0]``.
+* ``A3(H3)``: block-triangular realization whose middle blocks carry the
+  Kronecker sums ``G1 ⊕ Ã2`` and ``Ã2 ⊕ G1`` (sizes ``n(n+n²)``) plus —
+  for cubic systems — ``G1 ⊕ G1 ⊕ G1`` (size ``n³``).
+* Eq. (18): solving the Sylvester equation ``G1 Π + G2 = Π (G1 ⊕ G1)``
+  decouples ``A2(H2)`` into two independent LTI subsystems whose Krylov
+  spaces can be generated separately (and in parallel).
+
+Everything here is matrix-free: the lifted state matrices are represented
+by structured operators from :mod:`repro.linalg.operators`, so the cost
+of a Krylov step is ``O(n³)``–``O(n⁴)`` time and ``O(n²)``–``O(n³)``
+memory instead of the ``O(n⁴)``/``O(n⁶)`` of naive realizations.
+
+A note on the ``D1`` convention: the bilinear-input kernel has support on
+the diagonal ``t1 = t2`` of the time hyperplane.  The paper's Theorem 2
+uses the delta-sieving convention, which assigns the boundary full weight
+(``A2[(s1 I − A)^{-1} b] = b``); a finite-width pulse experiment or a
+principal-value evaluation of the association integral assigns it half
+weight.  Responses to *continuous* inputs are identical under both
+conventions (the diagonal has measure zero), so moment matching and ROM
+accuracy are unaffected; only literal impulse responses of systems with
+``D1 ≠ 0`` differ.  We follow the paper.
+"""
+
+import itertools
+
+import numpy as np
+import scipy.linalg as sla
+
+from .._validation import check_positive_int
+from ..errors import SystemStructureError, ValidationError
+from ..linalg.kronecker import kron_sum_power_matvec
+from ..linalg.operators import (
+    QuadraticLiftedOperator,
+    solve_left_kron_sum,
+    solve_right_kron_sum,
+)
+from ..linalg.schur import SchurForm
+from ..linalg.sylvester import KronSumSolver, solve_pi_sylvester
+from ..systems.lti import StateSpace
+from .transfer import input_permutation
+
+__all__ = [
+    "AssociatedWorkspace",
+    "AssociatedRealization",
+    "DecoupledH2Realization",
+    "AssociatedH3Operator",
+    "associated_h1",
+    "associated_h2",
+    "associated_h2_decoupled",
+    "associated_h3",
+]
+
+
+def _require_explicit(system):
+    if system.mass is not None:
+        raise SystemStructureError(
+            "associated realizations require an explicit system; call "
+            "to_explicit() first"
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared workspace
+# ---------------------------------------------------------------------------
+
+
+class AssociatedWorkspace:
+    """Shared factorizations for one system's associated realizations.
+
+    Computes the (complex) Schur form of ``G1`` once and hands it to every
+    Kronecker-sum solver, lifted operator and Sylvester solve — the
+    "one-time similarity transform" of the paper's §2.3.
+    """
+
+    def __init__(self, system):
+        _require_explicit(system)
+        self.system = system
+        self.schur = SchurForm(system.g1)
+        self.kron_solver = KronSumSolver(system.g1, schur=self.schur)
+        self._a2_op = None
+        self._pi = None
+
+    @property
+    def n(self):
+        return self.system.n_states
+
+    @property
+    def m(self):
+        return self.system.n_inputs
+
+    @property
+    def a2_operator(self):
+        """The eq.-(17) lifted state matrix as a structured operator."""
+        if self._a2_op is None:
+            system = self.system
+            if system.g2 is None:
+                raise SystemStructureError(
+                    "system has no quadratic term; Ã2 is undefined"
+                )
+            self._a2_op = QuadraticLiftedOperator(
+                system.g1,
+                system.g2,
+                kron_solver=self.kron_solver,
+                schur=self.schur,
+            )
+        return self._a2_op
+
+    @property
+    def pi(self):
+        """Solution of ``G1 Π + G2 = Π (G1 ⊕ G1)`` (lazy, cached)."""
+        if self._pi is None:
+            system = self.system
+            if system.g2 is None:
+                raise SystemStructureError(
+                    "system has no quadratic term; Π is undefined"
+                )
+            self._pi = solve_pi_sylvester(
+                system.g1, system.g2.toarray(), solver=self.kron_solver
+            )
+        return self._pi
+
+    # -- associated input matrices -------------------------------------------
+
+    def d1_coupling(self):
+        """``MD``: the associated D1 block of ``b̃2`` (n × m²).
+
+        Column ``(p, q)`` is ``(D1_q B[:, p] + D1_p B[:, q]) / 2``; for a
+        SISO system this is the paper's ``D1 b``.
+        """
+        system = self.system
+        n, m = self.n, self.m
+        md = np.zeros((n, m * m))
+        if system.d1 is None:
+            return md
+        for p in range(m):
+            for q in range(m):
+                col = p * m + q
+                md[:, col] += 0.5 * (system.d1[q] @ system.b[:, p])
+                md[:, col] += 0.5 * (system.d1[p] @ system.b[:, q])
+        return md
+
+    def b_kron_sym(self):
+        """``sym(B ⊗ B) = ½ (B ⊗ B)(I + K_m)``: the paper's ``b 2©``."""
+        b = self.system.b
+        m = self.m
+        bb = np.kron(b, b)
+        swap = input_permutation(m, (1, 0)).toarray()
+        return 0.5 * (bb + bb @ swap)
+
+    def b2_tilde(self):
+        """The full associated-H2 input matrix ``b̃2 = [MD; sym(B⊗B)]``."""
+        return np.vstack([self.d1_coupling(), self.b_kron_sym()])
+
+
+# ---------------------------------------------------------------------------
+# generic realization object
+# ---------------------------------------------------------------------------
+
+
+def _unique_symmetric_columns(m, arity):
+    """Representative column indices of a symmetric ``m**arity`` kernel.
+
+    Symmetrized input matrices have identical columns for permuted input
+    multi-indices; chaining only one representative per multiset loses
+    nothing from the spanned subspace.
+    """
+    reps = {}
+    for col in range(m**arity):
+        digits = tuple(sorted((col // (m**t)) % m for t in range(arity)))
+        reps.setdefault(digits, col)
+    return sorted(reps.values())
+
+
+class AssociatedRealization:
+    """Linear realization ``H(s) = C (sI − A)^{-1} B`` of an associated
+    transfer function.
+
+    ``A`` is a structured operator (``matvec`` + ``solve_shifted``), ``B``
+    a dense ``(dim, cols)`` matrix, and ``C`` the projection onto the
+    first ``n`` lifted coordinates (the original state space), applied
+    through :meth:`project_top`.
+
+    Parameters
+    ----------
+    operator : operator with ``solve_shifted``
+    b : (dim, cols) ndarray
+    n_top : int
+        Number of leading coordinates returned by the output map.
+    input_arity : int
+        Volterra order of the underlying kernel (1, 2 or 3); used to
+        deduplicate symmetric input columns.
+    n_inputs : int
+        Number of physical system inputs ``m`` (columns are ``m**arity``).
+    """
+
+    def __init__(self, operator, b, n_top, input_arity, n_inputs):
+        self.operator = operator
+        self.b = np.asarray(b)
+        if self.b.ndim == 1:
+            self.b = self.b[:, None]
+        if self.b.shape[0] != operator.dim:
+            raise ValidationError(
+                f"B has {self.b.shape[0]} rows, operator dim is "
+                f"{operator.dim}"
+            )
+        self.n_top = int(n_top)
+        self.input_arity = check_positive_int(input_arity, "input_arity")
+        self.n_inputs = check_positive_int(n_inputs, "n_inputs")
+
+    @property
+    def dim(self):
+        return self.operator.dim
+
+    @property
+    def n_cols(self):
+        return self.b.shape[1]
+
+    def project_top(self, x):
+        """Output map ``c̃ = [I_n, 0, ...]``: keep the top block."""
+        return np.asarray(x).reshape(-1)[: self.n_top]
+
+    def eval(self, s):
+        """Evaluate ``H(s)`` — an ``(n_top, cols)`` complex matrix."""
+        out = np.empty((self.n_top, self.n_cols), dtype=complex)
+        for col in range(self.n_cols):
+            x = self.operator.solve_shifted(-s, self.b[:, col])
+            out[:, col] = -self.project_top(x)
+        return out
+
+    def moment_vectors(self, count, s0=0.0, deduplicate=True):
+        """Projected shift-invert chains for Krylov moment matching.
+
+        Returns an ``(n_top, count * n_unique_cols)`` real/complex matrix
+        whose columns span the space matching *count* moments of ``H(s)``
+        about ``s0`` (per retained input column).  With ``deduplicate``
+        only one column per symmetric input multiset is chained.
+        """
+        count = check_positive_int(count, "count")
+        if deduplicate:
+            cols = _unique_symmetric_columns(self.n_inputs, self.input_arity)
+        else:
+            cols = list(range(self.n_cols))
+        blocks = []
+        for col in cols:
+            current = self.b[:, col]
+            for _ in range(count):
+                current = self.operator.solve_shifted(-s0, current)
+                blocks.append(self.project_top(current))
+        return np.column_stack(blocks)
+
+    def impulse_response(self, times):
+        """Diagonal kernel ``h(t) = hn(t, ..., t)`` via dense ``expm``.
+
+        Only available when the operator can be densified (small
+        systems / tests); returns ``(len(times), n_top, cols)``.
+        """
+        a = self.operator.dense()
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        out = np.empty((times.size, self.n_top, self.n_cols))
+        for idx, t in enumerate(times):
+            phi = sla.expm(a * t) @ self.b
+            out[idx] = phi[: self.n_top]
+        return out
+
+    def to_state_space(self, output=None):
+        """Densify to a :class:`StateSpace` (small systems / tests).
+
+        *output* optionally post-multiplies the top-block projection
+        (e.g. a circuit's output row).
+        """
+        a = self.operator.dense()
+        c = np.zeros((self.n_top, self.dim))
+        c[:, : self.n_top] = np.eye(self.n_top)
+        if output is not None:
+            c = np.asarray(output) @ c
+        return StateSpace(a, self.b, c)
+
+
+# ---------------------------------------------------------------------------
+# H1 and H2
+# ---------------------------------------------------------------------------
+
+
+class _DenseG1Operator:
+    """Adapter presenting ``G1`` through the operator interface using the
+    workspace's Schur form (no extra factorization)."""
+
+    def __init__(self, g1, schur):
+        self.g1 = g1
+        self.schur = schur
+        self.shape = g1.shape
+
+    @property
+    def dim(self):
+        return self.g1.shape[0]
+
+    def matvec(self, x):
+        return self.g1 @ np.asarray(x)
+
+    def solve_shifted(self, shift, rhs):
+        return self.schur.solve_shifted(shift, rhs)
+
+    def solve_shifted_transpose(self, shift, rhs):
+        return self.schur.solve_shifted_transpose(shift, rhs)
+
+    def dense(self):
+        return self.g1.copy()
+
+
+def associated_h1(system, workspace=None):
+    """Trivial realization of ``H1(s) = (sI − G1)^{-1} B``."""
+    workspace = workspace or AssociatedWorkspace(system)
+    op = _DenseG1Operator(workspace.system.g1, workspace.schur)
+    return AssociatedRealization(
+        op,
+        workspace.system.b,
+        n_top=workspace.n,
+        input_arity=1,
+        n_inputs=workspace.m,
+    )
+
+
+def associated_h2(system, workspace=None):
+    """The paper's eq.-(17) realization of ``A2(H2)``.
+
+    Returns ``None`` when the system has neither quadratic nor bilinear
+    terms (then ``H2 ≡ 0``).
+    """
+    workspace = workspace or AssociatedWorkspace(system)
+    system = workspace.system
+    if system.g2 is None and system.d1 is None:
+        return None
+    if system.g2 is None:
+        raise SystemStructureError(
+            "D1 without G2 is not supported by the lifted realization; "
+            "provide an explicit (possibly zero) G2"
+        )
+    return AssociatedRealization(
+        workspace.a2_operator,
+        workspace.b2_tilde(),
+        n_top=workspace.n,
+        input_arity=2,
+        n_inputs=workspace.m,
+    )
+
+
+class DecoupledH2Realization:
+    """Eq.-(18) decoupled form of ``A2(H2)``.
+
+    After the similarity transform built from ``Π`` the associated H2
+    splits into two independent subsystems::
+
+        H2(s) = (sI − G1)^{-1} (MD − Π b 2©)  +  Π (sI − G1 ⊕ G1)^{-1} b 2©
+
+    whose Krylov chains can be generated separately (the paper notes this
+    enables parallel subspace construction).
+    """
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        self.pi = workspace.pi
+        self.bbs = workspace.b_kron_sym()
+        self.md = workspace.d1_coupling()
+        self.seed_linear = self.md - self.pi @ self.bbs
+
+    @property
+    def n_cols(self):
+        return self.bbs.shape[1]
+
+    def eval(self, s):
+        """Evaluate ``H2(s)`` by summing the two subsystem responses."""
+        ws = self.workspace
+        term1 = -ws.schur.solve_shifted(-s, self.seed_linear.astype(complex))
+        out = np.empty_like(term1)
+        for col in range(self.n_cols):
+            x = ws.kron_solver.solve(self.bbs[:, col], k=2, shift=-s)
+            out[:, col] = -(self.pi @ x)
+        return term1 + out
+
+    def basis_blocks(self, count, s0=0.0, deduplicate=True):
+        """Per-subsystem moment-vector blocks (each ``n × ...``).
+
+        Returns a list of two blocks; their union spans the same moment
+        space as the coupled realization's chains.
+        """
+        ws = self.workspace
+        count = check_positive_int(count, "count")
+        if deduplicate:
+            cols = _unique_symmetric_columns(ws.m, 2)
+        else:
+            cols = list(range(self.n_cols))
+        block1 = []
+        block2 = []
+        for col in cols:
+            current = self.seed_linear[:, col].astype(complex)
+            for _ in range(count):
+                current = ws.schur.solve_shifted(-s0, current)
+                block1.append(current.copy())
+            current = self.bbs[:, col].astype(complex)
+            for _ in range(count):
+                current = ws.kron_solver.solve(current, k=2, shift=-s0)
+                block2.append(self.pi @ current)
+        return [np.column_stack(block1), np.column_stack(block2)]
+
+
+def associated_h2_decoupled(system, workspace=None):
+    """Build the eq.-(18) decoupled realization (or ``None`` if H2 ≡ 0)."""
+    workspace = workspace or AssociatedWorkspace(system)
+    if workspace.system.g2 is None and workspace.system.d1 is None:
+        return None
+    if workspace.system.g2 is None:
+        raise SystemStructureError(
+            "D1 without G2 is not supported; provide an explicit G2"
+        )
+    return DecoupledH2Realization(workspace)
+
+
+# ---------------------------------------------------------------------------
+# H3
+# ---------------------------------------------------------------------------
+
+
+class AssociatedH3Operator:
+    """Block-triangular state matrix of the ``A3(H3)`` realization.
+
+    State layout (present blocks only)::
+
+        [ x_a | x_b | x_c | x_d ]
+          n     n·N    N·n   n³        with N = n + n² (dim of Ã2)
+
+    * ``x_b`` block: ``G1 ⊕ Ã2``  (from ``H1(sᵢ) ⊗ H2(sⱼ, s_k)``)
+    * ``x_c`` block: ``Ã2 ⊕ G1``  (from ``H2(sⱼ, s_k) ⊗ H1(sᵢ)``)
+    * ``x_d`` block: ``G1 ⊕ G1 ⊕ G1`` (from the cubic ``G3`` term)
+
+    The top row couples through ``G2 (I ⊗ c̃2)``, ``G2 (c̃2 ⊗ I)`` and
+    ``G3``.  Shifted solves are pure back-substitution; the inner
+    Kronecker-sum solves use the shared Schur machinery.
+    """
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        system = workspace.system
+        self.n = workspace.n
+        self.has_quad = system.g2 is not None
+        self.has_cubic = system.g3 is not None
+        if not (self.has_quad or self.has_cubic):
+            raise SystemStructureError(
+                "system has neither quadratic nor cubic terms; H3 ≡ 0"
+            )
+        n = self.n
+        self.dim_b = 0
+        self.dim_c = 0
+        self.dim_d = 0
+        if self.has_quad:
+            self.a2_op = workspace.a2_operator
+            self.n2 = self.a2_op.dim  # N = n + n²
+            self.dim_b = n * self.n2
+            self.dim_c = self.n2 * n
+        if self.has_cubic:
+            self.dim_d = n**3
+        self.shape = (n + self.dim_b + self.dim_c + self.dim_d,) * 2
+
+    @property
+    def dim(self):
+        return self.shape[0]
+
+    def _split(self, x):
+        x = np.asarray(x).reshape(self.dim)
+        n = self.n
+        parts = [x[:n]]
+        offset = n
+        for size in (self.dim_b, self.dim_c, self.dim_d):
+            parts.append(x[offset : offset + size])
+            offset += size
+        return parts
+
+    def _couple_top(self, x_b, x_c, x_d):
+        """Evaluate the top-row coupling
+        ``G2 (I ⊗ c̃2) x_b + G2 (c̃2 ⊗ I) x_c + G3 x_d``."""
+        system = self.workspace.system
+        n = self.n
+        out = np.zeros(n, dtype=complex)
+        if self.has_quad:
+            # (I ⊗ c̃2) x_b: reshape (n, N), keep the leading n columns.
+            xb_mat = x_b.reshape(n, self.n2)
+            out += system.g2 @ xb_mat[:, :n].reshape(-1)
+            # (c̃2 ⊗ I) x_c: reshape (N, n), keep the leading n rows.
+            xc_mat = x_c.reshape(self.n2, n)
+            out += system.g2 @ xc_mat[:n, :].reshape(-1)
+        if self.has_cubic:
+            out += system.g3 @ x_d
+        return out
+
+    def matvec(self, x):
+        ws = self.workspace
+        g1 = ws.system.g1
+        x_a, x_b, x_c, x_d = self._split(np.asarray(x, dtype=complex))
+        top = g1 @ x_a + self._couple_top(x_b, x_c, x_d)
+        pieces = [top]
+        if self.has_quad:
+            n, n2 = self.n, self.n2
+            xb_mat = x_b.reshape(n, n2)
+            # (G1 ⊕ Ã2) vec(X) = vec(G1 X + X Ã2ᵀ)
+            rows = np.stack(
+                [self.a2_op.matvec(xb_mat[i]) for i in range(n)]
+            )
+            pieces.append((g1 @ xb_mat + rows).reshape(-1))
+            xc_mat = x_c.reshape(n2, n)
+            cols = np.stack(
+                [self.a2_op.matvec(xc_mat[:, j]) for j in range(n)], axis=1
+            )
+            pieces.append((cols + xc_mat @ g1.T).reshape(-1))
+        if self.has_cubic:
+            pieces.append(kron_sum_power_matvec(g1, 3, x_d))
+        return np.concatenate(pieces)
+
+    def solve_shifted(self, shift, rhs):
+        """Solve ``(A3 + shift I) x = rhs`` by block back-substitution."""
+        ws = self.workspace
+        r_a, r_b, r_c, r_d = self._split(np.asarray(rhs, dtype=complex))
+        x_b = np.zeros(0, dtype=complex)
+        x_c = np.zeros(0, dtype=complex)
+        x_d = np.zeros(0, dtype=complex)
+        if self.has_quad:
+            x_b = solve_left_kron_sum(ws.schur, self.a2_op, r_b, shift=shift)
+            x_c = solve_right_kron_sum(self.a2_op, ws.schur, r_c, shift=shift)
+        if self.has_cubic:
+            x_d = ws.kron_solver.solve(r_d, k=3, shift=shift)
+        top_rhs = r_a - self._couple_top(x_b, x_c, x_d)
+        x_a = ws.schur.solve_shifted(shift, top_rhs)
+        return np.concatenate([x_a, x_b, x_c, x_d])
+
+    def dense(self):
+        """Materialize ``A3`` (tiny systems / tests only)."""
+        if self.dim > 4096:
+            raise ValidationError(
+                f"refusing to densify a {self.dim}-dimensional H3 operator"
+            )
+        ws = self.workspace
+        g1 = ws.system.g1
+        n = self.n
+        blocks = [[g1]]
+        diag = []
+        if self.has_quad:
+            a2 = self.a2_op.dense()
+            n2 = self.n2
+            c2 = np.zeros((n, n2))
+            c2[:, :n] = np.eye(n)
+            g2 = ws.system.g2.toarray()
+            blocks[0].append(g2 @ np.kron(np.eye(n), c2))
+            blocks[0].append(g2 @ np.kron(c2, np.eye(n)))
+            diag.append(np.kron(g1, np.eye(n2)) + np.kron(np.eye(n), a2))
+            diag.append(np.kron(a2, np.eye(n)) + np.kron(np.eye(n2), g1))
+        if self.has_cubic:
+            blocks[0].append(ws.system.g3.toarray())
+            eye = np.eye(n)
+            diag.append(
+                np.kron(np.kron(g1, eye), eye)
+                + np.kron(np.kron(eye, g1), eye)
+                + np.kron(np.kron(eye, eye), g1)
+            )
+        total = self.dim
+        out = np.zeros((total, total))
+        out[:n, :n] = g1
+        col = n
+        for block in blocks[0][1:]:
+            out[:n, col : col + block.shape[1]] = block
+            col += block.shape[1]
+        row = n
+        for mat in diag:
+            size = mat.shape[0]
+            out[row : row + size, row : row + size] = mat
+            row += size
+        return out
+
+
+def _h3_input_matrix(workspace, op):
+    """Assemble the ``B3`` input matrix of the ``A3(H3)`` realization."""
+    system = workspace.system
+    n, m = workspace.n, workspace.m
+    b = system.b
+    pieces = []
+
+    # Top block: the associated D1 contribution (constant in s):
+    # (1/3) Σ_k D1_{p_k} · h2bar(0)[:, pair], with h2bar(0) = MD.
+    top = np.zeros((n, m**3))
+    if system.d1 is not None:
+        md = workspace.d1_coupling()
+        for k in range(3):
+            pair_slots = [t for t in range(3) if t != k]
+            for col in range(m**3):
+                triple = ((col // (m * m)) % m, (col // m) % m, col % m)
+                u_idx = triple[k]
+                a_idx = triple[pair_slots[0]]
+                b_idx = triple[pair_slots[1]]
+                top[:, col] += (
+                    system.d1[u_idx] @ md[:, a_idx * m + b_idx]
+                )
+        top /= 3.0
+    pieces.append(top)
+
+    if op.has_quad:
+        b2 = workspace.b2_tilde()
+        # Left block: (1/3)(B ⊗ b̃2) Σᵢ P_(i,j,k);  i is the H1 slot.
+        perm_sum_left = sum(
+            input_permutation(m, perm).toarray()
+            for perm in ((0, 1, 2), (1, 0, 2), (2, 0, 1))
+        )
+        pieces.append(np.kron(b, b2) @ perm_sum_left / 3.0)
+        # Right block: (1/3)(b̃2 ⊗ B) Σᵢ P_(j,k,i).
+        perm_sum_right = sum(
+            input_permutation(m, perm).toarray()
+            for perm in ((1, 2, 0), (0, 2, 1), (0, 1, 2))
+        )
+        pieces.append(np.kron(b2, b) @ perm_sum_right / 3.0)
+
+    if op.has_cubic:
+        perm_sum = sum(
+            input_permutation(m, perm).toarray()
+            for perm in itertools.permutations(range(3))
+        )
+        bbb = np.kron(b, np.kron(b, b))
+        pieces.append(bbb @ perm_sum / 6.0)
+
+    return np.vstack(pieces)
+
+
+def associated_h3(system, workspace=None):
+    """Realization of ``A3(H3)`` (paper §2.2 plus the cubic extension).
+
+    Returns ``None`` when ``H3 ≡ 0`` (no quadratic, bilinear or cubic
+    terms).
+    """
+    workspace = workspace or AssociatedWorkspace(system)
+    system = workspace.system
+    if system.g2 is None and system.g3 is None:
+        return None
+    op = AssociatedH3Operator(workspace)
+    b3 = _h3_input_matrix(workspace, op)
+    return AssociatedRealization(
+        op, b3, n_top=workspace.n, input_arity=3, n_inputs=workspace.m
+    )

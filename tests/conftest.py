@@ -1,0 +1,60 @@
+"""Shared fixtures: small, well-conditioned random systems."""
+
+import numpy as np
+import pytest
+
+from repro.systems import CubicODE, QLDAE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_stable_matrix(rng, n, margin=1.5, spread=0.3):
+    """Random Hurwitz matrix with eigenvalues well inside the left plane."""
+    return -margin * np.eye(n) + spread * rng.standard_normal((n, n))
+
+
+@pytest.fixture
+def stable5(rng):
+    return make_stable_matrix(rng, 5)
+
+
+@pytest.fixture
+def small_qldae(rng):
+    """5-state SISO QLDAE with quadratic and bilinear terms."""
+    n = 5
+    g1 = make_stable_matrix(rng, n)
+    g2 = 0.2 * rng.standard_normal((n, n * n))
+    d1 = 0.25 * rng.standard_normal((n, n))
+    b = rng.standard_normal(n)
+    return QLDAE(g1, b, g2=g2, d1=d1, output=np.eye(n)[0])
+
+
+@pytest.fixture
+def small_qldae_no_d1(rng):
+    n = 5
+    g1 = make_stable_matrix(rng, n)
+    g2 = 0.2 * rng.standard_normal((n, n * n))
+    b = rng.standard_normal(n)
+    return QLDAE(g1, b, g2=g2, output=np.eye(n)[0])
+
+
+@pytest.fixture
+def small_cubic(rng):
+    n = 4
+    g1 = make_stable_matrix(rng, n)
+    g3 = 0.1 * rng.standard_normal((n, n**3))
+    b = rng.standard_normal(n)
+    return CubicODE(g1, b, g3=g3, output=np.eye(n)[-1])
+
+
+@pytest.fixture
+def miso_qldae(rng):
+    """4-state, 2-input QLDAE (no D1)."""
+    n, m = 4, 2
+    g1 = make_stable_matrix(rng, n)
+    g2 = 0.15 * rng.standard_normal((n, n * n))
+    b = rng.standard_normal((n, m))
+    return QLDAE(g1, b, g2=g2, output=np.eye(n)[-1])

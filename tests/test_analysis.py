@@ -1,0 +1,90 @@
+"""Tests for error metrics and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    max_relative_error,
+    relative_error_trace,
+    rms_error,
+    series_summary,
+    sparkline,
+    speedup,
+)
+from repro.errors import ValidationError
+
+
+class TestMetrics:
+    def test_peak_normalization(self):
+        ref = np.array([0.0, 2.0, -1.0])
+        cand = np.array([0.0, 2.2, -1.0])
+        trace = relative_error_trace(ref, cand)
+        assert np.allclose(trace, [0.0, 0.1, 0.0])
+
+    def test_pointwise_normalization(self):
+        ref = np.array([1.0, 2.0])
+        cand = np.array([1.1, 2.0])
+        trace = relative_error_trace(ref, cand, normalization="pointwise")
+        assert np.allclose(trace, [0.1, 0.0], atol=1e-9)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_error_trace(np.zeros(3), np.ones(3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            relative_error_trace(np.ones(3), np.ones(4))
+
+    def test_unknown_normalization(self):
+        with pytest.raises(ValidationError):
+            relative_error_trace(np.ones(2), np.ones(2), "nope")
+
+    def test_max_relative_error(self):
+        assert max_relative_error([1.0, 2.0], [1.0, 2.4]) == pytest.approx(
+            0.2
+        )
+
+    def test_rms(self):
+        assert rms_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_speedup(self):
+        assert speedup(10.0, 3.9) == pytest.approx(0.61)
+        with pytest.raises(ValidationError):
+            speedup(0.0, 1.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_cell_count_check(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_sparkline_width(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_constant(self):
+        assert set(sparkline(np.ones(10))) == {" "}
+
+    def test_sparkline_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+    def test_series_summary_contains_range(self):
+        text = series_summary("demo", [0, 1, 2], [1.0, -2.0, 3.0])
+        assert "demo" in text
+        assert "min=-2" in text
+        assert "max=3" in text

@@ -1,0 +1,115 @@
+"""Unit tests for Arnoldi iteration and basis merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.linalg import arnoldi, merge_bases, orthonormalize
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestArnoldi:
+    def test_factorization_identity(self, rng):
+        """A V_m = V_{m+1} H̄_m."""
+        a = rng.standard_normal((8, 8))
+        res = arnoldi(lambda v: a @ v, rng.standard_normal(8), 4)
+        assert not res.breakdown
+        v = res.basis
+        h = res.hessenberg
+        # rebuild V_{m+1} from the recurrence
+        av = a @ v
+        # the first m columns of V_{m+1} are V_m itself; reconstruct:
+        approx = v @ h[:4, :4]
+        resid = av - approx
+        # residual is rank-1 in the direction of the next basis vector
+        assert np.linalg.matrix_rank(resid, tol=1e-8) <= 1
+
+    def test_orthonormal_basis(self, rng):
+        a = rng.standard_normal((10, 10))
+        res = arnoldi(lambda v: a @ v, rng.standard_normal(10), 6)
+        gram = res.basis.conj().T @ res.basis
+        assert np.allclose(gram, np.eye(res.size), atol=1e-12)
+
+    def test_happy_breakdown(self):
+        """Invariant subspace terminates early."""
+        a = np.diag([1.0, 2.0, 3.0, 4.0])
+        start = np.array([1.0, 1.0, 0.0, 0.0])
+        res = arnoldi(lambda v: a @ v, start, 4)
+        assert res.breakdown
+        assert res.size == 2
+
+    def test_zero_start_rejected(self):
+        with pytest.raises(ValidationError):
+            arnoldi(lambda v: v, np.zeros(4), 2)
+
+    def test_krylov_span(self, rng):
+        a = rng.standard_normal((7, 7))
+        b = rng.standard_normal(7)
+        res = arnoldi(lambda v: a @ v, b, 3)
+        explicit = np.column_stack([b, a @ b, a @ a @ b])
+        # each explicit vector lies in span(V)
+        proj = res.basis @ (res.basis.conj().T @ explicit)
+        assert np.allclose(proj, explicit, atol=1e-8)
+
+    def test_operator_shape_check(self, rng):
+        with pytest.raises(ValidationError):
+            arnoldi(lambda v: np.zeros(3), rng.standard_normal(4), 2)
+
+
+class TestOrthonormalize:
+    def test_rank_deficient_deflation(self, rng):
+        base = rng.standard_normal((6, 2))
+        mat = np.hstack([base, base @ rng.standard_normal((2, 3))])
+        q = orthonormalize(mat)
+        assert q.shape == (6, 2)
+        assert np.allclose(q.T @ q, np.eye(2), atol=1e-12)
+
+    def test_preserves_span(self, rng):
+        mat = rng.standard_normal((6, 3))
+        q = orthonormalize(mat)
+        proj = q @ (q.T @ mat)
+        assert np.allclose(proj, mat, atol=1e-10)
+
+    def test_empty_block(self, rng):
+        out = orthonormalize(np.zeros((5, 0)))
+        assert out.shape == (5, 0)
+
+
+class TestMergeBases:
+    def test_merges_and_deflates(self, rng):
+        b1 = rng.standard_normal((8, 3))
+        b2 = np.hstack([b1[:, :1], rng.standard_normal((8, 2))])
+        merged = merge_bases([b1, b2])
+        assert merged.shape[1] == 5
+        assert np.allclose(merged.T @ merged, np.eye(5), atol=1e-12)
+
+    def test_complex_blocks_split_to_real(self, rng):
+        block = rng.standard_normal((6, 2)) + 1j * rng.standard_normal((6, 2))
+        merged = merge_bases([block])
+        assert merged.dtype.kind == "f"
+        assert merged.shape[1] == 4
+
+    def test_negligible_imaginary_dropped(self, rng):
+        block = rng.standard_normal((6, 2)).astype(complex)
+        block += 1e-14j
+        merged = merge_bases([block])
+        assert merged.shape[1] == 2
+
+    def test_scale_invariance(self, rng):
+        """Tiny-magnitude blocks must survive (column normalization)."""
+        b1 = rng.standard_normal((8, 2))
+        tiny = 1e-14 * rng.standard_normal((8, 2))
+        merged = merge_bases([b1, tiny])
+        assert merged.shape[1] == 4
+
+    def test_row_mismatch_raises(self, rng):
+        with pytest.raises(ValidationError):
+            merge_bases([np.zeros((4, 1)), np.zeros((5, 1))])
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValidationError):
+            merge_bases([np.zeros((4, 0))])

@@ -1,0 +1,254 @@
+"""Tests for the associated-transform realizations — the paper's core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemStructureError
+from repro.linalg import kron_sum_power
+from repro.systems import CubicODE, QLDAE
+from repro.volterra import (
+    AssociatedWorkspace,
+    associated_h1,
+    associated_h2,
+    associated_h2_decoupled,
+    associated_h3,
+    volterra_series_response,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(91)
+
+
+def dense(mat):
+    return mat.toarray() if hasattr(mat, "toarray") else np.asarray(mat)
+
+
+class TestEq17Realization:
+    """Paper eq. (17): A2(H2) as [[G1, G2],[0, G1⊕G1]] etc."""
+
+    def test_state_matrix_blocks(self, small_qldae):
+        ws = AssociatedWorkspace(small_qldae)
+        r2 = associated_h2(small_qldae, ws)
+        a2 = r2.operator.dense()
+        n = small_qldae.n_states
+        assert np.allclose(a2[:n, :n], small_qldae.g1)
+        assert np.allclose(a2[:n, n:], dense(small_qldae.g2))
+        assert np.allclose(
+            a2[n:, n:], dense(kron_sum_power(small_qldae.g1, 2))
+        )
+
+    def test_input_matrix_siso(self, small_qldae):
+        """b̃2 = [D1 b; b ⊗ b] for SISO (paper eq. 17)."""
+        ws = AssociatedWorkspace(small_qldae)
+        r2 = associated_h2(small_qldae, ws)
+        n = small_qldae.n_states
+        b = small_qldae.b[:, 0]
+        assert np.allclose(r2.b[:n, 0], small_qldae.d1[0] @ b)
+        assert np.allclose(r2.b[n:, 0], np.kron(b, b))
+
+    def test_eval_matches_manual_formula(self, small_qldae):
+        """H2bar(s) = (sI−G1)^{-1}(G2 (sI−G1⊕G1)^{-1} b⊗b + D1 b)."""
+        ws = AssociatedWorkspace(small_qldae)
+        r2 = associated_h2(small_qldae, ws)
+        n = small_qldae.n_states
+        b = small_qldae.b[:, 0]
+        s = 1.1 + 0.4j
+        ks = dense(kron_sum_power(small_qldae.g1, 2))
+        inner = dense(small_qldae.g2) @ np.linalg.solve(
+            s * np.eye(n * n) - ks, np.kron(b, b)
+        ) + small_qldae.d1[0] @ b
+        manual = np.linalg.solve(s * np.eye(n) - small_qldae.g1, inner)
+        assert np.allclose(r2.eval(s)[:, 0], manual)
+
+    def test_impulse_matches_variational_g2_only(self, small_qldae_no_d1):
+        """h2bar(t) == x2(t) under a narrow pulse (G2-only system —
+        D1 systems differ by the theta(0) convention, see module docs)."""
+        r2 = associated_h2(small_qldae_no_d1)
+        # One-sample pulse: height 1/eps with eps = dt/2 gives discrete
+        # impulse weight exactly 1 under the trapezoidal rule.
+        dt = 0.002
+        eps = dt / 2
+        resp = volterra_series_response(
+            small_qldae_no_d1,
+            lambda t: (1.0 / eps) if t < eps else 0.0,
+            3.0,
+            dt,
+            order=2,
+        )
+        h2 = r2.impulse_response(resp.times[::50])[:, :, 0]
+        x2 = resp.orders[2][::50]
+        scale = np.abs(h2).max()
+        assert np.abs(x2 - h2).max() < 0.01 * scale
+
+    def test_moment_vectors_span_taylor_directions(self, small_qldae):
+        """The chain vectors span the Taylor coefficients of H2bar."""
+        r2 = associated_h2(small_qldae)
+        s0 = 0.3
+        block = r2.moment_vectors(3, s0=s0)
+        basis = np.linalg.qr(np.real(block))[0]
+        # Taylor coefficients of H2bar at s0 via finite differences.
+        eps = 1e-5
+        f0 = np.real(r2.eval(s0)[:, 0])
+        f1 = np.real(r2.eval(s0 + eps)[:, 0] - r2.eval(s0 - eps)[:, 0]) / (
+            2 * eps
+        )
+        for vec in (f0, f1):
+            proj = basis @ (basis.T @ vec)
+            assert np.linalg.norm(proj - vec) < 1e-4 * np.linalg.norm(vec)
+
+    def test_none_for_linear_system(self):
+        sys = QLDAE(-np.eye(3), np.ones(3))
+        assert associated_h2(sys) is None
+
+
+class TestDecoupledEq18:
+    def test_matches_coupled_eval(self, small_qldae):
+        ws = AssociatedWorkspace(small_qldae)
+        coupled = associated_h2(small_qldae, ws)
+        dec = associated_h2_decoupled(small_qldae, ws)
+        for s in (0.5, 1.5 + 0.8j):
+            assert np.allclose(dec.eval(s), coupled.eval(s), atol=1e-10)
+
+    def test_basis_blocks_span_moments(self, small_qldae):
+        ws = AssociatedWorkspace(small_qldae)
+        dec = associated_h2_decoupled(small_qldae, ws)
+        coupled = associated_h2(small_qldae, ws)
+        s0 = 0.4
+        blocks = dec.basis_blocks(3, s0=s0)
+        stacked = np.hstack([np.real(b) for b in blocks])
+        basis = np.linalg.qr(stacked)[0]
+        chain = np.real(coupled.moment_vectors(3, s0=s0))
+        proj = basis @ (basis.T @ chain)
+        assert np.abs(proj - chain).max() < 1e-8 * np.abs(chain).max()
+
+    def test_pi_lives_in_workspace_cache(self, small_qldae):
+        ws = AssociatedWorkspace(small_qldae)
+        _ = associated_h2_decoupled(small_qldae, ws)
+        assert ws._pi is not None
+
+
+class TestH3Realization:
+    def test_eval_matches_dense_transfer(self, small_qldae):
+        r3 = associated_h3(small_qldae)
+        ss = r3.to_state_space()
+        s = 0.8 + 0.3j
+        assert np.allclose(r3.eval(s)[:, 0], ss.transfer(s)[:, 0])
+
+    def test_solve_shifted_matches_dense(self, small_qldae, rng):
+        r3 = associated_h3(small_qldae)
+        op = r3.operator
+        rhs = rng.standard_normal(op.dim)
+        x = op.solve_shifted(0.45, rhs)
+        dense_a = op.dense()
+        assert np.allclose(
+            (dense_a + 0.45 * np.eye(op.dim)) @ x, rhs, atol=1e-8
+        )
+
+    def test_matvec_matches_dense(self, small_qldae, rng):
+        r3 = associated_h3(small_qldae)
+        op = r3.operator
+        x = rng.standard_normal(op.dim)
+        assert np.allclose(op.matvec(x), op.dense() @ x, atol=1e-10)
+
+    def test_impulse_matches_variational_g2_only(self, small_qldae_no_d1):
+        r3 = associated_h3(small_qldae_no_d1)
+        dt = 0.002
+        eps = dt / 2
+        resp = volterra_series_response(
+            small_qldae_no_d1,
+            lambda t: (1.0 / eps) if t < eps else 0.0,
+            3.0,
+            dt,
+            order=3,
+        )
+        h3 = r3.impulse_response(resp.times[::100])[:, :, 0]
+        x3 = resp.orders[3][::100]
+        scale = max(np.abs(h3).max(), 1e-12)
+        assert np.abs(x3 - h3).max() < 0.02 * scale
+
+    def test_cubic_system_impulse(self, small_cubic):
+        r3 = associated_h3(small_cubic)
+        dt = 0.002
+        eps = dt / 2
+        resp = volterra_series_response(
+            small_cubic,
+            lambda t: (1.0 / eps) if t < eps else 0.0,
+            3.0,
+            dt,
+            order=3,
+        )
+        h3 = r3.impulse_response(resp.times[::100])[:, :, 0]
+        x3 = resp.orders[3][::100]
+        scale = max(np.abs(h3).max(), 1e-12)
+        assert np.abs(x3 - h3).max() < 0.02 * scale
+
+    def test_cubic_realization_structure(self, small_cubic):
+        """Pure cubic: A3 = [[G1, G3],[0, ⊕³G1]], B3 = [0; sym(b⊗b⊗b)]."""
+        r3 = associated_h3(small_cubic)
+        n = small_cubic.n_states
+        a3 = r3.operator.dense()
+        assert a3.shape == (n + n**3,) * 2
+        assert np.allclose(a3[:n, :n], small_cubic.g1)
+        assert np.allclose(a3[:n, n:], dense(small_cubic.g3))
+        b = small_cubic.b[:, 0]
+        assert np.allclose(r3.b[:n, 0], 0.0)
+        assert np.allclose(r3.b[n:, 0], np.kron(b, np.kron(b, b)))
+
+    def test_h3_none_for_linear(self):
+        sys = QLDAE(-np.eye(2), np.ones(2))
+        assert associated_h3(sys) is None
+
+    def test_mixed_quadratic_cubic(self, rng):
+        """A PolynomialODE with both G2 and G3 carries all four blocks."""
+        from repro.systems import PolynomialODE
+
+        n = 3
+        sys = PolynomialODE(
+            -1.5 * np.eye(n) + 0.2 * rng.standard_normal((n, n)),
+            rng.standard_normal(n),
+            g2=0.1 * rng.standard_normal((n, n * n)),
+            g3=0.05 * rng.standard_normal((n, n**3)),
+        )
+        r3 = associated_h3(sys)
+        op = r3.operator
+        assert op.has_quad and op.has_cubic
+        n2 = n + n * n
+        assert op.dim == n + 2 * n * n2 + n**3
+        ss = r3.to_state_space()
+        s = 1.2
+        assert np.allclose(r3.eval(s), ss.transfer(s), atol=1e-10)
+
+
+class TestMIMO:
+    def test_h2_eval_matches_multivariate_diagonal(self, miso_qldae):
+        """Associated H2 at s equals the multivariate H2's association,
+        checked structurally: same input-column symmetry."""
+        r2 = associated_h2(miso_qldae)
+        from repro.volterra import input_permutation
+
+        h = r2.eval(0.9)
+        m = miso_qldae.n_inputs
+        swap = input_permutation(m, (1, 0)).toarray()
+        assert np.allclose(h, h @ swap, atol=1e-12)
+
+    def test_unique_column_dedup(self, miso_qldae):
+        r2 = associated_h2(miso_qldae)
+        full = r2.moment_vectors(2, deduplicate=False)
+        dedup = r2.moment_vectors(2, deduplicate=True)
+        # m² = 4 columns, 3 unique multisets -> 8 vs 6 chain vectors
+        assert full.shape[1] == 8
+        assert dedup.shape[1] == 6
+        # spans agree
+        q = np.linalg.qr(np.real(dedup))[0]
+        proj = q @ (q.T @ np.real(full))
+        assert np.abs(proj - np.real(full)).max() < 1e-8
+
+    def test_workspace_requires_explicit(self, rng):
+        sys = QLDAE(
+            -np.eye(2), np.ones(2), g2=np.zeros((2, 4)),
+            mass=2 * np.eye(2)
+        )
+        with pytest.raises(SystemStructureError):
+            AssociatedWorkspace(sys)

@@ -1,0 +1,132 @@
+"""Tests for bilinear systems and Carleman bilinearization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemStructureError, ValidationError
+from repro.simulation import simulate, sine_source
+from repro.systems import BilinearSystem, QLDAE, carleman_bilinearize
+from repro.volterra import AssociatedWorkspace, associated_h2
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(171)
+
+
+@pytest.fixture
+def bilinear(rng):
+    n = 4
+    a = -1.5 * np.eye(n) + 0.3 * rng.standard_normal((n, n))
+    n_mat = 0.2 * rng.standard_normal((n, n))
+    b = rng.standard_normal(n)
+    return BilinearSystem(a, [n_mat], b, output=np.eye(n)[0])
+
+
+class TestBilinearSystem:
+    def test_rhs(self, bilinear, rng):
+        x = rng.standard_normal(4)
+        expected = (
+            bilinear.a @ x
+            + bilinear.n_mats[0] @ x * 0.7
+            + bilinear.b[:, 0] * 0.7
+        )
+        assert np.allclose(bilinear.rhs(x, [0.7]), expected)
+
+    def test_jacobian(self, bilinear, rng):
+        x = rng.standard_normal(4)
+        jac = bilinear.jacobian(x, [0.4])
+        assert np.allclose(jac, bilinear.a + 0.4 * bilinear.n_mats[0])
+
+    def test_simulatable(self, bilinear):
+        res = simulate(bilinear, sine_source(0.2, 0.3), 5.0, 0.01)
+        assert np.isfinite(res.states).all()
+
+    def test_n_mats_count_check(self, rng):
+        with pytest.raises(SystemStructureError):
+            BilinearSystem(
+                -np.eye(3), [np.eye(3), np.eye(3)], np.ones(3)
+            )
+
+    def test_transfer_h1(self, bilinear):
+        s = 0.8 + 0.2j
+        expected = bilinear.output @ np.linalg.solve(
+            s * np.eye(4) - bilinear.a, bilinear.b
+        )
+        assert np.allclose(bilinear.transfer_h1(s), expected)
+
+    def test_transfer_h2_symmetric(self, bilinear):
+        s1, s2 = 0.5, 1.1 + 0.3j
+        assert np.allclose(
+            bilinear.transfer_h2(s1, s2), bilinear.transfer_h2(s2, s1)
+        )
+
+
+class TestCarleman:
+    def test_state_matrix_is_the_papers_a2(self, small_qldae):
+        """Carleman's A equals the eq.-(17) Ã2 — the structural link
+        between bilinearization and the associated transform."""
+        ws = AssociatedWorkspace(small_qldae)
+        a2_dense = ws.a2_operator.dense()
+        carl = carleman_bilinearize(small_qldae)
+        assert np.allclose(carl.a, a2_dense)
+
+    def test_dimensions(self, small_qldae):
+        carl = carleman_bilinearize(small_qldae)
+        n = small_qldae.n_states
+        assert carl.n_states == n + n * n
+        assert carl.n_inputs == 1
+
+    def test_amplitude_convergence(self, small_qldae_no_d1):
+        """Carleman's truncation error shrinks faster than the response:
+        the normalized error decreases with input amplitude."""
+        carl = carleman_bilinearize(small_qldae_no_d1)
+        errors = []
+        for amp in (0.2, 0.1):
+            u = sine_source(amp, 0.4)
+            full = simulate(small_qldae_no_d1, u, 5.0, 0.01)
+            bil = simulate(carl, u, 5.0, 0.01)
+            n = small_qldae_no_d1.n_states
+            err = np.abs(bil.states[:, :n] - full.states).max()
+            errors.append(err / np.abs(full.states).max())
+        assert errors[1] < errors[0]
+
+    def test_linear_parts_agree(self, small_qldae):
+        carl = carleman_bilinearize(small_qldae)
+        s = 0.9 + 0.4j
+        n = small_qldae.n_states
+        h1_full = small_qldae.output @ np.linalg.solve(
+            s * np.eye(n) - small_qldae.g1, small_qldae.b
+        )
+        assert np.allclose(carl.transfer_h1(s), h1_full)
+
+    def test_h2_matches_associated_eval(self, small_qldae_no_d1):
+        """The Carleman bilinear H2 evaluated on the *diagonal* agrees
+        with the associated transform at s1 = s2 = s/2... more precisely
+        both encode the same quadratic kernel; check against the
+        multivariate H2."""
+        from repro.volterra import volterra_h2
+
+        carl = carleman_bilinearize(small_qldae_no_d1)
+        s1, s2 = 0.6, 1.0
+        h2_bilinear = carl.transfer_h2(s1, s2)[0, 0]
+        h2_direct = (
+            small_qldae_no_d1.output
+            @ volterra_h2(small_qldae_no_d1, s1, s2)
+        )[0, 0]
+        assert abs(h2_bilinear - h2_direct) < 1e-10 * max(
+            abs(h2_direct), 1.0
+        )
+
+    def test_rejects_cubic(self, small_cubic):
+        with pytest.raises(SystemStructureError):
+            carleman_bilinearize(small_cubic)
+
+    def test_rejects_degree_3(self, small_qldae):
+        with pytest.raises(ValidationError):
+            carleman_bilinearize(small_qldae, degree=3)
+
+    def test_rejects_mass(self, rng):
+        sys = QLDAE(-np.eye(2), np.ones(2), mass=2 * np.eye(2))
+        with pytest.raises(SystemStructureError):
+            carleman_bilinearize(sys)

@@ -1,0 +1,204 @@
+"""Tests for devices, netlist, MNA assembly and example circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Netlist,
+    nonlinear_transmission_line,
+    quadratic_rc_ladder,
+    rf_receiver_chain,
+    varistor_surge_protector,
+)
+from repro.circuits.devices import Resistor
+from repro.errors import SystemStructureError, ValidationError
+from repro.systems import CubicODE, ExponentialODE, QLDAE
+
+
+class TestDevices:
+    def test_resistor_validation(self):
+        with pytest.raises(ValidationError):
+            Resistor(1, 1, 1.0)
+        with pytest.raises(ValidationError):
+            Resistor(1, 0, -1.0)
+        with pytest.raises(ValidationError):
+            Resistor(-1, 0, 1.0)
+
+    def test_conductance_needs_coefficient(self):
+        net = Netlist()
+        with pytest.raises(ValidationError):
+            net.add_conductance(1, 0)
+
+
+class TestMNA:
+    def test_rc_divider_linear(self):
+        """R from 1→2 and C at node 2: classic RC low-pass."""
+        net = Netlist()
+        net.add_resistor(1, 2, 2.0)
+        net.add_capacitor(1, 0, 1.0)
+        net.add_capacitor(2, 0, 3.0)
+        net.add_current_source(1, 0)
+        sys = net.compile()
+        assert isinstance(sys, QLDAE)
+        # mass = diag(1, 3), g1 = -G with conductance 1/2 between nodes
+        mass = sys.mass if sys.mass is not None else np.eye(2)
+        assert np.allclose(mass, np.diag([1.0, 3.0]))
+        g = np.array([[-0.5, 0.5], [0.5, -0.5]])
+        assert np.allclose(sys.g1, g)
+        assert np.allclose(sys.b[:, 0], [1.0, 0.0])
+
+    def test_kcl_sign_convention(self):
+        """Current from the source charges the node positively."""
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_resistor(1, 0, 1.0)
+        net.add_current_source(1, 0)
+        sys = net.compile()
+        from repro.simulation import simulate, step_source
+
+        res = simulate(sys.to_explicit(), step_source(1.0), 10.0, 0.01)
+        # steady state: v = I*R = 1
+        assert abs(res.states[-1, 0] - 1.0) < 1e-3
+
+    def test_inductor_oscillation(self):
+        """Undamped LC tank oscillates at 1/sqrt(LC)."""
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_inductor(1, 2, 1.0)
+        net.add_capacitor(2, 0, 1.0)
+        net.add_resistor(2, 0, 1e6)
+        net.add_current_source(1, 0)
+        sys = net.compile().to_explicit()
+        eigs = np.linalg.eigvals(sys.g1)
+        # nearly imaginary pair
+        assert np.abs(eigs.imag).max() > 0.5
+
+    def test_node_without_mass_raises(self):
+        net = Netlist()
+        net.add_resistor(1, 2, 1.0)
+        net.add_capacitor(1, 0, 1.0)
+        # node 2 has no capacitor
+        with pytest.raises(SystemStructureError):
+            net.compile()
+
+    def test_empty_netlist_raises(self):
+        with pytest.raises(SystemStructureError):
+            Netlist().compile()
+
+    def test_quadratic_conductance_stamps(self):
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_conductance(1, 0, g1=0.5, g2=0.25)
+        sys = net.compile()
+        x = np.array([2.0])
+        # rhs = −(0.5 v + 0.25 v²) = −(1 + 1) = −2
+        assert np.allclose(sys.rhs(x, [0.0]), [-2.0])
+
+    def test_cubic_conductance_gives_cubic_ode(self):
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_conductance(1, 0, g1=0.1, g3=0.01)
+        sys = net.compile()
+        assert isinstance(sys, CubicODE)
+        x = np.array([2.0])
+        assert np.allclose(sys.rhs(x, [0.0]), [-(0.2 + 0.08)])
+
+    def test_diode_gives_exponential_ode(self):
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_diode(1, 0, i_s=2.0, kappa=3.0)
+        sys = net.compile()
+        assert isinstance(sys, ExponentialODE)
+        x = np.array([0.5])
+        expected = -2.0 * np.expm1(1.5)
+        assert np.allclose(sys.rhs(x, [0.0]), [expected])
+
+    def test_voltage_thevenin(self):
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_voltage_source_thevenin(1, 2.0)
+        sys = net.compile()
+        # b = 1/Rs, G has 1/Rs to ground
+        assert np.allclose(sys.b[:, 0], [0.5])
+        assert np.allclose(sys.g1, [[-0.5]])
+
+    def test_mixed_diode_poly_rejected(self):
+        net = Netlist()
+        net.add_capacitor(1, 0, 1.0)
+        net.add_diode(1, 0)
+        net.add_conductance(1, 0, g2=0.1)
+        with pytest.raises(SystemStructureError):
+            net.compile()
+
+
+class TestExampleCircuits:
+    def test_ntl_fig2_configuration(self):
+        """Voltage source + input diode → lifted QLDAE with D1 ≠ 0."""
+        sys = nonlinear_transmission_line(
+            n_nodes=10, source="voltage", diode_at_input=True
+        )
+        q = sys.quadratic_linearize()
+        assert q.n_states == 20  # 10 nodes + 10 diodes
+        assert q.d1 is not None
+
+    def test_ntl_fig3_configuration(self):
+        """Current source into a diode-free node → D1 = 0 exactly.
+
+        36 nodes + 34 diodes = 70 states, matching the paper's R^70."""
+        sys = nonlinear_transmission_line(
+            n_nodes=36,
+            source="current",
+            diode_at_input=False,
+            diode_start=2,
+        )
+        q = sys.quadratic_linearize()
+        assert q.n_states == 70
+        assert q.d1 is None
+
+    def test_ntl_equilibrium(self):
+        sys = nonlinear_transmission_line(n_nodes=8)
+        assert np.allclose(sys.rhs(np.zeros(8), [0.0]), 0.0)
+
+    def test_ntl_stable_linearization(self):
+        sys = nonlinear_transmission_line(n_nodes=8).taylor_polynomial(2)
+        assert np.linalg.eigvals(sys.g1).real.max() < 0
+
+    def test_quadratic_ladder(self):
+        sys = quadratic_rc_ladder(n_nodes=12)
+        assert isinstance(sys, QLDAE)
+        assert sys.n_states == 12
+        assert sys.d1 is None
+        assert sys.g2 is not None
+
+    def test_rf_receiver_dimensions(self):
+        sys = rf_receiver_chain(n_nodes=173)
+        assert sys.n_states == 173
+        assert sys.n_inputs == 2
+        assert sys.d1 is None
+
+    def test_rf_receiver_observable_at_signal_band(self):
+        sys = rf_receiver_chain(n_nodes=173).to_explicit()
+        from repro.systems import StateSpace
+
+        ss = StateSpace(sys.g1, sys.b, sys.output)
+        h = ss.transfer(0.1j)
+        assert abs(h[0, 0]) > 1e-3  # signal path reaches the output
+
+    def test_varistor_dimensions(self):
+        sys = varistor_surge_protector(n_sections=51)
+        assert isinstance(sys, CubicODE)
+        assert sys.n_states == 102  # paper: 102 states
+
+    def test_varistor_stability(self):
+        sys = varistor_surge_protector(n_sections=11).to_explicit()
+        assert np.linalg.eigvals(sys.g1).real.max() < 0
+
+    def test_generators_validate_inputs(self):
+        with pytest.raises(ValidationError):
+            nonlinear_transmission_line(n_nodes=2)
+        with pytest.raises(ValidationError):
+            nonlinear_transmission_line(n_nodes=10, source="battery")
+        with pytest.raises(ValidationError):
+            varistor_surge_protector(n_sections=1)
+        with pytest.raises(ValidationError):
+            rf_receiver_chain(n_nodes=5, path_nodes=12)

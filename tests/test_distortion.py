@@ -1,0 +1,148 @@
+"""Tests for harmonic-distortion / intermodulation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    distortion_sweep,
+    single_tone_distortion,
+    two_tone_intermodulation,
+)
+from repro.errors import SystemStructureError
+from repro.mor import AssociatedTransformMOR
+from repro.simulation import simulate, sine_source
+from repro.systems import QLDAE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(181)
+
+
+@pytest.fixture
+def scalar_quadratic():
+    """1-state system x' = −x + g2 x² + u with known closed forms.
+
+    H1(s) = 1/(s+1); H2(s1,s2) = g2 H1(s1)H1(s2)/(s1+s2+1).
+    """
+    g2 = 0.3
+    return (
+        QLDAE(
+            np.array([[-1.0]]),
+            np.array([1.0]),
+            g2=np.array([[g2]]),
+            output=np.array([1.0]),
+        ),
+        g2,
+    )
+
+
+class TestSingleTone:
+    def test_second_harmonic_closed_form(self, scalar_quadratic):
+        sys, g2 = scalar_quadratic
+        w = 0.7
+        a = 0.2
+        h1 = 1.0 / (1j * w + 1.0)
+        h2 = g2 * h1 * h1 / (2j * w + 1.0) * 1.0
+        metrics = single_tone_distortion(sys, w, a)
+        assert np.isclose(metrics["fundamental"], a * abs(h1))
+        assert np.isclose(metrics["second_harmonic"],
+                          0.5 * a**2 * abs(h2))
+        assert np.isclose(
+            metrics["hd2"], 0.5 * a * abs(h2) / abs(h1)
+        )
+
+    def test_matches_transient_harmonics(self, scalar_quadratic):
+        """The predicted 2nd harmonic equals the one extracted from a
+        steady-state transient by single-bin DFT.
+
+        The analysis window must hold an integer number of periods or
+        fundamental leakage swamps the (tiny) harmonic bins; we use
+        ω = π/4 (period 8) and the window [40, 80)."""
+        sys, _ = scalar_quadratic
+        w = np.pi / 4
+        a = 0.05
+        metrics = single_tone_distortion(sys, w, a)
+        u = lambda t: a * np.cos(w * t)
+        res = simulate(sys, u, 80.0, 0.005)
+        tail = (res.times >= 40.0) & (res.times < 80.0)
+        t = res.times[tail]
+        y = res.output(0)[tail]
+
+        def bin_mag(freq):
+            phase = np.exp(-1j * freq * t)
+            return 2 * abs(np.mean(y * phase))
+
+        assert np.isclose(
+            bin_mag(w), metrics["fundamental"], rtol=1e-2
+        )
+        assert np.isclose(
+            bin_mag(2 * w), metrics["second_harmonic"], rtol=5e-2
+        )
+
+    def test_hd_scales_with_amplitude(self, scalar_quadratic):
+        sys, _ = scalar_quadratic
+        m1 = single_tone_distortion(sys, 0.5, 0.1)
+        m2 = single_tone_distortion(sys, 0.5, 0.2)
+        assert np.isclose(m2["hd2"], 2 * m1["hd2"])
+        assert np.isclose(m2["hd3"], 4 * m1["hd3"])
+
+    def test_requires_siso(self, miso_qldae):
+        with pytest.raises(SystemStructureError):
+            single_tone_distortion(miso_qldae, 0.5)
+
+
+class TestTwoTone:
+    def test_im2_closed_form(self, scalar_quadratic):
+        sys, g2 = scalar_quadratic
+        w1, w2 = 0.5, 0.8
+
+        def h1(s):
+            return 1.0 / (s + 1.0)
+
+        h2_sum = g2 * h1(1j * w1) * h1(1j * w2) / (1j * (w1 + w2) + 1.0)
+        metrics = two_tone_intermodulation(sys, w1, w2, a1=0.1, a2=0.2)
+        assert np.isclose(metrics["im2_sum"], 0.1 * 0.2 * abs(h2_sum))
+
+    def test_im3_present_for_quadratic_cascade(self, small_qldae_no_d1):
+        """Quadratic systems still produce IM3 through H3 (cascaded H2)."""
+        metrics = two_tone_intermodulation(
+            small_qldae_no_d1, 0.4, 0.6, a1=0.1, a2=0.1
+        )
+        assert metrics["im3_2f1_f2"] > 0.0
+
+
+class TestSweepAndROM:
+    def test_sweep_shapes(self, scalar_quadratic):
+        sys, _ = scalar_quadratic
+        omegas, hd2, hd3 = distortion_sweep(
+            sys, np.linspace(0.1, 2.0, 8), amplitude=0.1
+        )
+        assert omegas.shape == hd2.shape == hd3.shape == (8,)
+        assert np.all(hd2 > 0)
+
+    def test_rom_preserves_distortion(self, rng):
+        """ROMs reproduce HD2 across the matched band.
+
+        Nuance worth pinning down: NORM matches *multivariate* moments,
+        so its ROM reproduces H2(jω, jω) (and hence HD2) to machine-ish
+        accuracy near DC; the associated transform matches moments of
+        the *diagonal* kernel's transform, a slightly different space,
+        and lands within a few percent — consistent with the paper's
+        "almost the same accuracy" transient observations."""
+        from repro.mor import NORMReducer
+
+        n = 12
+        g1 = -1.2 * np.eye(n) + 0.25 * rng.standard_normal((n, n))
+        g2 = 0.15 * rng.standard_normal((n, n * n))
+        sys = QLDAE(
+            g1, rng.standard_normal(n), g2=g2, output=np.eye(n)[0]
+        )
+        rom_a = AssociatedTransformMOR(orders=(6, 4, 0)).reduce(sys)
+        rom_n = NORMReducer(orders=(6, 4, 0)).reduce(sys)
+        for w in (0.05, 0.2):
+            full_m = single_tone_distortion(sys, w, 0.1)
+            m_a = single_tone_distortion(rom_a.system, w, 0.1)
+            m_n = single_tone_distortion(rom_n.system, w, 0.1)
+            assert np.isclose(full_m["hd2"], m_n["hd2"], rtol=1e-4)
+            assert np.isclose(full_m["hd2"], m_a["hd2"], rtol=0.10)

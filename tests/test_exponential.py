@@ -1,0 +1,166 @@
+"""Unit tests for exponential systems and quadratic-linearization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemStructureError
+from repro.simulation import simulate, sine_source, step_source
+from repro.systems import ExponentialODE, ExpTerm, QLDAE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+@pytest.fixture
+def diode_system(rng):
+    """3-node RC chain with one diode-type nonlinearity."""
+    n = 3
+    g1 = np.array(
+        [[-2.0, 1.0, 0.0], [1.0, -2.0, 1.0], [0.0, 1.0, -1.0]]
+    )
+    b = np.array([1.0, 0.0, 0.0])
+    # diode between nodes 2 and 3
+    coeff = np.array([0.0, -1.0, 1.0])
+    expo = np.array([0.0, 2.0, -2.0])
+    return ExponentialODE(g1, b, [ExpTerm(coeff, expo)])
+
+
+class TestExpTerm:
+    def test_dimension_check(self):
+        with pytest.raises(SystemStructureError):
+            ExpTerm([1.0, 0.0], [1.0, 0.0, 0.0])
+
+
+class TestExponentialODE:
+    def test_rhs(self, diode_system, rng):
+        x = 0.2 * rng.standard_normal(3)
+        term = diode_system.exp_terms[0]
+        expected = (
+            diode_system.g1 @ x
+            + diode_system.b[:, 0] * 0.5
+            + term.coefficient * np.expm1(term.exponent @ x)
+        )
+        assert np.allclose(diode_system.rhs(x, [0.5]), expected)
+
+    def test_jacobian_finite_difference(self, diode_system, rng):
+        x = 0.2 * rng.standard_normal(3)
+        jac = diode_system.jacobian(x, [0.0])
+        eps = 1e-7
+        for j in range(3):
+            dx = np.zeros(3)
+            dx[j] = eps
+            fd = (
+                diode_system.rhs(x + dx, [0.0])
+                - diode_system.rhs(x - dx, [0.0])
+            ) / (2 * eps)
+            assert np.allclose(jac[:, j], fd, atol=1e-6)
+
+    def test_equilibrium_at_origin(self, diode_system):
+        assert np.allclose(diode_system.rhs(np.zeros(3), [0.0]), 0.0)
+
+    def test_mass_folding(self, diode_system):
+        sys = ExponentialODE(
+            diode_system.g1,
+            diode_system.b,
+            diode_system.exp_terms,
+            mass=2.0 * np.eye(3),
+        )
+        explicit = sys.to_explicit()
+        assert explicit.mass is None
+        assert np.allclose(explicit.g1, diode_system.g1 / 2.0)
+        assert np.allclose(
+            explicit.exp_terms[0].coefficient,
+            diode_system.exp_terms[0].coefficient / 2.0,
+        )
+
+
+class TestQuadraticLinearize:
+    def test_returns_qldae_with_correct_dim(self, diode_system):
+        q = diode_system.quadratic_linearize()
+        assert isinstance(q, QLDAE)
+        assert q.n_states == 4  # 3 + 1 exponential
+
+    def test_lifted_g1_rows_are_dependent(self, diode_system):
+        """The added rows are a_eᵀ times the x-rows (structural)."""
+        q = diode_system.quadratic_linearize()
+        a_e = diode_system.exp_terms[0].exponent
+        assert np.allclose(q.g1[3, :], a_e @ q.g1[:3, :])
+
+    def test_simulation_exactness(self, diode_system):
+        """Lifted QLDAE trajectory (x-block) == original trajectory."""
+        q = diode_system.quadratic_linearize()
+        u = sine_source(0.4, 0.2)
+        full = simulate(diode_system, u, t_end=6.0, dt=0.01)
+        lifted = simulate(q, u, t_end=6.0, dt=0.01)
+        assert np.abs(full.states - lifted.states[:, :3]).max() < 1e-6
+
+    def test_lifted_y_tracks_manifold(self, diode_system):
+        """y_e(t) == exp(a_eᵀ x(t)) − 1 along the lifted trajectory."""
+        q = diode_system.quadratic_linearize()
+        u = step_source(0.3)
+        res = simulate(q, u, t_end=4.0, dt=0.005)
+        a_e = diode_system.exp_terms[0].exponent
+        y = res.states[:, 3]
+        manifold = np.expm1(res.states[:, :3] @ a_e)
+        assert np.abs(y - manifold).max() < 1e-6
+
+    def test_no_d1_when_input_sees_no_diode(self, diode_system):
+        # b = e1, exponent touches nodes 2,3 -> aᵀb = 0.
+        q = diode_system.quadratic_linearize()
+        assert q.d1 is None
+
+    def test_d1_when_input_hits_diode(self, rng):
+        g1 = -np.eye(2)
+        b = np.array([1.0, 0.0])
+        term = ExpTerm([-1.0, 0.0], [3.0, 0.0])  # diode at the input node
+        sys = ExponentialODE(g1, b, [term])
+        q = sys.quadratic_linearize()
+        assert q.d1 is not None
+        # D1 entry: (aᵀ b) on the lifted state's diagonal.
+        assert np.isclose(q.d1[0][2, 2], 3.0)
+
+    def test_output_padded(self, diode_system):
+        sys = ExponentialODE(
+            diode_system.g1,
+            diode_system.b,
+            diode_system.exp_terms,
+            output=np.array([0.0, 0.0, 1.0]),
+        )
+        q = sys.quadratic_linearize()
+        assert q.output.shape == (1, 4)
+        assert q.output[0, 3] == 0.0
+
+
+class TestTaylorPolynomial:
+    def test_taylor2_linear_part(self, diode_system):
+        t2 = diode_system.taylor_polynomial(order=2)
+        term = diode_system.exp_terms[0]
+        expected_g1 = diode_system.g1 + np.outer(
+            term.coefficient, term.exponent
+        )
+        assert np.allclose(t2.g1, expected_g1)
+        assert t2.n_states == 3
+
+    def test_taylor_accuracy_improves_with_order(self, diode_system, rng):
+        """Taylor-3 rhs is closer to the true rhs than Taylor-2."""
+        t2 = diode_system.taylor_polynomial(order=2)
+        t3 = diode_system.taylor_polynomial(order=3)
+        x = 0.1 * rng.standard_normal(3)
+        truth = diode_system.rhs(x, [0.0])
+        err2 = np.abs(t2.rhs(x, [0.0]) - truth).max()
+        err3 = np.abs(t3.rhs(x, [0.0]) - truth).max()
+        assert err3 < err2
+
+    def test_taylor_rejects_bad_order(self, diode_system):
+        with pytest.raises(SystemStructureError):
+            diode_system.taylor_polynomial(order=4)
+
+    def test_taylor_matches_small_signal_simulation(self, diode_system):
+        t2 = diode_system.taylor_polynomial(order=2)
+        u = step_source(0.02)
+        full = simulate(diode_system, u, t_end=4.0, dt=0.01)
+        approx = simulate(t2, u, t_end=4.0, dt=0.01)
+        scale = np.abs(full.states).max()
+        assert np.abs(full.states - approx.states).max() < 0.02 * scale

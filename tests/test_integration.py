@@ -1,0 +1,156 @@
+"""End-to-end integration tests: circuit → lift → reduce → simulate.
+
+These follow the paper's experimental pipeline at reduced scale so they
+run in seconds; the benchmarks run the paper-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import max_relative_error
+from repro.circuits import (
+    nonlinear_transmission_line,
+    quadratic_rc_ladder,
+    rf_receiver_chain,
+    varistor_surge_protector,
+)
+from repro.mor import AssociatedTransformMOR, NORMReducer
+from repro.simulation import (
+    simulate,
+    sine_source,
+    stack_sources,
+    step_source,
+    surge_source,
+)
+
+
+class TestFig2Pipeline:
+    """§3.1: voltage-driven NTL, lifted QLDAE with D1."""
+
+    def test_rom_tracks_full_model(self):
+        ntl = nonlinear_transmission_line(
+            n_nodes=12, source="voltage", diode_at_input=True
+        )
+        q = ntl.quadratic_linearize()
+        assert q.d1 is not None
+        u = sine_source(0.2, 0.3)
+        full = simulate(q, u, 10.0, 0.02)
+        rom = AssociatedTransformMOR(
+            orders=(6, 3, 2), expansion_points=(0.5,)
+        ).reduce(q)
+        assert rom.order < q.n_states / 2
+        red = simulate(rom.system, u, 10.0, 0.02)
+        err = max_relative_error(full.output(0), red.output(0))
+        assert err < 5e-3
+
+
+class TestFig3Pipeline:
+    """§3.2: current-driven NTL without D1, proposed vs NORM."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ntl = nonlinear_transmission_line(
+            n_nodes=16,
+            source="current",
+            diode_at_input=False,
+            diode_start=2,
+        )
+        q = ntl.quadratic_linearize()
+        u = step_source(0.25)
+        full = simulate(q, u, 10.0, 0.02)
+        return q, u, full
+
+    def test_proposed_more_compact_than_norm(self, setup):
+        q, u, full = setup
+        orders = (6, 3, 2)
+        rom_a = AssociatedTransformMOR(
+            orders=orders, expansion_points=(0.5,)
+        ).reduce(q)
+        rom_n = NORMReducer(orders=orders, s0=0.5).reduce(q)
+        assert rom_a.order < rom_n.order
+        assert rom_a.details["rom_linear_stable"]
+        red_a = simulate(rom_a.system, u, 10.0, 0.02)
+        red_n = simulate(rom_n.system, u, 10.0, 0.02)
+        err_a = max_relative_error(full.output(0), red_a.output(0))
+        err_n = max_relative_error(full.output(0), red_n.output(0))
+        assert err_a < 0.02
+        assert err_n < 0.02
+
+    def test_rom_is_much_smaller(self, setup):
+        """Wall-clock speedups are measured at paper scale in the
+        benchmarks (toy-scale timings are dominated by Python overhead);
+        here we assert the structural claim only."""
+        q, u, full = setup
+        rom = AssociatedTransformMOR(
+            orders=(6, 3, 2), expansion_points=(0.5,)
+        ).reduce(q)
+        assert rom.order <= q.n_states // 2
+        red = simulate(rom.system, u, 10.0, 0.02)
+        assert np.isfinite(red.states).all()
+
+
+class TestFig4Pipeline:
+    """§3.3: MISO RF receiver."""
+
+    def test_miso_reduction(self):
+        rf = rf_receiver_chain(n_nodes=40, path_nodes=9).to_explicit()
+        u = stack_sources(
+            [sine_source(0.25, 0.05), sine_source(0.1, 0.12)]
+        )
+        full = simulate(rf, u, 30.0, 0.05)
+        rom_a = AssociatedTransformMOR(orders=(6, 3, 1)).reduce(rf)
+        rom_n = NORMReducer(orders=(6, 3, 1)).reduce(rf)
+        assert rom_a.order < rom_n.order
+        red = simulate(rom_a.system, u, 30.0, 0.05)
+        err = max_relative_error(full.output(0), red.output(0))
+        assert err < 0.02
+
+
+class TestFig5Pipeline:
+    """§3.4: cubic varistor surge protection."""
+
+    def test_cubic_reduction(self):
+        var = varistor_surge_protector(n_states=30)
+        u = surge_source(amplitude=9.8e3, tau_rise=0.5, tau_fall=5.0)
+        full = simulate(var, u, 30.0, 0.05)
+        rom = AssociatedTransformMOR(
+            orders=(2, 0, 1), expansion_points=(0.0, 2.0j)
+        ).reduce(var)
+        assert rom.order <= 12
+        red = simulate(rom.system, u, 30.0, 0.05)
+        err = max_relative_error(full.output(0), red.output(0))
+        assert err < 0.1
+        # the response actually clamps (nonlinearity active)
+        assert np.abs(full.output(0)).max() > 1.0
+
+
+class TestLiftingConsistency:
+    def test_exponential_vs_lifted_vs_taylor(self):
+        """Three model forms agree for small signals."""
+        ntl = nonlinear_transmission_line(n_nodes=8)
+        q = ntl.quadratic_linearize()
+        t2 = ntl.taylor_polynomial(2)
+        u = sine_source(0.05, 0.2)
+        r_exp = simulate(ntl.to_explicit(), u, 8.0, 0.02)
+        r_lift = simulate(q, u, 8.0, 0.02)
+        r_tay = simulate(t2, u, 8.0, 0.02)
+        # lifting is exact
+        assert np.abs(
+            r_exp.states - r_lift.states[:, :8]
+        ).max() < 1e-7
+        # Taylor is accurate for small signals
+        scale = np.abs(r_exp.states).max()
+        assert np.abs(r_exp.states - r_tay.states).max() < 0.02 * scale
+
+
+class TestQuadraticLadderQuickstart:
+    def test_quickstart_flow(self):
+        """The README quickstart, as a test."""
+        system = quadratic_rc_ladder(n_nodes=20)
+        rom = AssociatedTransformMOR(orders=(4, 2, 0)).reduce(system)
+        u = step_source(0.1)
+        full = simulate(system.to_explicit(), u, 5.0, 0.01)
+        red = simulate(rom.system, u, 5.0, 0.01)
+        err = max_relative_error(full.output(0), red.output(0))
+        assert err < 1e-2
+        assert rom.order < system.n_states

@@ -1,0 +1,199 @@
+"""Unit tests for the Kronecker algebra module."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.linalg import (
+    commutation_matrix,
+    kron,
+    kron_many,
+    kron_matvec,
+    kron_power,
+    kron_sum,
+    kron_sum_many,
+    kron_sum_matvec,
+    kron_sum_power,
+    kron_sum_power_matvec,
+    mode_apply,
+    symmetrize_pair,
+    unvec,
+    vec,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestKron:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((2, 5))
+        assert np.allclose(kron(a, b), np.kron(a, b))
+
+    def test_sparse_inputs_stay_sparse(self, rng):
+        a = sp.random(4, 4, density=0.3, random_state=1)
+        b = np.eye(3)
+        out = kron(a, b)
+        assert sp.issparse(out)
+        assert np.allclose(out.toarray(), np.kron(a.toarray(), b))
+
+    def test_kron_many_three_factors(self, rng):
+        mats = [rng.standard_normal((2, 2)) for _ in range(3)]
+        expected = np.kron(np.kron(mats[0], mats[1]), mats[2])
+        assert np.allclose(kron_many(mats), expected)
+
+    def test_kron_many_empty_raises(self):
+        with pytest.raises(ValidationError):
+            kron_many([])
+
+    def test_kron_power_vector(self, rng):
+        b = rng.standard_normal(3)
+        assert np.allclose(kron_power(b, 2), np.kron(b, b))
+        assert np.allclose(kron_power(b, 3), np.kron(b, np.kron(b, b)))
+
+    def test_kron_power_requires_positive(self, rng):
+        with pytest.raises(ValidationError):
+            kron_power(np.eye(2), 0)
+
+
+class TestKronSum:
+    def test_definition(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((2, 2))
+        expected = np.kron(a, np.eye(2)) + np.kron(np.eye(3), b)
+        assert np.allclose(kron_sum(a, b), expected)
+
+    def test_exponential_identity(self, rng):
+        """exp(A ⊕ B) = exp(A) ⊗ exp(B) — the engine behind Theorem 1."""
+        import scipy.linalg as sla
+
+        a = -np.eye(3) + 0.3 * rng.standard_normal((3, 3))
+        b = -np.eye(2) + 0.3 * rng.standard_normal((2, 2))
+        ks = kron_sum(a, b)
+        assert np.allclose(
+            sla.expm(np.asarray(ks)), np.kron(sla.expm(a), sla.expm(b))
+        )
+
+    def test_kron_sum_power(self, rng):
+        a = rng.standard_normal((2, 2))
+        expected = (
+            np.kron(np.kron(a, np.eye(2)), np.eye(2))
+            + np.kron(np.kron(np.eye(2), a), np.eye(2))
+            + np.kron(np.eye(4), a)
+        )
+        out = kron_sum_power(a, 3)
+        out = out.toarray() if sp.issparse(out) else out
+        assert np.allclose(out, expected)
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            kron_sum(rng.standard_normal((2, 3)), np.eye(2))
+
+    def test_kron_sum_many_matches_pairwise(self, rng):
+        mats = [rng.standard_normal((2, 2)) for _ in range(3)]
+        left = kron_sum_many(mats)
+        right = kron_sum(kron_sum(mats[0], mats[1]), mats[2])
+        left = left.toarray() if sp.issparse(left) else left
+        right = right.toarray() if sp.issparse(right) else right
+        assert np.allclose(left, right)
+
+
+class TestVec:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((3, 4))
+        assert np.allclose(unvec(vec(x), (3, 4)), x)
+
+    def test_rowmajor_identity(self, rng):
+        """(A ⊗ B) vec(X) == vec(A X Bᵀ) under row-major vec."""
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((4, 4))
+        x = rng.standard_normal((3, 4))
+        lhs = np.kron(a, b) @ vec(x)
+        rhs = vec(a @ x @ b.T)
+        assert np.allclose(lhs, rhs)
+
+    def test_unvec_wrong_size(self):
+        with pytest.raises(ValidationError):
+            unvec(np.zeros(5), (2, 3))
+
+
+class TestMatvecs:
+    def test_kron_matvec(self, rng):
+        mats = [rng.standard_normal((3, 2)), rng.standard_normal((2, 4))]
+        x = rng.standard_normal(8)
+        expected = np.kron(mats[0], mats[1]) @ x
+        assert np.allclose(kron_matvec(mats, x), expected)
+
+    def test_kron_matvec_three(self, rng):
+        mats = [rng.standard_normal((2, 2)) for _ in range(3)]
+        x = rng.standard_normal(8)
+        expected = np.kron(np.kron(mats[0], mats[1]), mats[2]) @ x
+        assert np.allclose(kron_matvec(mats, x), expected)
+
+    def test_kron_matvec_sparse_factor(self, rng):
+        a = sp.identity(3)
+        b = rng.standard_normal((2, 2))
+        x = rng.standard_normal(6)
+        assert np.allclose(
+            kron_matvec([a, b], x), np.kron(np.eye(3), b) @ x
+        )
+
+    def test_kron_sum_matvec(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((4, 4))
+        x = rng.standard_normal(12)
+        expected = (
+            np.kron(a, np.eye(4)) + np.kron(np.eye(3), b)
+        ) @ x
+        assert np.allclose(kron_sum_matvec(a, b, x), expected)
+
+    def test_kron_sum_power_matvec(self, rng):
+        a = rng.standard_normal((3, 3))
+        dense = kron_sum_power(a, 3)
+        dense = dense.toarray() if sp.issparse(dense) else dense
+        x = rng.standard_normal(27)
+        assert np.allclose(kron_sum_power_matvec(a, 3, x), dense @ x)
+
+    def test_wrong_length_raises(self, rng):
+        with pytest.raises(ValidationError):
+            kron_matvec([np.eye(2)], np.zeros(3))
+
+
+class TestModeApply:
+    def test_mode0_is_left_multiplication(self, rng):
+        t = rng.standard_normal((3, 4))
+        m = rng.standard_normal((5, 3))
+        assert np.allclose(mode_apply(t, m, 0), m @ t)
+
+    def test_mode1_is_right_multiplication(self, rng):
+        t = rng.standard_normal((3, 4))
+        m = rng.standard_normal((5, 4))
+        assert np.allclose(mode_apply(t, m, 1), t @ m.T)
+
+
+class TestPermutations:
+    def test_commutation_matrix(self, rng):
+        x = rng.standard_normal((3, 4))
+        k = commutation_matrix(3, 4)
+        assert np.allclose(k @ vec(x), vec(x.T))
+
+    def test_commutation_swaps_kron_vectors(self, rng):
+        u = rng.standard_normal(3)
+        v = rng.standard_normal(3)
+        k = commutation_matrix(3, 3)
+        assert np.allclose(k @ np.kron(u, v), np.kron(v, u))
+
+    def test_symmetrize_pair(self, rng):
+        u = rng.standard_normal(4)
+        v = rng.standard_normal(4)
+        sym = symmetrize_pair(u, v)
+        assert np.allclose(sym, 0.5 * (np.kron(u, v) + np.kron(v, u)))
+        assert np.allclose(sym, symmetrize_pair(v, u))
+
+    def test_symmetrize_pair_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            symmetrize_pair(np.zeros(3), np.zeros(4))

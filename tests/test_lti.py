@@ -1,0 +1,143 @@
+"""Unit tests for the LTI state-space substrate."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.errors import SystemStructureError
+from repro.linalg import transfer_moments_dense
+from repro.systems import StateSpace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+@pytest.fixture
+def stable_ss(rng):
+    a = -1.2 * np.eye(5) + 0.3 * rng.standard_normal((5, 5))
+    b = rng.standard_normal(5)
+    c = rng.standard_normal(5)
+    return StateSpace(a, b, c)
+
+
+class TestConstruction:
+    def test_vector_b_and_c_promoted(self, stable_ss):
+        assert stable_ss.b.shape == (5, 1)
+        assert stable_ss.c.shape == (1, 5)
+        assert stable_ss.d.shape == (1, 1)
+
+    def test_default_c_is_identity(self, rng):
+        ss = StateSpace(-np.eye(3), np.ones(3))
+        assert np.allclose(ss.c, np.eye(3))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(SystemStructureError):
+            StateSpace(-np.eye(3), np.ones(4))
+
+    def test_repr(self, stable_ss):
+        assert "n_states=5" in repr(stable_ss)
+
+
+class TestResponses:
+    def test_transfer_at_point(self, stable_ss):
+        s = 0.8 + 0.5j
+        expected = stable_ss.c @ np.linalg.solve(
+            s * np.eye(5) - stable_ss.a, stable_ss.b
+        )
+        assert np.allclose(stable_ss.transfer(s), expected)
+
+    def test_frequency_response_shape(self, stable_ss):
+        resp = stable_ss.frequency_response([0.1, 1.0, 10.0])
+        assert resp.shape == (3, 1, 1)
+
+    def test_impulse_response_matches_expm(self, stable_ss):
+        ts = np.linspace(0.0, 2.0, 9)
+        resp = stable_ss.impulse_response(ts)
+        for idx, t in enumerate(ts):
+            expected = stable_ss.c @ sla.expm(stable_ss.a * t) @ stable_ss.b
+            assert np.allclose(resp[idx], expected, atol=1e-10)
+
+    def test_impulse_nonuniform_grid(self, stable_ss):
+        ts = np.array([0.0, 0.3, 1.0])
+        resp = stable_ss.impulse_response(ts)
+        assert resp.shape == (3, 1, 1)
+
+
+class TestMoments:
+    def test_moments_match_taylor(self, stable_ss):
+        """Finite differences of H about s0 match the computed moments."""
+        s0 = 0.5
+        moments = stable_ss.moments(3, s0=s0)
+        eps = 1e-4
+        h = lambda s: stable_ss.transfer(s)[0, 0]
+        m0 = h(s0)
+        m1 = (h(s0 + eps) - h(s0 - eps)) / (2 * eps)
+        m2 = (h(s0 + eps) - 2 * h(s0) + h(s0 - eps)) / eps**2 / 2
+        assert abs(moments[0][0, 0] - m0) < 1e-8
+        assert abs(moments[1][0, 0] - m1) < 1e-5
+        assert abs(moments[2][0, 0] - m2) < 1e-2
+
+    def test_moments_dense_helper_agrees(self, stable_ss):
+        m_ss = stable_ss.moments(4, s0=0.0)
+        m_fn = transfer_moments_dense(
+            stable_ss.a, stable_ss.b, stable_ss.c, 4, s0=0.0
+        )
+        for a, b in zip(m_ss, m_fn):
+            assert np.allclose(a, b)
+
+
+class TestGramians:
+    def test_lyapunov_residuals(self, stable_ss):
+        p = stable_ss.controllability_gramian()
+        q = stable_ss.observability_gramian()
+        res_p = stable_ss.a @ p + p @ stable_ss.a.T + \
+            stable_ss.b @ stable_ss.b.T
+        res_q = stable_ss.a.T @ q + q @ stable_ss.a + \
+            stable_ss.c.T @ stable_ss.c
+        assert np.abs(res_p).max() < 1e-10
+        assert np.abs(res_q).max() < 1e-10
+
+    def test_hankel_values_sorted_positive(self, stable_ss):
+        hsv = stable_ss.hankel_singular_values()
+        assert np.all(np.diff(hsv) <= 1e-12)
+        assert np.all(hsv >= 0.0)
+
+    def test_unstable_raises(self, rng):
+        ss = StateSpace(np.eye(2), np.ones(2), np.ones(2))
+        with pytest.raises(SystemStructureError):
+            ss.controllability_gramian()
+
+
+class TestTransformations:
+    def test_projection_preserves_moments(self, stable_ss):
+        """Krylov projection matches leading moments."""
+        from repro.mor import krylov_basis
+
+        v = krylov_basis(stable_ss.a, stable_ss.b, 3, s0=0.0)
+        red = stable_ss.project(v)
+        m_full = stable_ss.moments(3)
+        m_red = red.moments(3)
+        for a, b in zip(m_full, m_red):
+            assert np.allclose(a, b, rtol=1e-6, atol=1e-9)
+
+    def test_series_cascade(self, rng):
+        a1 = -np.eye(2)
+        a2 = -2 * np.eye(3)
+        ss1 = StateSpace(a1, np.ones(2), np.ones(2))
+        ss2 = StateSpace(a2, np.ones(3), np.ones(3))
+        cascade = ss1.series(ss2)
+        s = 1.3 + 0.2j
+        expected = ss2.transfer(s) @ ss1.transfer(s)
+        assert np.allclose(cascade.transfer(s), expected)
+
+    def test_series_dimension_check(self, rng):
+        ss1 = StateSpace(-np.eye(2), np.ones(2), np.eye(2))  # 2 outputs
+        ss2 = StateSpace(-np.eye(2), np.ones(2), np.ones(2))  # 1 input
+        with pytest.raises(SystemStructureError):
+            ss1.series(ss2)
+
+    def test_stability_check(self, stable_ss):
+        assert stable_ss.is_stable()
+        assert not StateSpace(np.eye(2), np.ones(2)).is_stable()

@@ -1,0 +1,166 @@
+"""Tests for the proposed associated-transform NMOR reducer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mor import AssociatedTransformMOR
+from repro.simulation import simulate, sine_source, step_source
+from repro.analysis import max_relative_error
+from repro.systems import QLDAE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(121)
+
+
+class TestConfiguration:
+    def test_rejects_bad_orders(self):
+        with pytest.raises(ValidationError):
+            AssociatedTransformMOR(orders=(1, 2))
+        with pytest.raises(ValidationError):
+            AssociatedTransformMOR(orders=(0, 0, 0))
+        with pytest.raises(ValidationError):
+            AssociatedTransformMOR(orders=(1, -1, 0))
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ValidationError):
+            AssociatedTransformMOR(strategy="magic")
+
+    def test_rejects_empty_expansion_points(self):
+        with pytest.raises(ValidationError):
+            AssociatedTransformMOR(expansion_points=())
+
+
+class TestReduction:
+    def test_rom_order_is_sum_of_orders(self, small_qldae):
+        rom = AssociatedTransformMOR(orders=(3, 2, 1)).reduce(small_qldae)
+        # SISO: q1 + q2 + q3 chain vectors (possibly deflated)
+        assert rom.order <= 6
+        assert rom.order >= 4
+        assert rom.basis.shape == (5, rom.order)
+        assert np.allclose(
+            rom.basis.T @ rom.basis, np.eye(rom.order), atol=1e-10
+        )
+
+    def test_h1_moments_matched(self, small_qldae):
+        """The ROM's linear output transfer function matches q1 moments."""
+        from repro.systems import StateSpace
+
+        rom = AssociatedTransformMOR(orders=(3, 0, 0)).reduce(small_qldae)
+        full_lin = StateSpace(
+            small_qldae.g1, small_qldae.b, small_qldae.output
+        )
+        rom_lin = StateSpace(
+            rom.system.g1, rom.system.b, rom.system.output
+        )
+        for a, b in zip(full_lin.moments(3), rom_lin.moments(3)):
+            assert np.allclose(a, b, rtol=1e-6, atol=1e-12)
+
+    def test_h2bar_moments_matched(self, small_qldae):
+        """Output-side moments of A2(H2) match between full and ROM."""
+        from repro.volterra import associated_h2
+
+        rom = AssociatedTransformMOR(orders=(3, 3, 0)).reduce(small_qldae)
+        r2_full = associated_h2(small_qldae)
+        r2_rom = associated_h2(rom.system)
+        s0 = 0.0
+        # Compare Taylor values of the OUTPUT transfer function at s0:
+        for s in (0.05, 0.1):
+            full_val = small_qldae.output @ r2_full.eval(s)
+            rom_val = rom.system.output @ r2_rom.eval(s)
+            assert np.allclose(full_val, rom_val, rtol=1e-4, atol=1e-10)
+
+    def test_transient_accuracy(self, small_qldae):
+        u = sine_source(0.25, 0.4)
+        full = simulate(small_qldae, u, 8.0, 0.01)
+        rom = AssociatedTransformMOR(orders=(4, 3, 2)).reduce(small_qldae)
+        red = simulate(rom.system, u, 8.0, 0.01)
+        assert (
+            max_relative_error(full.output(0), red.output(0)) < 1e-3
+        )
+
+    def test_decoupled_equals_coupled_subspace(self, small_qldae):
+        cou = AssociatedTransformMOR(
+            orders=(3, 2, 0), strategy="coupled"
+        ).reduce(small_qldae)
+        dec = AssociatedTransformMOR(
+            orders=(3, 2, 0), strategy="decoupled"
+        ).reduce(small_qldae)
+        # Decoupled basis has (up to) one extra block but must contain
+        # the coupled moment directions; compare subspace angles of the
+        # shared span.
+        q_dec = dec.basis
+        proj = q_dec @ (q_dec.T @ cou.basis)
+        assert np.abs(proj - cou.basis).max() < 1e-6
+
+    def test_multipoint_expansion(self, small_qldae):
+        rom = AssociatedTransformMOR(
+            orders=(2, 1, 0), expansion_points=(0.0, 1.0j)
+        ).reduce(small_qldae)
+        u = sine_source(0.2, 0.5)
+        full = simulate(small_qldae, u, 6.0, 0.01)
+        red = simulate(rom.system, u, 6.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 5e-3
+
+    def test_cubic_system(self, small_cubic):
+        rom = AssociatedTransformMOR(orders=(3, 0, 2)).reduce(small_cubic)
+        u = step_source(0.4)
+        full = simulate(small_cubic, u, 6.0, 0.01)
+        red = simulate(rom.system, u, 6.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 1e-2
+
+    def test_miso_system(self, miso_qldae):
+        rom = AssociatedTransformMOR(orders=(3, 2, 1)).reduce(miso_qldae)
+        u = lambda t: np.array([0.2 * np.sin(0.5 * t), 0.1])
+        full = simulate(miso_qldae, u, 6.0, 0.01)
+        red = simulate(rom.system, u, 6.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 1e-2
+
+    def test_details_recorded(self, small_qldae):
+        rom = AssociatedTransformMOR(orders=(2, 2, 1)).reduce(small_qldae)
+        kinds = [blk[0] for blk in rom.details["blocks"]]
+        assert kinds == ["H1", "H2", "H3"]
+        assert rom.build_time is not None and rom.build_time > 0
+        assert "associated-transform" in rom.method
+
+    def test_linear_system_h1_only(self):
+        sys = QLDAE(-np.eye(4), np.ones(4))
+        rom = AssociatedTransformMOR(orders=(2, 2, 2)).reduce(sys)
+        # H2/H3 are identically zero; only H1 vectors appear.
+        kinds = [blk[0] for blk in rom.details["blocks"]]
+        assert kinds == ["H1"]
+
+    def test_rom_order_much_smaller_than_norm(self, rng):
+        """The headline claim: O(q1+q2+q3) vs O(q1+q2³+q3⁴).
+
+        Uses a system large enough that neither basis saturates at n.
+        """
+        from repro.mor import NORMReducer
+        from repro.systems import QLDAE
+
+        n = 30
+        g1 = -1.5 * np.eye(n) + 0.25 * rng.standard_normal((n, n))
+        g2 = 0.1 * rng.standard_normal((n, n * n))
+        sys = QLDAE(g1, rng.standard_normal(n), g2=g2)
+        orders = (4, 3, 2)
+        rom_a = AssociatedTransformMOR(orders=orders).reduce(sys)
+        rom_n = NORMReducer(orders=orders).reduce(sys)
+        assert rom_a.order < rom_n.order
+        assert rom_a.order <= sum(orders)
+
+
+class TestLift:
+    def test_lift_roundtrip(self, small_qldae, rng):
+        rom = AssociatedTransformMOR(orders=(3, 2, 0)).reduce(small_qldae)
+        xr = rng.standard_normal(rom.order)
+        lifted = rom.lift(xr)
+        assert lifted.shape == (5,)
+        traj = rng.standard_normal((4, rom.order))
+        assert rom.lift(traj).shape == (4, 5)
+
+    def test_lift_shape_check(self, small_qldae):
+        rom = AssociatedTransformMOR(orders=(2, 0, 0)).reduce(small_qldae)
+        with pytest.raises(ValidationError):
+            rom.lift(np.zeros(rom.order + 1))

@@ -1,0 +1,107 @@
+"""Tests for linear Krylov MOR and balanced truncation substrates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemStructureError, ValidationError
+from repro.mor import balanced_truncation, krylov_basis, reduce_lti
+from repro.systems import StateSpace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(141)
+
+
+@pytest.fixture
+def stable_ss(rng):
+    n = 12
+    a = -1.0 * np.eye(n) + 0.25 * rng.standard_normal((n, n))
+    b = rng.standard_normal(n)
+    c = rng.standard_normal(n)
+    return StateSpace(a, b, c)
+
+
+class TestKrylovBasis:
+    def test_orthonormal(self, stable_ss):
+        v = krylov_basis(stable_ss.a, stable_ss.b, 4)
+        assert np.allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-12)
+
+    def test_spans_shift_invert_chain(self, stable_ss):
+        v = krylov_basis(stable_ss.a, stable_ss.b, 3, s0=0.5)
+        shifted = stable_ss.a - 0.5 * np.eye(12)
+        chain = np.linalg.solve(shifted, stable_ss.b)
+        for _ in range(2):
+            proj = v @ (v.T @ chain)
+            assert np.allclose(proj, chain, atol=1e-8)
+            chain = np.linalg.solve(shifted, chain)
+
+    def test_complex_point_gives_complex_pair(self, stable_ss):
+        v = krylov_basis(stable_ss.a, stable_ss.b, 2, s0=1.0j)
+        # real basis with real+imag directions
+        assert v.dtype.kind == "f"
+        assert v.shape[1] == 4
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            krylov_basis(rng.standard_normal((3, 4)), np.ones(3), 2)
+
+
+class TestReduceLTI:
+    def test_moment_matching(self, stable_ss):
+        rom = reduce_lti(stable_ss, 4)
+        m_full = stable_ss.moments(4)
+        m_rom = rom.system.moments(4)
+        for a, b in zip(m_full, m_rom):
+            assert np.allclose(a, b, rtol=1e-5, atol=1e-10)
+
+    def test_multipoint(self, stable_ss):
+        rom = reduce_lti(stable_ss, 2, s0=[0.0, 1.0])
+        for s0 in (0.0, 1.0):
+            f = stable_ss.transfer(s0 + 1e-9)
+            r = rom.system.transfer(s0 + 1e-9)
+            assert np.allclose(f, r, rtol=1e-6)
+
+    def test_requires_statespace(self):
+        with pytest.raises(ValidationError):
+            reduce_lti(np.eye(3), 2)
+
+
+class TestBalancedTruncation:
+    def test_hsv_error_bound(self, stable_ss):
+        """Classic BT bound: |H − Hr|_∞ <= 2 Σ_{k>r} σ_k (checked at a
+        few frequency points)."""
+        rom = balanced_truncation(stable_ss, order=4)
+        hsv = rom.details["hankel_singular_values"]
+        bound = 2.0 * hsv[4:].sum()
+        for w in (0.0, 0.3, 1.0, 3.0):
+            f = stable_ss.transfer(1j * w)[0, 0]
+            r = rom.system.transfer(1j * w)[0, 0]
+            assert abs(f - r) <= bound * (1 + 1e-8) + 1e-12
+
+    def test_tol_selects_order(self, stable_ss):
+        rom = balanced_truncation(stable_ss, tol=1e-6)
+        hsv = rom.details["hankel_singular_values"]
+        assert rom.system.n_states == int(np.sum(hsv > 1e-6 * hsv[0]))
+
+    def test_requires_exactly_one_criterion(self, stable_ss):
+        with pytest.raises(ValidationError):
+            balanced_truncation(stable_ss)
+        with pytest.raises(ValidationError):
+            balanced_truncation(stable_ss, order=2, tol=1e-3)
+
+    def test_unstable_rejected(self):
+        ss = StateSpace(np.eye(2), np.ones(2), np.ones(2))
+        with pytest.raises(SystemStructureError):
+            balanced_truncation(ss, order=1)
+
+    def test_reduced_is_balanced(self, stable_ss):
+        """Gramians of the reduced system are (approximately) equal and
+        diagonal with the leading HSVs."""
+        rom = balanced_truncation(stable_ss, order=3)
+        red = rom.system
+        p = red.controllability_gramian()
+        q = red.observability_gramian()
+        hsv = rom.details["hankel_singular_values"][:3]
+        assert np.allclose(np.diag(p), hsv, rtol=1e-6)
+        assert np.allclose(np.diag(q), hsv, rtol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for the NORM baseline reducer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mor import NORMReducer
+from repro.simulation import simulate, sine_source
+from repro.analysis import max_relative_error
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(131)
+
+
+class TestConfiguration:
+    def test_rejects_bad_orders(self):
+        with pytest.raises(ValidationError):
+            NORMReducer(orders=(1,))
+        with pytest.raises(ValidationError):
+            NORMReducer(orders=(0, 0, 0))
+
+
+class TestSubspaceGrowth:
+    def test_h2_vector_count_cubic_in_k2(self, small_qldae_no_d1):
+        """Raw H2 moment-vector count grows like k2³/6 (the paper's
+        'dimensionality curse')."""
+        counts = []
+        for k2 in (2, 3, 4):
+            reducer = NORMReducer(orders=(1, k2, 0))
+            _, details = reducer.build_basis(small_qldae_no_d1)
+            h2_count = dict(
+                (name, cnt) for name, cnt in details["blocks"]
+            )["H2"]
+            counts.append(h2_count)
+        # Exact counts: number of (j,k,l>=0, j+k+l<=k2-1) triples
+        expected = [
+            sum(1 for j in range(k2) for k in range(k2 - j)
+                for l in range(k2 - j - k))
+            for k2 in (2, 3, 4)
+        ]
+        assert counts == expected
+        assert counts[2] > 3 * counts[0]
+
+    def test_h3_included_for_cubic(self, small_cubic):
+        reducer = NORMReducer(orders=(2, 0, 2))
+        _, details = reducer.build_basis(small_cubic)
+        kinds = [name for name, _ in details["blocks"]]
+        assert "H3" in kinds
+
+    def test_rom_bigger_than_assoc_for_same_orders(self, small_qldae):
+        from repro.mor import AssociatedTransformMOR
+
+        # a larger system so the counts don't saturate at n
+        rng = np.random.default_rng(5)
+        n = 24
+        from repro.systems import QLDAE
+
+        g1 = -1.5 * np.eye(n) + 0.25 * rng.standard_normal((n, n))
+        g2 = 0.1 * rng.standard_normal((n, n * n))
+        sys = QLDAE(g1, rng.standard_normal(n), g2=g2)
+        orders = (5, 3, 2)
+        rom_n = NORMReducer(orders=orders).reduce(sys)
+        rom_a = AssociatedTransformMOR(orders=orders).reduce(sys)
+        assert rom_n.order > rom_a.order
+        assert rom_n.order >= orders[0] + 10  # combinatorial growth
+
+
+class TestAccuracy:
+    def test_transient_matches_full(self, small_qldae):
+        u = sine_source(0.25, 0.4)
+        full = simulate(small_qldae, u, 8.0, 0.01)
+        rom = NORMReducer(orders=(4, 2, 1)).reduce(small_qldae)
+        red = simulate(rom.system, u, 8.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 1e-3
+
+    def test_h1_moments_matched(self, small_qldae_no_d1):
+        from repro.systems import StateSpace
+
+        sys = small_qldae_no_d1
+        rom = NORMReducer(orders=(3, 0, 0)).reduce(sys)
+        full_lin = StateSpace(sys.g1, sys.b, sys.output)
+        rom_lin = StateSpace(
+            rom.system.g1, rom.system.b, rom.system.output
+        )
+        for a, b in zip(full_lin.moments(3), rom_lin.moments(3)):
+            assert np.allclose(a, b, rtol=1e-6, atol=1e-12)
+
+    def test_nonzero_expansion_point(self, small_qldae):
+        rom = NORMReducer(orders=(3, 2, 0), s0=0.5).reduce(small_qldae)
+        u = sine_source(0.2, 0.3)
+        full = simulate(small_qldae, u, 6.0, 0.01)
+        red = simulate(rom.system, u, 6.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 5e-3
+
+    def test_miso(self, miso_qldae):
+        rom = NORMReducer(orders=(3, 2, 0)).reduce(miso_qldae)
+        u = lambda t: np.array([0.15 * np.sin(0.4 * t), 0.1])
+        full = simulate(miso_qldae, u, 6.0, 0.01)
+        red = simulate(rom.system, u, 6.0, 0.01)
+        assert max_relative_error(full.output(0), red.output(0)) < 1e-2

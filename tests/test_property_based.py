@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on the core algebraic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg import (
+    KronSumSolver,
+    commutation_matrix,
+    kron_sum,
+    kron_sum_matvec,
+    kron_sum_power_matvec,
+    merge_bases,
+    orthonormalize,
+    solve_pi_sylvester,
+    pi_sylvester_residual,
+    vec,
+    unvec,
+)
+from repro.volterra import input_permutation
+
+_DIM = st.integers(min_value=2, max_value=5)
+
+
+def _matrix(n, scale=1.0):
+    return arrays(
+        np.float64,
+        (n, n),
+        elements=st.floats(
+            min_value=-scale, max_value=scale, allow_nan=False
+        ),
+    )
+
+
+def _stable_matrix(n):
+    """Diagonally-dominated random matrix: guaranteed Hurwitz."""
+    return _matrix(n, scale=0.3).map(
+        lambda m: m - (2.0 + np.abs(m).sum()) * np.eye(n) / n * n
+    )
+
+
+class TestVecProperties:
+    @given(data=st.data(), n=_DIM, m=_DIM)
+    @settings(max_examples=30, deadline=None)
+    def test_vec_unvec_roundtrip(self, data, n, m):
+        x = data.draw(
+            arrays(
+                np.float64,
+                (n, m),
+                elements=st.floats(-10, 10, allow_nan=False),
+            )
+        )
+        assert np.array_equal(unvec(vec(x), (n, m)), x)
+
+    @given(data=st.data(), n=_DIM, m=_DIM)
+    @settings(max_examples=30, deadline=None)
+    def test_kron_identity(self, data, n, m):
+        """(A ⊗ B) vec(X) == vec(A X Bᵀ) for random shapes."""
+        a = data.draw(_matrix(n))
+        b = data.draw(_matrix(m))
+        x = data.draw(
+            arrays(
+                np.float64,
+                (n, m),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        lhs = np.kron(a, b) @ vec(x)
+        rhs = vec(a @ x @ b.T)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+class TestKronSumProperties:
+    @given(data=st.data(), n=_DIM, m=_DIM)
+    @settings(max_examples=25, deadline=None)
+    def test_matvec_agrees_with_dense(self, data, n, m):
+        a = data.draw(_matrix(n))
+        b = data.draw(_matrix(m))
+        x = data.draw(
+            arrays(
+                np.float64,
+                (n * m,),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        dense = kron_sum(a, b)
+        dense = dense.toarray() if hasattr(dense, "toarray") else dense
+        assert np.allclose(
+            kron_sum_matvec(a, b, x), np.asarray(dense) @ x, atol=1e-8
+        )
+
+    @given(data=st.data(), n=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_solver_residual(self, data, n):
+        a = data.draw(_stable_matrix(n))
+        rhs = data.draw(
+            arrays(
+                np.float64,
+                (n * n,),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        solver = KronSumSolver(a)
+        x = solver.solve(rhs, k=2, shift=0.0)
+        resid = kron_sum_power_matvec(a, 2, x) - rhs
+        assert np.abs(resid).max() < 1e-6 * max(np.abs(rhs).max(), 1.0)
+
+    @given(data=st.data(), n=st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_pi_sylvester_residual(self, data, n):
+        a = data.draw(_stable_matrix(n))
+        g2 = data.draw(
+            arrays(
+                np.float64,
+                (n, n * n),
+                elements=st.floats(-1, 1, allow_nan=False),
+            )
+        )
+        pi = solve_pi_sylvester(a, g2)
+        scale = max(np.abs(g2).max(), 1.0)
+        assert pi_sylvester_residual(a, g2, pi) < 1e-6 * scale * n * n
+
+
+class TestBasisProperties:
+    @given(data=st.data(), n=st.integers(3, 8), k=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_orthonormalize_is_projection_identity(self, data, n, k):
+        mat = data.draw(
+            arrays(
+                np.float64,
+                (n, k),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        if np.linalg.norm(mat) < 1e-6:
+            return
+        q = orthonormalize(mat)
+        # orthonormal columns
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-8)
+        # spans the input
+        assert np.allclose(q @ (q.T @ mat), mat, atol=1e-6)
+
+    @given(data=st.data(), n=st.integers(3, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_bases_contains_blocks(self, data, n):
+        b1 = data.draw(
+            arrays(
+                np.float64, (n, 2),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        b2 = data.draw(
+            arrays(
+                np.float64, (n, 2),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        if min(np.linalg.norm(b1), np.linalg.norm(b2)) < 1e-6:
+            return
+        v = merge_bases([b1, b2])
+        for block in (b1, b2):
+            assert np.allclose(
+                v @ (v.T @ block), block, atol=1e-6
+            )
+
+
+class TestPermutationProperties:
+    @given(
+        m=st.integers(1, 3),
+        perm=st.permutations([0, 1, 2]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_input_permutation_is_permutation_matrix(self, m, perm):
+        p = input_permutation(m, tuple(perm)).toarray()
+        assert np.allclose(p @ p.T, np.eye(m**3))
+        assert np.allclose(p.sum(axis=0), 1.0)
+
+    @given(n=st.integers(2, 5), m=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_commutation_involution(self, n, m):
+        k_nm = commutation_matrix(n, m).toarray()
+        k_mn = commutation_matrix(m, n).toarray()
+        assert np.allclose(k_mn @ k_nm, np.eye(n * m))
+
+
+class TestSystemProperties:
+    @given(data=st.data(), n=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_galerkin_projection_identity(self, data, n):
+        """rom.rhs(xr) == Vᵀ full.rhs(V xr) for random systems/bases."""
+        from repro.systems import QLDAE
+
+        g1 = data.draw(_stable_matrix(n))
+        g2 = data.draw(
+            arrays(
+                np.float64,
+                (n, n * n),
+                elements=st.floats(-0.5, 0.5, allow_nan=False),
+            )
+        )
+        b = data.draw(
+            arrays(
+                np.float64, (n,),
+                elements=st.floats(-2, 2, allow_nan=False),
+            )
+        )
+        x = data.draw(
+            arrays(
+                np.float64, (n,),
+                elements=st.floats(-0.5, 0.5, allow_nan=False),
+            )
+        )
+        sys = QLDAE(g1, b if np.any(b) else np.ones(n), g2=g2)
+        raw = data.draw(
+            arrays(
+                np.float64,
+                (n, 2),
+                elements=st.floats(-1, 1, allow_nan=False),
+            )
+        )
+        if np.linalg.matrix_rank(raw) < 2:
+            return
+        v = np.linalg.qr(raw)[0]
+        rom = sys.project(v)
+        xr = v.T @ x
+        assert np.allclose(
+            rom.rhs(xr, [0.3]), v.T @ sys.rhs(v @ xr, [0.3]), atol=1e-8
+        )

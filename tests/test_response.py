@@ -1,0 +1,100 @@
+"""Unit tests for the variational Volterra-series response."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemStructureError, ValidationError
+from repro.simulation import simulate, sine_source
+from repro.systems import QLDAE
+from repro.volterra import volterra_series_response
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestScalingLaws:
+    """x_k must scale with the k-th power of the input amplitude."""
+
+    def test_order_scaling(self, small_qldae):
+        u1 = lambda t: 0.1 * np.sin(0.8 * t)
+        u2 = lambda t: 0.2 * np.sin(0.8 * t)
+        r1 = volterra_series_response(small_qldae, u1, 4.0, 0.01, order=3)
+        r2 = volterra_series_response(small_qldae, u2, 4.0, 0.01, order=3)
+        for order, power in ((1, 1), (2, 2), (3, 3)):
+            a = r1.orders[order]
+            b = r2.orders[order]
+            scale = np.abs(a).max()
+            assert np.abs(b - (2.0**power) * a).max() < 1e-9 * max(
+                scale, 1e-12
+            )
+
+    def test_series_converges_to_full_solution(self, small_qldae):
+        """For small inputs, x1+x2+x3 approaches the nonlinear solution
+        with error O(amplitude^4)."""
+        errors = []
+        for amp in (0.05, 0.1):
+            u = lambda t, amp=amp: amp * np.sin(0.6 * t)
+            series = volterra_series_response(
+                small_qldae, u, 4.0, 0.005, order=3
+            )
+            full = simulate(small_qldae, u, 4.0, 0.005)
+            err = np.abs(series.state() - full.states).max()
+            errors.append(err / amp)
+        # normalized error should shrink ~ amp^3
+        assert errors[1] > errors[0] * 4
+
+
+class TestMechanics:
+    def test_first_order_is_linear_response(self, small_qldae):
+        u = sine_source(0.2, 0.5)
+        resp = volterra_series_response(small_qldae, u, 3.0, 0.01, order=1)
+        lin = QLDAE(
+            small_qldae.g1, small_qldae.b, output=small_qldae.output
+        )
+        full = simulate(lin, u, 3.0, 0.01)
+        assert np.abs(resp.orders[1] - full.states).max() < 1e-8
+
+    def test_output_applies_observation(self, small_qldae):
+        u = sine_source(0.1, 0.5)
+        resp = volterra_series_response(small_qldae, u, 2.0, 0.01)
+        out = resp.output()
+        expected = resp.state() @ small_qldae.output.T
+        assert np.allclose(out, expected)
+
+    def test_requires_explicit(self, rng):
+        sys = QLDAE(-np.eye(2), np.ones(2), mass=2 * np.eye(2))
+        with pytest.raises(SystemStructureError):
+            volterra_series_response(sys, lambda t: 0.1, 1.0, 0.01)
+
+    def test_rejects_order_4(self, small_qldae):
+        with pytest.raises(ValidationError):
+            volterra_series_response(
+                small_qldae, lambda t: 0.1, 1.0, 0.01, order=4
+            )
+
+    def test_rejects_bad_grid(self, small_qldae):
+        with pytest.raises(ValidationError):
+            volterra_series_response(
+                small_qldae, lambda t: 0.1, -1.0, 0.01
+            )
+
+    def test_input_shape_validation(self, small_qldae):
+        with pytest.raises(ValidationError):
+            volterra_series_response(
+                small_qldae, lambda t: np.array([0.1, 0.2]), 1.0, 0.01
+            )
+
+    def test_miso_series(self, miso_qldae):
+        u = lambda t: np.array([0.1 * np.sin(t), 0.05 * np.cos(2 * t)])
+        resp = volterra_series_response(miso_qldae, u, 3.0, 0.01, order=2)
+        full = simulate(miso_qldae, u, 3.0, 0.01)
+        err = np.abs(resp.state() - full.states).max()
+        assert err < 5e-4
+
+    def test_cubic_second_order_vanishes(self, small_cubic):
+        u = sine_source(0.2, 0.7)
+        resp = volterra_series_response(small_cubic, u, 3.0, 0.01, order=3)
+        assert np.abs(resp.orders[2]).max() == 0.0
+        assert np.abs(resp.orders[3]).max() > 0.0

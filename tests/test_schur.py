@@ -1,0 +1,73 @@
+"""Unit tests for the Schur-form shifted solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalError
+from repro.linalg import SchurForm
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture
+def matrix(rng):
+    return -1.2 * np.eye(6) + 0.4 * rng.standard_normal((6, 6))
+
+
+class TestSchurForm:
+    def test_factorization_reconstructs(self, matrix):
+        sf = SchurForm(matrix)
+        recon = sf.q @ sf.t @ sf.q.conj().T
+        assert np.allclose(recon, matrix)
+
+    def test_eigenvalues_match(self, matrix):
+        sf = SchurForm(matrix)
+        expected = np.linalg.eigvals(matrix)
+        # Match each Schur eigenvalue to its nearest true eigenvalue.
+        dist = np.abs(sf.eigenvalues[:, None] - expected[None, :])
+        assert dist.min(axis=1).max() < 1e-10
+
+    def test_solve_shifted_vector(self, matrix, rng):
+        sf = SchurForm(matrix)
+        rhs = rng.standard_normal(6)
+        x = sf.solve_shifted(0.7, rhs)
+        assert np.allclose((matrix + 0.7 * np.eye(6)) @ x, rhs)
+
+    def test_solve_shifted_matrix_rhs(self, matrix, rng):
+        sf = SchurForm(matrix)
+        rhs = rng.standard_normal((6, 3))
+        x = sf.solve_shifted(-0.5, rhs)
+        assert np.allclose((matrix - 0.5 * np.eye(6)) @ x, rhs)
+
+    def test_solve_shifted_complex_shift(self, matrix, rng):
+        sf = SchurForm(matrix)
+        rhs = rng.standard_normal(6)
+        shift = 0.3 + 1.1j
+        x = sf.solve_shifted(shift, rhs)
+        assert np.allclose((matrix + shift * np.eye(6)) @ x, rhs)
+
+    def test_solve_shifted_transpose(self, matrix, rng):
+        sf = SchurForm(matrix)
+        rhs = rng.standard_normal(6)
+        x = sf.solve_shifted_transpose(0.9, rhs)
+        assert np.allclose((matrix.T + 0.9 * np.eye(6)) @ x, rhs)
+
+    def test_singular_shift_raises(self, matrix):
+        sf = SchurForm(matrix)
+        eig = sf.eigenvalues[0]
+        with pytest.raises(NumericalError):
+            sf.solve_shifted(-eig, np.ones(6))
+
+    def test_matvec(self, matrix, rng):
+        sf = SchurForm(matrix)
+        x = rng.standard_normal(6)
+        assert np.allclose(sf.matvec(x), matrix @ x)
+
+    def test_real_solution_for_real_problem(self, matrix, rng):
+        sf = SchurForm(matrix)
+        rhs = rng.standard_normal(6)
+        x = sf.solve_shifted(0.0, rhs)
+        assert np.abs(x.imag).max() < 1e-10 * max(np.abs(x.real).max(), 1.0)

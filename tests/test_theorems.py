@@ -1,0 +1,73 @@
+"""Tests of the paper's theorems via their numerical embodiments."""
+
+import numpy as np
+import pytest
+
+from repro.volterra import (
+    associated_h2,
+    corollary1_residual,
+    factored_property_residual,
+    numerical_association_h2,
+    theorem1_residual,
+    theorem2_constant,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(111)
+
+
+class TestTheorem1:
+    def test_residual_tiny(self, rng):
+        a1 = -np.eye(3) + 0.3 * rng.standard_normal((3, 3))
+        a2 = -2 * np.eye(2) + 0.3 * rng.standard_normal((2, 2))
+        assert theorem1_residual(a1, a2, [0.0, 0.5, 1.5]) < 1e-10
+
+    def test_different_sizes(self, rng):
+        a1 = -np.eye(4) + 0.2 * rng.standard_normal((4, 4))
+        a2 = -np.eye(2)
+        assert theorem1_residual(a1, a2, [1.0]) < 1e-10
+
+
+class TestCorollary1:
+    def test_three_factors(self, rng):
+        mats = [
+            -np.eye(2) + 0.2 * rng.standard_normal((2, 2))
+            for _ in range(3)
+        ]
+        assert corollary1_residual(mats, [0.3, 1.0]) < 1e-10
+
+
+class TestTheorem2:
+    def test_constant_is_b(self, rng):
+        a = -np.eye(3)
+        b = rng.standard_normal(3)
+        assert np.allclose(theorem2_constant(a, b), b)
+
+
+class TestFactoredProperty:
+    def test_eq8_residual(self, rng):
+        a = -1.5 * np.eye(3) + 0.2 * rng.standard_normal((3, 3))
+        b = rng.standard_normal(3)
+        res = factored_property_residual(
+            [-1.0, -2.5], a, b, [0.5, 1.0 + 0.3j]
+        )
+        assert res < 1e-12
+
+
+@pytest.mark.slow
+class TestAssociationIntegral:
+    def test_g2_realization_matches_integral(self, small_qldae_no_d1):
+        """The eq.-(17) realization equals the brute-force association
+        integral (paper eq. 7) for a quadratic system."""
+        r2 = associated_h2(small_qldae_no_d1)
+        s = 1.2
+        via_realization = r2.eval(s)
+        via_integral = numerical_association_h2(
+            small_qldae_no_d1, s, omega_max=800.0, n_points=40001
+        )
+        scale = np.abs(via_realization).max()
+        assert (
+            np.abs(via_realization - via_integral).max() < 5e-3 * scale
+        )

@@ -1,0 +1,94 @@
+"""Unit tests for the internal validation helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro._validation import (
+    as_matrix,
+    as_sparse,
+    as_square_matrix,
+    as_vector,
+    check_nonnegative_int,
+    check_positive_int,
+    check_shape,
+    is_sparse,
+)
+from repro.errors import ValidationError
+
+
+class TestAsMatrix:
+    def test_list_coerced(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_matrix(np.ones(3))
+
+    def test_sparse_densified_by_default(self):
+        out = as_matrix(sp.eye(3))
+        assert isinstance(out, np.ndarray)
+
+    def test_sparse_kept_when_allowed(self):
+        out = as_matrix(sp.eye(3), allow_sparse=True)
+        assert sp.issparse(out)
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            as_matrix(np.array([["a", "b"], ["c", "d"]]))
+
+    def test_square_check(self):
+        with pytest.raises(ValidationError):
+            as_square_matrix(np.ones((2, 3)))
+
+
+class TestAsVector:
+    def test_column_flattened(self):
+        assert as_vector(np.ones((4, 1))).shape == (4,)
+
+    def test_row_flattened(self):
+        assert as_vector(np.ones((1, 4))).shape == (4,)
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            as_vector(np.ones((2, 3)))
+
+    def test_int_promoted_to_float(self):
+        assert as_vector([1, 2, 3]).dtype == np.float64
+
+
+class TestIntChecks:
+    def test_positive(self):
+        assert check_positive_int(3) == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0)
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5)
+        with pytest.raises(ValidationError):
+            check_positive_int(True)
+
+    def test_nonnegative(self):
+        assert check_nonnegative_int(0) == 0
+        with pytest.raises(ValidationError):
+            check_nonnegative_int(-1)
+
+
+class TestShapes:
+    def test_check_shape_wildcard(self):
+        arr = np.ones((3, 5))
+        assert check_shape(arr, (3, -1)) is arr
+        with pytest.raises(ValidationError):
+            check_shape(arr, (4, 5))
+        with pytest.raises(ValidationError):
+            check_shape(arr, (3, 5, 1))
+
+    def test_is_sparse(self):
+        assert is_sparse(sp.eye(2))
+        assert not is_sparse(np.eye(2))
+
+    def test_as_sparse_roundtrip(self):
+        mat = as_sparse(np.eye(3))
+        assert sp.issparse(mat)
+        assert np.allclose(mat.toarray(), np.eye(3))

@@ -1,0 +1,150 @@
+"""Unit tests for the multivariate Volterra transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.systems import QLDAE
+from repro.volterra import (
+    input_permutation,
+    volterra_h1,
+    volterra_h2,
+    volterra_h3,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(81)
+
+
+class TestInputPermutation:
+    def test_swaps_kron_factors(self, rng):
+        a = rng.standard_normal(3)
+        b = rng.standard_normal(3)
+        p = input_permutation(3, (1, 0))
+        assert np.allclose(p @ np.kron(a, b), np.kron(b, a))
+
+    def test_three_way(self, rng):
+        vecs = [rng.standard_normal(2) for _ in range(3)]
+        perm = (2, 0, 1)
+        p = input_permutation(2, perm)
+        lhs = p @ np.kron(vecs[0], np.kron(vecs[1], vecs[2]))
+        rhs = np.kron(vecs[2], np.kron(vecs[0], vecs[1]))
+        assert np.allclose(lhs, rhs)
+
+    def test_identity_permutation(self):
+        p = input_permutation(3, (0, 1))
+        assert np.allclose(p.toarray(), np.eye(9))
+
+
+class TestH1:
+    def test_resolvent(self, small_qldae):
+        s = 0.5 + 1.2j
+        h1 = volterra_h1(small_qldae, s)
+        n = small_qldae.n_states
+        expected = np.linalg.solve(
+            s * np.eye(n) - small_qldae.g1, small_qldae.b
+        )
+        assert np.allclose(h1, expected)
+
+
+class TestH2Symmetry:
+    def test_siso_symmetric(self, small_qldae):
+        s1, s2 = 0.4 + 0.3j, 1.1 - 0.2j
+        h_a = volterra_h2(small_qldae, s1, s2)
+        h_b = volterra_h2(small_qldae, s2, s1)
+        assert np.allclose(h_a, h_b)
+
+    def test_mimo_joint_symmetry(self, miso_qldae):
+        """H2(s2, s1) with swapped input slots equals H2(s1, s2)."""
+        s1, s2 = 0.6, 1.3 + 0.5j
+        m = miso_qldae.n_inputs
+        swap = input_permutation(m, (1, 0)).toarray()
+        h_a = volterra_h2(miso_qldae, s1, s2)
+        h_b = volterra_h2(miso_qldae, s2, s1) @ swap
+        assert np.allclose(h_a, h_b)
+
+    def test_paper_formula_siso(self, small_qldae):
+        """Direct check against eq. (14b)."""
+        s1, s2 = 0.7, 1.4
+        n = small_qldae.n_states
+        h1a = volterra_h1(small_qldae, s1)[:, 0]
+        h1b = volterra_h1(small_qldae, s2)[:, 0]
+        g2 = small_qldae.g2.toarray()
+        d1 = small_qldae.d1[0]
+        inner = g2 @ (np.kron(h1a, h1b) + np.kron(h1b, h1a)) + d1 @ (
+            h1a + h1b
+        )
+        expected = 0.5 * np.linalg.solve(
+            (s1 + s2) * np.eye(n) - small_qldae.g1, inner
+        )
+        assert np.allclose(
+            volterra_h2(small_qldae, s1, s2)[:, 0], expected
+        )
+
+    def test_zero_without_nonlinearity(self):
+        sys = QLDAE(-np.eye(3), np.ones(3))
+        assert np.allclose(volterra_h2(sys, 0.5, 0.8), 0.0)
+
+
+class TestH3Symmetry:
+    @pytest.mark.parametrize("perm", [(1, 0, 2), (2, 1, 0), (1, 2, 0)])
+    def test_siso_permutation_invariance(self, small_qldae, perm):
+        s = (0.3, 0.9, 1.7)
+        h_ref = volterra_h3(small_qldae, *s)
+        permuted = volterra_h3(
+            small_qldae, s[perm[0]], s[perm[1]], s[perm[2]]
+        )
+        assert np.allclose(h_ref, permuted, atol=1e-12)
+
+    def test_mimo_joint_symmetry(self, miso_qldae):
+        s = (0.4, 0.9, 1.5)
+        m = miso_qldae.n_inputs
+        perm = (2, 0, 1)
+        p = input_permutation(m, perm).toarray()
+        h_ref = volterra_h3(miso_qldae, *s)
+        h_perm = volterra_h3(
+            miso_qldae, s[perm[0]], s[perm[1]], s[perm[2]]
+        )
+        assert np.allclose(h_ref, h_perm @ p, atol=1e-12)
+
+    def test_cubic_only_formula(self, small_cubic):
+        """Pure cubic: H3 = (1/6)(ΣsI − G1)^{-1} G3 Σ_perms H1⊗H1⊗H1."""
+        import itertools
+
+        s = (0.5, 1.0, 1.5)
+        n = small_cubic.n_states
+        h1 = {si: volterra_h1(small_cubic, si)[:, 0] for si in s}
+        acc = np.zeros(n**3, dtype=complex)
+        for perm in itertools.permutations(s):
+            acc += np.kron(h1[perm[0]], np.kron(h1[perm[1]], h1[perm[2]]))
+        expected = np.linalg.solve(
+            sum(s) * np.eye(n) - small_cubic.g1,
+            small_cubic.g3 @ acc,
+        ) / 6.0
+        assert np.allclose(
+            volterra_h3(small_cubic, *s)[:, 0], expected
+        )
+
+    def test_h2_zero_for_cubic(self, small_cubic):
+        assert np.allclose(volterra_h2(small_cubic, 0.3, 0.8), 0.0)
+
+
+class TestProbingConsistency:
+    def test_two_tone_steady_state(self, small_qldae_no_d1):
+        """Drive with u = eps(e^{jw1 t} + e^{jw2 t}); the coefficient of
+        e^{j(w1+w2)t} in the quadratic variational response must equal
+        2 H2(jw1, jw2) (growing-exponential identity)."""
+        sys = small_qldae_no_d1
+        w1, w2 = 0.7, 1.9
+        n = sys.n_states
+        h2 = volterra_h2(sys, 1j * w1, 1j * w2)[:, 0]
+        # Analytic steady-state of x2' = G1 x2 + G2 (x1⊗x1):
+        # x1 = H1(jw1)e^{jw1 t} + H1(jw2)e^{jw2 t}; pick the (w1+w2) term.
+        h1a = volterra_h1(sys, 1j * w1)[:, 0]
+        h1b = volterra_h1(sys, 1j * w2)[:, 0]
+        forcing = sys.g2 @ (np.kron(h1a, h1b) + np.kron(h1b, h1a))
+        coeff = np.linalg.solve(
+            1j * (w1 + w2) * np.eye(n) - sys.g1, forcing
+        )
+        assert np.allclose(coeff, 2 * h2)
