@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Run the factorization-reuse benches and write a JSON baseline.
+
+Executes the quick-scale cases from ``bench_sweep.py`` (the distortion
+sweep always runs at paper scale, n ≈ 200, since that is the acceptance
+workload and is cheap with caching) and writes
+``benchmarks/BENCH_sweep.json`` with before/after timings, so later PRs
+can diff the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_sweep_baseline.py
+
+Scale is controlled by ``REPRO_BENCH_QUICK`` exactly like the pytest
+benches; the runner defaults it to quick (1) when unset.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+os.environ.setdefault("REPRO_BENCH_QUICK", "1")
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_sweep import (  # noqa: E402
+    run_basis_case,
+    run_sweep_case,
+    run_transient_case,
+)
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+
+def main():
+    results = {
+        "meta": {
+            "generated_unix": time.time(),
+            "quick_scale": os.environ.get("REPRO_BENCH_QUICK") == "1",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+    }
+    print("distortion sweep (paper scale, n ~ 200, 50 points) ...")
+    results["distortion_sweep"] = run_sweep_case()
+    print(
+        "  direct {direct_s:.3f}s -> cached {cached_s:.3f}s "
+        "({speedup:.1f}x, max rel disagreement {max_rel_disagreement:.2e})"
+        .format(**results["distortion_sweep"])
+    )
+
+    print("Fig-2 transient (chord vs exact Newton) ...")
+    results["transient_fig2"] = run_transient_case()
+    print(
+        "  exact {exact_s:.3f}s -> chord {chord_s:.3f}s ({speedup:.2f}x, "
+        "{chord_factorizations} LU for {chord_newton_iterations} iters, "
+        "max state diff {max_state_difference:.2e})"
+        .format(**results["transient_fig2"])
+    )
+
+    print("multipoint basis build (shared workspace) ...")
+    results["multipoint_basis"] = run_basis_case()
+    print(
+        "  first {first_build_s:.3f}s -> rebuild {rebuild_s:.3f}s "
+        "(workspace reused: {workspace_reused})"
+        .format(**results["multipoint_basis"])
+    )
+
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ from .operators import (
     solve_left_kron_sum,
     solve_right_kron_sum,
 )
+from .resolvent import ResolventFactory
 from .schur import SchurForm
 from .sylvester import (
     KronSumSolver,
@@ -62,6 +63,7 @@ __all__ = [
     "QuadraticLiftedOperator",
     "solve_left_kron_sum",
     "solve_right_kron_sum",
+    "ResolventFactory",
     "SchurForm",
     "KronSumSolver",
     "pi_sylvester_residual",

@@ -55,6 +55,14 @@ class SchurForm:
         self.q = q
         self.eigenvalues = np.diag(t).copy()
         self._scale = max(np.abs(self.eigenvalues).max(), 1.0)
+        # Reusable work matrix for shifted triangular solves: only the
+        # diagonal depends on the shift, so per-solve cost is O(n) setup
+        # instead of an O(n²) allocate-and-add of ``T + alpha I``.
+        self._work = t.copy()
+
+    def _shifted_t(self, alpha):
+        np.fill_diagonal(self._work, self.eigenvalues + alpha)
+        return self._work
 
     def _check_shift(self, alpha):
         """Raise when ``A + alpha I`` is (numerically) singular."""
@@ -77,8 +85,7 @@ class SchurForm:
         if squeeze:
             rhs = rhs[:, None]
         w = self.q.conj().T @ rhs
-        t_shift = self.t + alpha * np.eye(self.n)
-        y = sla.solve_triangular(t_shift, w, lower=False)
+        y = sla.solve_triangular(self._shifted_t(alpha), w, lower=False)
         x = self.q @ y
         return x[:, 0] if squeeze else x
 
@@ -94,10 +101,11 @@ class SchurForm:
         if squeeze:
             rhs = rhs[:, None]
         w = self.q.T @ rhs
-        t_shift = self.t + alpha * np.eye(self.n)
         # (Tᵀ + alpha I) y = w  solved as an upper-triangular transposed
         # system.
-        y = sla.solve_triangular(t_shift, w, lower=False, trans="T")
+        y = sla.solve_triangular(
+            self._shifted_t(alpha), w, lower=False, trans="T"
+        )
         x = self.q.conj() @ y
         return x[:, 0] if squeeze else x
 

@@ -119,7 +119,11 @@ class AssociatedTransformMOR:
         counts and which transfer functions were present.
         """
         system = system.to_explicit()
-        workspace = workspace or AssociatedWorkspace(system)
+        # Memoized per system: multiple expansion points, repeated
+        # builds and any distortion analysis on the same system all
+        # share one Schur factorization of G1 (and one Π / lifted
+        # operator when present).
+        workspace = workspace or AssociatedWorkspace.for_system(system)
         q1, q2, q3 = self.orders
         blocks = []
         details = {"blocks": []}

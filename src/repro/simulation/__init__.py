@@ -6,7 +6,7 @@ from .integrators import (
     THETA_TRAPEZOIDAL,
     implicit_step,
 )
-from .newton import newton_solve
+from .newton import JacobianCache, newton_solve
 from .sources import (
     cosine_source,
     exponential_pulse_source,
@@ -24,6 +24,7 @@ __all__ = [
     "THETA_BACKWARD_EULER",
     "THETA_TRAPEZOIDAL",
     "implicit_step",
+    "JacobianCache",
     "newton_solve",
     "cosine_source",
     "exponential_pulse_source",

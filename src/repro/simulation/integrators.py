@@ -30,6 +30,7 @@ def implicit_step(
     theta=THETA_TRAPEZOIDAL,
     newton_tol=1e-10,
     max_iterations=25,
+    jac_cache=None,
 ):
     """Advance one implicit θ-step; returns ``(x_{k+1}, newton_iters)``.
 
@@ -41,6 +42,11 @@ def implicit_step(
     u_k, u_k1 : (m,) inputs at both endpoints
     dt : float step size
     theta : float in (0, 1]
+    jac_cache : JacobianCache, optional
+        Chord-Newton state shared across steps: the LU of the iteration
+        matrix ``M − dt·θ·J`` from previous steps is reused until
+        convergence degrades.  Only valid while ``dt`` and ``theta`` stay
+        fixed between calls (the fixed-step driver guarantees this).
     """
     if not 0.0 < theta <= 1.0:
         raise ValidationError(f"theta must be in (0, 1], got {theta}")
@@ -66,4 +72,5 @@ def implicit_step(
         guess,
         tol=newton_tol,
         max_iterations=max_iterations,
+        jac_cache=jac_cache,
     )

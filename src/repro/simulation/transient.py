@@ -11,6 +11,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from .integrators import THETA_TRAPEZOIDAL, implicit_step
+from .newton import JacobianCache
 
 __all__ = ["TransientResult", "simulate"]
 
@@ -27,14 +28,26 @@ class TransientResult:
         Seconds spent inside the integration loop.
     newton_iterations : int
         Total Newton iterations across all steps.
+    jacobian_factorizations : int or None
+        LU factorizations of the Newton iteration matrix (chord-Newton
+        runs only; ``None`` when the exact-Newton path was used).
     """
 
-    def __init__(self, times, states, outputs, wall_time, newton_iterations):
+    def __init__(
+        self,
+        times,
+        states,
+        outputs,
+        wall_time,
+        newton_iterations,
+        jacobian_factorizations=None,
+    ):
         self.times = times
         self.states = states
         self.outputs = outputs
         self.wall_time = wall_time
         self.newton_iterations = newton_iterations
+        self.jacobian_factorizations = jacobian_factorizations
 
     @property
     def steps(self):
@@ -61,6 +74,7 @@ def simulate(
     theta=THETA_TRAPEZOIDAL,
     newton_tol=1e-10,
     max_newton=25,
+    reuse_jacobian=True,
 ):
     """Integrate *system* from 0 to *t_end* with fixed step *dt*.
 
@@ -73,6 +87,12 @@ def simulate(
         operating point)
     theta : float
         Implicit scheme parameter (0.5 = trapezoidal, 1.0 = BE).
+    reuse_jacobian : bool
+        When True (default) a chord-Newton :class:`JacobianCache` is
+        carried across all timesteps, so the LU of the iteration matrix
+        is refactorized only when convergence degrades instead of at
+        every Newton iteration.  The convergence tolerance is unchanged;
+        set False to force the classic exact-Newton path.
 
     Returns
     -------
@@ -98,6 +118,7 @@ def simulate(
         return val
 
     total_newton = 0
+    jac_cache = JacobianCache() if reuse_jacobian else None
     start = time.perf_counter()
     u_prev = u_at(times[0])
     for k in range(steps - 1):
@@ -111,6 +132,7 @@ def simulate(
             theta=theta,
             newton_tol=newton_tol,
             max_iterations=max_newton,
+            jac_cache=jac_cache,
         )
         total_newton += iters
         u_prev = u_next
@@ -118,4 +140,13 @@ def simulate(
     outputs = system.observe(states)
     if outputs.ndim == 1:
         outputs = outputs[:, None]
-    return TransientResult(times, states, outputs, wall, total_newton)
+    return TransientResult(
+        times,
+        states,
+        outputs,
+        wall,
+        total_newton,
+        jacobian_factorizations=(
+            jac_cache.factorizations if jac_cache is not None else None
+        ),
+    )

@@ -11,6 +11,7 @@ import scipy.linalg as sla
 
 from .._validation import as_matrix, as_square_matrix
 from ..errors import SystemStructureError, ValidationError
+from ..linalg.resolvent import ResolventFactory
 
 __all__ = ["StateSpace"]
 
@@ -103,15 +104,17 @@ class StateSpace:
     def frequency_response(self, omegas):
         """Evaluate ``H(jw)`` on an array of angular frequencies.
 
-        Returns an array of shape ``(len(omegas), p, m)``.
+        Returns an array of shape ``(len(omegas), p, m)``.  The whole
+        grid is evaluated in one batch through the system's cached
+        :class:`ResolventFactory` (one factorization of ``A``, one
+        triangular substitution per frequency) rather than a fresh dense
+        solve per point; repeated calls reuse the factorization.
         """
         omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
-        out = np.empty(
-            (omegas.size, self.n_outputs, self.n_inputs), dtype=complex
-        )
-        for idx, w in enumerate(omegas):
-            out[idx] = self.transfer(1j * w)
-        return out
+        factory = ResolventFactory.for_system(self)
+        kernels = factory.solve_many(1j * omegas, self.b)
+        out = np.einsum("pn,knm->kpm", self.c.astype(complex), kernels)
+        return out + self.d[None, :, :]
 
     def impulse_response(self, times):
         """Impulse response ``h(t) = C e^{At} B`` (+ D δ omitted).

@@ -12,7 +12,12 @@ from .associated import (
     associated_h2_decoupled,
     associated_h3,
 )
-from .response import VolterraResponse, volterra_series_response
+from .evaluator import VolterraEvaluator, volterra_evaluator
+from .response import (
+    VolterraResponse,
+    frequency_sweep,
+    volterra_series_response,
+)
 from .theorems import (
     corollary1_residual,
     factored_property_residual,
@@ -21,8 +26,10 @@ from .theorems import (
     theorem2_constant,
 )
 from .transfer import (
+    apply_input_permutation,
     input_permutation,
     output_transfer,
+    permutation_indices,
     volterra_h1,
     volterra_h2,
     volterra_h3,
@@ -37,15 +44,20 @@ __all__ = [
     "associated_h2",
     "associated_h2_decoupled",
     "associated_h3",
+    "VolterraEvaluator",
+    "volterra_evaluator",
     "VolterraResponse",
+    "frequency_sweep",
     "volterra_series_response",
     "corollary1_residual",
     "factored_property_residual",
     "numerical_association_h2",
     "theorem1_residual",
     "theorem2_constant",
+    "apply_input_permutation",
     "input_permutation",
     "output_transfer",
+    "permutation_indices",
     "volterra_h1",
     "volterra_h2",
     "volterra_h3",

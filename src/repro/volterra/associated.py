@@ -46,10 +46,10 @@ from ..linalg.operators import (
     solve_left_kron_sum,
     solve_right_kron_sum,
 )
-from ..linalg.schur import SchurForm
+from ..linalg.resolvent import ResolventFactory
 from ..linalg.sylvester import KronSumSolver, solve_pi_sylvester
 from ..systems.lti import StateSpace
-from .transfer import input_permutation
+from .transfer import permutation_indices
 
 __all__ = [
     "AssociatedWorkspace",
@@ -81,16 +81,50 @@ class AssociatedWorkspace:
 
     Computes the (complex) Schur form of ``G1`` once and hands it to every
     Kronecker-sum solver, lifted operator and Sylvester solve — the
-    "one-time similarity transform" of the paper's §2.3.
+    "one-time similarity transform" of the paper's §2.3.  The Schur form
+    is obtained through the system's :class:`ResolventFactory`, so the
+    same factorization also serves transfer-function evaluation and
+    distortion sweeps on that system.
     """
 
     def __init__(self, system):
         _require_explicit(system)
         self.system = system
-        self.schur = SchurForm(system.g1)
+        self.resolvent = ResolventFactory.for_system(system)
+        self.schur = self.resolvent.schur
         self.kron_solver = KronSumSolver(system.g1, schur=self.schur)
         self._a2_op = None
         self._pi = None
+        # Everything the lazily cached Π / lifted operator / input
+        # matrices depend on; compared by identity for invalidation.
+        self._key = (system.g1, system.g2, system.g3, system.d1, system.b)
+
+    def matches(self, system):
+        """True when the cached factorizations are still valid."""
+        current = (system.g1, system.g2, system.g3, system.d1, system.b)
+        return self.system is system and all(
+            a is b for a, b in zip(self._key, current)
+        )
+
+    @classmethod
+    def for_system(cls, system):
+        """One memoized workspace per system object.
+
+        Repeated reductions / realizations of the same system (e.g.
+        multi-point basis builds followed by distortion checks) share one
+        Schur factorization, one Π solve and one lifted operator.  The
+        cache invalidates when any system matrix the workspace depends
+        on (``g1``, ``g2``, ``g3``, ``d1``, ``b``) is rebound.
+        """
+        cached = getattr(system, "_associated_workspace", None)
+        if cached is not None and cached.matches(system):
+            return cached
+        workspace = cls(system)
+        try:
+            system._associated_workspace = workspace
+        except AttributeError:
+            pass
+        return workspace
 
     @property
     def n(self):
@@ -156,8 +190,7 @@ class AssociatedWorkspace:
         b = self.system.b
         m = self.m
         bb = np.kron(b, b)
-        swap = input_permutation(m, (1, 0)).toarray()
-        return 0.5 * (bb + bb @ swap)
+        return 0.5 * (bb + bb[:, permutation_indices(m, (1, 0))])
 
     def b2_tilde(self):
         """The full associated-H2 input matrix ``b̃2 = [MD; sym(B⊗B)]``."""
@@ -321,7 +354,7 @@ class _DenseG1Operator:
 
 def associated_h1(system, workspace=None):
     """Trivial realization of ``H1(s) = (sI − G1)^{-1} B``."""
-    workspace = workspace or AssociatedWorkspace(system)
+    workspace = workspace or AssociatedWorkspace.for_system(system)
     op = _DenseG1Operator(workspace.system.g1, workspace.schur)
     return AssociatedRealization(
         op,
@@ -338,7 +371,7 @@ def associated_h2(system, workspace=None):
     Returns ``None`` when the system has neither quadratic nor bilinear
     terms (then ``H2 ≡ 0``).
     """
-    workspace = workspace or AssociatedWorkspace(system)
+    workspace = workspace or AssociatedWorkspace.for_system(system)
     system = workspace.system
     if system.g2 is None and system.d1 is None:
         return None
@@ -417,7 +450,7 @@ class DecoupledH2Realization:
 
 def associated_h2_decoupled(system, workspace=None):
     """Build the eq.-(18) decoupled realization (or ``None`` if H2 ≡ 0)."""
-    workspace = workspace or AssociatedWorkspace(system)
+    workspace = workspace or AssociatedWorkspace.for_system(system)
     if workspace.system.g2 is None and workspace.system.d1 is None:
         return None
     if workspace.system.g2 is None:
@@ -611,28 +644,31 @@ def _h3_input_matrix(workspace, op):
         top /= 3.0
     pieces.append(top)
 
+    def _perm_sum(mat, perms):
+        """``mat @ Σ_perms P`` via column indexing, no dense matmuls."""
+        acc = mat[:, permutation_indices(m, perms[0])]
+        for perm in perms[1:]:
+            acc += mat[:, permutation_indices(m, perm)]
+        return acc
+
     if op.has_quad:
         b2 = workspace.b2_tilde()
         # Left block: (1/3)(B ⊗ b̃2) Σᵢ P_(i,j,k);  i is the H1 slot.
-        perm_sum_left = sum(
-            input_permutation(m, perm).toarray()
-            for perm in ((0, 1, 2), (1, 0, 2), (2, 0, 1))
+        pieces.append(
+            _perm_sum(np.kron(b, b2), ((0, 1, 2), (1, 0, 2), (2, 0, 1)))
+            / 3.0
         )
-        pieces.append(np.kron(b, b2) @ perm_sum_left / 3.0)
         # Right block: (1/3)(b̃2 ⊗ B) Σᵢ P_(j,k,i).
-        perm_sum_right = sum(
-            input_permutation(m, perm).toarray()
-            for perm in ((1, 2, 0), (0, 2, 1), (0, 1, 2))
+        pieces.append(
+            _perm_sum(np.kron(b2, b), ((1, 2, 0), (0, 2, 1), (0, 1, 2)))
+            / 3.0
         )
-        pieces.append(np.kron(b2, b) @ perm_sum_right / 3.0)
 
     if op.has_cubic:
-        perm_sum = sum(
-            input_permutation(m, perm).toarray()
-            for perm in itertools.permutations(range(3))
-        )
         bbb = np.kron(b, np.kron(b, b))
-        pieces.append(bbb @ perm_sum / 6.0)
+        pieces.append(
+            _perm_sum(bbb, tuple(itertools.permutations(range(3)))) / 6.0
+        )
 
     return np.vstack(pieces)
 
@@ -643,7 +679,7 @@ def associated_h3(system, workspace=None):
     Returns ``None`` when ``H3 ≡ 0`` (no quadratic, bilinear or cubic
     terms).
     """
-    workspace = workspace or AssociatedWorkspace(system)
+    workspace = workspace or AssociatedWorkspace.for_system(system)
     system = workspace.system
     if system.g2 is None and system.g3 is None:
         return None

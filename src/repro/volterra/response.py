@@ -23,8 +23,9 @@ import scipy.linalg as sla
 
 from .._validation import check_positive_int
 from ..errors import SystemStructureError, ValidationError
+from ..linalg.resolvent import ResolventFactory
 
-__all__ = ["VolterraResponse", "volterra_series_response"]
+__all__ = ["VolterraResponse", "volterra_series_response", "frequency_sweep"]
 
 
 class VolterraResponse:
@@ -67,6 +68,41 @@ def _input_samples(u_fn, times, m):
             )
         samples[idx] = u
     return samples
+
+
+def frequency_sweep(system, omegas, output=True):
+    """Batched linear frequency response ``H1(jω)`` over a whole ω-grid.
+
+    Evaluates the first-order transfer function at every point of
+    *omegas* through one shared factorization of ``G1``
+    (:meth:`ResolventFactory.solve_many` hoists the basis rotations out
+    of the grid loop), instead of one fresh ``O(n³)`` solve per point.
+
+    Parameters
+    ----------
+    system : PolynomialODE (explicit)
+    omegas : array_like of float
+        Angular frequencies.
+    output : bool
+        When True (default) the system's output map is applied and the
+        result has shape ``(len(omegas), p, m)``; otherwise the raw
+        state-space kernels ``(len(omegas), n, m)`` are returned.
+
+    Returns
+    -------
+    complex ndarray.
+    """
+    if system.mass is not None:
+        raise SystemStructureError(
+            "frequency_sweep requires an explicit system; call "
+            "to_explicit() first"
+        )
+    omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
+    factory = ResolventFactory.for_system(system)
+    kernels = factory.solve_many(1j * omegas, system.b)
+    if not output:
+        return kernels
+    return np.einsum("pn,knm->kpm", system.output.astype(complex), kernels)
 
 
 def volterra_series_response(system, u_fn, t_end, dt, order=3):

@@ -19,9 +19,13 @@ acting on ``a1 ⊗ a2 ⊗ ... ⊗ an`` where ``aᵢ`` is the complex input
 amplitude vector at frequency ``sᵢ``.  The symmetry of the kernels is the
 joint statement ``Hn(s_π)[:, π(cols)] = Hn(s)[:, cols]`` for every
 permutation π, which the test suite verifies.
-"""
 
-import itertools
+Evaluation is delegated to a per-system :class:`~repro.volterra.evaluator.
+VolterraEvaluator`, which factors ``G1`` once (shared with the associated
+realizations and the distortion sweeps) and memoizes the ``H1``/``H2``
+sub-kernels, so repeated and nested evaluations — ``volterra_h3`` alone
+needs every ``H1(sᵢ)`` and ``H2(sᵢ, sⱼ)`` — never re-solve.
+"""
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,6 +35,8 @@ from ..errors import SystemStructureError
 
 __all__ = [
     "input_permutation",
+    "permutation_indices",
+    "apply_input_permutation",
     "volterra_h1",
     "volterra_h2",
     "volterra_h3",
@@ -46,13 +52,13 @@ def _require_explicit(system):
         )
 
 
-def input_permutation(m, perm):
-    """Permutation matrix ``P`` with ``P (a_1 ⊗ ... ⊗ a_k) = a_{perm[0]} ⊗ ...``.
+def permutation_indices(m, perm):
+    """Column indices realizing an input-slot permutation by fancy indexing.
 
-    *perm* is a tuple of 0-based indices of length ``k``.  The matrix has
-    size ``m**k`` and reorders the Kronecker factors of the input
-    amplitudes, which is how kernel symmetry is expressed for MIMO
-    systems.
+    Returns the index array ``idx`` with
+    ``M @ input_permutation(m, perm) == M[:, idx]`` — the ``O(n·m^k)``
+    way to apply the permutation, versus the dense ``O(n·m^{2k})``
+    matmul against a materialized permutation matrix.
     """
     m = check_positive_int(m, "m")
     k = len(perm)
@@ -62,39 +68,40 @@ def input_permutation(m, perm):
     rows = np.zeros(size, dtype=np.intp)
     for t in range(k):
         rows = rows * m + digits[perm[t]]
+    return rows
+
+
+def apply_input_permutation(matrix, m, perm):
+    """Apply ``matrix @ input_permutation(m, perm)`` without the matmul."""
+    return matrix[:, permutation_indices(m, perm)]
+
+
+def input_permutation(m, perm):
+    """Permutation matrix ``P`` with ``P (a_1 ⊗ ... ⊗ a_k) = a_{perm[0]} ⊗ ...``.
+
+    *perm* is a tuple of 0-based indices of length ``k``.  The matrix has
+    size ``m**k`` and reorders the Kronecker factors of the input
+    amplitudes, which is how kernel symmetry is expressed for MIMO
+    systems.  Hot paths should use :func:`permutation_indices` /
+    :func:`apply_input_permutation` instead of multiplying by this matrix.
+    """
+    rows = permutation_indices(m, perm)
+    size = rows.size
+    cols = np.arange(size)
     data = np.ones(size)
     return sp.csr_matrix((data, (rows, cols)), shape=(size, size))
 
 
-def _resolvent_solve(g1, s, rhs):
-    n = g1.shape[0]
-    return np.linalg.solve(s * np.eye(n) - g1.astype(complex), rhs)
+def _evaluator(system):
+    from .evaluator import volterra_evaluator
+
+    return volterra_evaluator(system)
 
 
 def volterra_h1(system, s):
     """First-order transfer function ``H1(s) = (sI − G1)^{-1} B``."""
     _require_explicit(system)
-    return _resolvent_solve(system.g1, s, system.b.astype(complex))
-
-
-def _d1_coupling_h2(system, h1_a, h1_b):
-    """The MIMO D1 coupling of H2 at ``(s1, s2)``.
-
-    Column ``(p, q)`` receives ``D1_q H1(s1)[:, p] + D1_p H1(s2)[:, q]``
-    (input p rides on the state response, input q multiplies it, and the
-    symmetric partner term).
-    """
-    n = system.n_states
-    m = system.n_inputs
-    coupling = np.zeros((n, m * m), dtype=complex)
-    if system.d1 is None:
-        return coupling
-    for p in range(m):
-        for q in range(m):
-            col = p * m + q
-            coupling[:, col] += system.d1[q] @ h1_a[:, p]
-            coupling[:, col] += system.d1[p] @ h1_b[:, q]
-    return coupling
+    return _evaluator(system).h1(s)
 
 
 def volterra_h2(system, s1, s2):
@@ -103,44 +110,7 @@ def volterra_h2(system, s1, s2):
     Returns an ``(n, m²)`` complex matrix.
     """
     _require_explicit(system)
-    if system.g2 is None and system.d1 is None:
-        n, m = system.n_states, system.n_inputs
-        return np.zeros((n, m * m), dtype=complex)
-    m = system.n_inputs
-    h1_a = volterra_h1(system, s1)
-    h1_b = volterra_h1(system, s2)
-    terms = _d1_coupling_h2(system, h1_a, h1_b)
-    if system.g2 is not None:
-        swap = input_permutation(m, (1, 0))
-        pair = np.kron(h1_a, h1_b) + np.kron(h1_b, h1_a) @ swap.toarray()
-        terms = terms + system.g2 @ pair
-    return 0.5 * _resolvent_solve(system.g1, s1 + s2, terms)
-
-
-def _d1_coupling_h3(system, s_list):
-    """The MIMO D1 coupling of H3: ``Σ_k D1_{p_k} H2(s_i, s_j)`` terms."""
-    n = system.n_states
-    m = system.n_inputs
-    coupling = np.zeros((n, m**3), dtype=complex)
-    if system.d1 is None:
-        return coupling
-    s1, s2, s3 = s_list
-    # Input slot k carries u (through D1); the remaining two ride in H2.
-    for k, (si, sj) in ((2, (s1, s2)), (1, (s1, s3)), (0, (s2, s3))):
-        h2_pair = volterra_h2(system, si, sj)
-        pair_slots = [t for t in range(3) if t != k]
-        for p in range(m):
-            for q in range(m):
-                for r in range(m):
-                    triple = (p, q, r)
-                    col = (p * m + q) * m + r
-                    u_idx = triple[k]
-                    a_idx = triple[pair_slots[0]]
-                    b_idx = triple[pair_slots[1]]
-                    coupling[:, col] += (
-                        system.d1[u_idx] @ h2_pair[:, a_idx * m + b_idx]
-                    )
-    return coupling
+    return _evaluator(system).h2(s1, s2)
 
 
 def volterra_h3(system, s1, s2, s3):
@@ -151,38 +121,7 @@ def volterra_h3(system, s1, s2, s3):
     each may be absent.
     """
     _require_explicit(system)
-    n = system.n_states
-    m = system.n_inputs
-    s_list = (s1, s2, s3)
-    terms = np.zeros((n, m**3), dtype=complex)
-
-    if system.g2 is not None:
-        # Six H1 ⊗ H2 pairings: variable i carries H1, the pair (j, k)
-        # carries H2, on both Kronecker sides.
-        h1_cache = {s: volterra_h1(system, s) for s in set(s_list)}
-        for i in range(3):
-            j, k = [t for t in range(3) if t != i]
-            h1_i = h1_cache[s_list[i]]
-            h2_jk = volterra_h2(system, s_list[j], s_list[k])
-            perm_left = input_permutation(m, (i, j, k))
-            perm_right = input_permutation(m, (j, k, i))
-            terms += system.g2 @ (np.kron(h1_i, h2_jk) @ perm_left.toarray())
-            terms += system.g2 @ (np.kron(h2_jk, h1_i) @ perm_right.toarray())
-
-    terms += _d1_coupling_h3(system, s_list)
-
-    if system.g3 is not None:
-        h1_cache = {s: volterra_h1(system, s) for s in set(s_list)}
-        triple = np.zeros((n**3, m**3), dtype=complex)
-        for perm in itertools.permutations(range(3)):
-            block = np.kron(
-                h1_cache[s_list[perm[0]]],
-                np.kron(h1_cache[s_list[perm[1]]], h1_cache[s_list[perm[2]]]),
-            )
-            triple += block @ input_permutation(m, perm).toarray()
-        terms = terms + 0.5 * (system.g3 @ triple)
-
-    return _resolvent_solve(system.g1, s1 + s2 + s3, terms) / 3.0
+    return _evaluator(system).h3(s1, s2, s3)
 
 
 def output_transfer(system, h_matrix):
