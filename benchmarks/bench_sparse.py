@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Sparse-MNA fast path vs dense, on a circuit-sized quadratic RC ladder.
+
+The sparse path keeps CSR matrices alive from MNA stamping through
+simulation: ``assemble`` emits CSR ``g1``/``mass``, ``jacobian`` returns
+CSR, chord-Newton factors the iteration matrix once with ``splu``, and
+the distortion sweep's resolvent solves run through the factory's
+per-shift sparse LU cache.  This bench times both paths on the same
+netlist (n ≈ 1000–5000 states — the regime the paper's circuit examples
+live in, where a dense LU is ``O(n³)`` against the ladder's ``O(n)``
+sparse factor) and verifies they agree to rounding.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py [n_states]
+
+Each invocation **appends** one run entry to the keyed list in
+``benchmarks/BENCH_sweep.json`` (see ``perf_log.py``), extending the
+perf trajectory without overwriting prior entries.  Set
+``REPRO_BENCH_QUICK=1`` for a shorter transient/sweep (the state count
+stays at circuit scale either way).
+"""
+
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf_log import append_run  # noqa: E402
+from repro.analysis.distortion import distortion_sweep  # noqa: E402
+from repro.circuits.examples import (  # noqa: E402
+    quadratic_rc_ladder_netlist,
+)
+from repro.simulation.transient import simulate  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+DEFAULT_N = 1536
+
+
+def _quick():
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+#: Both compile flavors come from one set of stamps — the documented
+#: example circuit itself.
+make_ladder_netlist = quadratic_rc_ladder_netlist
+
+
+def run_sparse_transient_case(n_nodes=DEFAULT_N, t_end=None, dt=0.05):
+    """Chord-Newton transient: CSR-stamped vs dense-stamped system."""
+    if t_end is None:
+        t_end = 10.0 if _quick() else 20.0
+    net = make_ladder_netlist(n_nodes)
+    sparse_sys = net.compile(sparse=True)
+    dense_sys = net.compile(sparse=False)
+    assert sparse_sys.is_sparse and not dense_sys.is_sparse
+
+    def drive(t):
+        return 0.8 * np.cos(0.3 * t)
+
+    start = time.perf_counter()
+    res_sparse = simulate(sparse_sys, drive, t_end, dt)
+    sparse_s = time.perf_counter() - start
+    start = time.perf_counter()
+    res_dense = simulate(dense_sys, drive, t_end, dt)
+    dense_s = time.perf_counter() - start
+    return {
+        "n_states": sparse_sys.n_states,
+        "steps": int(res_sparse.steps),
+        "dense_s": dense_s,
+        "sparse_s": sparse_s,
+        "speedup": dense_s / sparse_s,
+        "sparse_factorizations": res_sparse.jacobian_factorizations,
+        "dense_factorizations": res_dense.jacobian_factorizations,
+        "max_state_difference": float(
+            np.abs(res_sparse.states - res_dense.states).max()
+        ),
+    }
+
+
+def run_sparse_sweep_case(n_nodes=None, points=None, amplitude=0.5):
+    """HD2/HD3 distortion sweep: sparse-LU resolvents vs dense Schur.
+
+    The sweep is quadratic in memory through the ``H2`` Kronecker
+    assembly, so it runs at a smaller (still circuit-sized) n than the
+    transient.
+    """
+    if n_nodes is None:
+        n_nodes = 1024
+    if points is None:
+        points = 8 if _quick() else 15
+    net = make_ladder_netlist(n_nodes)
+    sparse_sys = net.compile(sparse=True)
+    dense_sys = net.compile(sparse=False)
+    omegas = np.linspace(0.05, 0.5, points)
+
+    start = time.perf_counter()
+    _, hd2_sparse, hd3_sparse = distortion_sweep(
+        sparse_sys, omegas, amplitude=amplitude
+    )
+    sparse_s = time.perf_counter() - start
+    start = time.perf_counter()
+    _, hd2_dense, hd3_dense = distortion_sweep(
+        dense_sys, omegas, amplitude=amplitude
+    )
+    dense_s = time.perf_counter() - start
+    agree = float(
+        max(
+            np.abs(hd2_sparse - hd2_dense).max() / np.abs(hd2_dense).max(),
+            np.abs(hd3_sparse - hd3_dense).max() / np.abs(hd3_dense).max(),
+        )
+    )
+    return {
+        "n_states": sparse_sys.n_states,
+        "points": int(points),
+        "amplitude": amplitude,
+        "dense_s": dense_s,
+        "sparse_s": sparse_s,
+        "speedup": dense_s / sparse_s,
+        "max_rel_disagreement": agree,
+    }
+
+
+def main():
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_N
+    results = {
+        "meta": {
+            "bench": "bench_sparse",
+            "generated_unix": time.time(),
+            "quick_scale": _quick(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+    }
+    print(f"sparse vs dense transient (n = {n_nodes}) ...")
+    results["sparse_transient"] = run_sparse_transient_case(n_nodes)
+    print(
+        "  dense {dense_s:.3f}s -> sparse {sparse_s:.3f}s "
+        "({speedup:.1f}x, {sparse_factorizations} sparse LU, "
+        "max state diff {max_state_difference:.2e})"
+        .format(**results["sparse_transient"])
+    )
+
+    print("sparse vs dense distortion sweep ...")
+    results["sparse_distortion_sweep"] = run_sparse_sweep_case()
+    print(
+        "  dense {dense_s:.3f}s -> sparse {sparse_s:.3f}s "
+        "({speedup:.1f}x, max rel disagreement "
+        "{max_rel_disagreement:.2e})"
+        .format(**results["sparse_distortion_sweep"])
+    )
+
+    count = append_run(OUT_PATH, results)
+    print(f"appended run {count} to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

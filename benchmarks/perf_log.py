@@ -1,0 +1,58 @@
+"""Append-only JSON perf trajectory shared by the benchmark runners.
+
+``BENCH_sweep.json`` holds a keyed list of runs (``{"runs": [...]}``),
+one entry per benchmark invocation, so the perf trajectory accumulates
+across PRs instead of each run overwriting the last — regressions stay
+visible by diffing consecutive entries.  Files written by the original
+single-run format are wrapped into the list on first append.
+"""
+
+import json
+
+__all__ = ["append_run", "load_runs"]
+
+
+def load_runs(path):
+    """Return the list of recorded runs in *path* (empty when absent).
+
+    Understands both the keyed-list format and the legacy single-run
+    dict written before the trajectory went append-only.  A non-empty
+    file that does not parse raises — overwriting it would silently
+    destroy the whole trajectory, the exact failure mode the append-only
+    format exists to prevent.
+    """
+    if not path.exists():
+        return []
+    text = path.read_text()
+    if not text.strip():
+        return []
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(
+            f"{path} exists but is not valid JSON; refusing to overwrite "
+            f"the perf trajectory — repair or move the file first ({exc})"
+        ) from exc
+    if isinstance(payload, dict) and "runs" in payload:
+        if isinstance(payload["runs"], list):
+            return payload["runs"]
+        raise ValueError(
+            f"{path} has a 'runs' key that is not a list; refusing to "
+            "overwrite the perf trajectory — repair or move the file first"
+        )
+    if isinstance(payload, dict) and payload:
+        return [payload]  # legacy: the file itself was one run
+    if payload in ({}, [], None):
+        return []  # vacuous content: nothing to preserve
+    raise ValueError(
+        f"{path} holds an unrecognized JSON structure; refusing to "
+        "overwrite the perf trajectory — repair or move the file first"
+    )
+
+
+def append_run(path, run):
+    """Append *run* to the keyed run list in *path*; returns the count."""
+    runs = load_runs(path)
+    runs.append(run)
+    path.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    return len(runs)

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Run the factorization-reuse benches and write a JSON baseline.
+"""Run the factorization-reuse benches and append a JSON baseline entry.
 
 Executes the quick-scale cases from ``bench_sweep.py`` (the distortion
 sweep always runs at paper scale, n ≈ 200, since that is the acceptance
-workload and is cheap with caching) and writes
-``benchmarks/BENCH_sweep.json`` with before/after timings, so later PRs
-can diff the perf trajectory.
+workload and is cheap with caching) and **appends** one run entry to the
+keyed list in ``benchmarks/BENCH_sweep.json`` (see ``perf_log.py``), so
+the perf trajectory accumulates across PRs and regressions stay visible
+instead of each run overwriting the last.
 
 Usage::
 
@@ -15,7 +16,6 @@ Scale is controlled by ``REPRO_BENCH_QUICK`` exactly like the pytest
 benches; the runner defaults it to quick (1) when unset.
 """
 
-import json
 import os
 import platform
 import sys
@@ -30,6 +30,7 @@ from benchmarks.bench_sweep import (  # noqa: E402
     run_sweep_case,
     run_transient_case,
 )
+from benchmarks.perf_log import append_run  # noqa: E402
 
 OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
 
@@ -37,6 +38,7 @@ OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
 def main():
     results = {
         "meta": {
+            "bench": "run_sweep_baseline",
             "generated_unix": time.time(),
             "quick_scale": os.environ.get("REPRO_BENCH_QUICK") == "1",
             "python": platform.python_version(),
@@ -68,8 +70,8 @@ def main():
         .format(**results["multipoint_basis"])
     )
 
-    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {OUT_PATH}")
+    count = append_run(OUT_PATH, results)
+    print(f"appended run {count} to {OUT_PATH}")
 
 
 if __name__ == "__main__":

@@ -42,7 +42,11 @@ def as_matrix(value, name="matrix", dtype=None, allow_sparse=False):
     dtype : numpy dtype, optional
         Target dtype; defaults to the input's (float64 for integer input).
     allow_sparse : bool
-        When True, scipy sparse inputs are passed through as CSR.
+        When True, scipy sparse inputs are passed through as CSR — this is
+        the entry point of the library-wide sparse fast path: systems
+        constructed from CSR matrices keep them sparse all the way through
+        simulation and Krylov subspace generation.  Dense input is never
+        sparsified, so dense behavior stays the default.
     """
     if sp.issparse(value):
         if not allow_sparse:
@@ -51,6 +55,14 @@ def as_matrix(value, name="matrix", dtype=None, allow_sparse=False):
             mat = sp.csr_matrix(value)
             if dtype is not None:
                 mat = mat.astype(dtype)
+            elif mat.dtype.kind in "iub":
+                # Match the dense path: integer/bool input computes in
+                # float64.
+                mat = mat.astype(np.float64)
+            elif mat.dtype.kind not in "fc":
+                raise ValidationError(
+                    f"{name} must be numeric, got dtype={mat.dtype}"
+                )
             return mat
     arr = np.asarray(value)
     if arr.ndim != 2:

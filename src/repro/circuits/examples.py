@@ -23,6 +23,7 @@ from .netlist import Netlist
 __all__ = [
     "nonlinear_transmission_line",
     "quadratic_rc_ladder",
+    "quadratic_rc_ladder_netlist",
     "rf_receiver_chain",
     "varistor_surge_protector",
 ]
@@ -91,6 +92,34 @@ def nonlinear_transmission_line(
     return net.compile()
 
 
+def quadratic_rc_ladder_netlist(
+    n_nodes=70,
+    r=1.0,
+    c=1.0,
+    g_leak=0.1,
+    g_quad=0.5,
+    output_node=None,
+):
+    """The :func:`quadratic_rc_ladder` circuit as an uncompiled netlist.
+
+    Exposed separately so the sparse-path benchmark and tests can compile
+    the *same* stamps with both ``sparse=True`` and ``sparse=False``.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    if n_nodes < 2:
+        raise ValidationError("need at least 2 nodes")
+    net = Netlist(name=f"quad-ladder-{n_nodes}")
+    for k in range(1, n_nodes):
+        net.add_resistor(k, k + 1, r)
+    net.add_resistor(1, 0, r)
+    for k in range(1, n_nodes + 1):
+        net.add_capacitor(k, 0, c)
+        net.add_conductance(k, 0, g1=g_leak, g2=g_quad)
+    net.add_current_source(1, 0)
+    net.set_output_nodes([output_node or 1])
+    return net
+
+
 def quadratic_rc_ladder(
     n_nodes=70,
     r=1.0,
@@ -110,19 +139,14 @@ def quadratic_rc_ladder(
     leaky RC ladder sit at sub-nanovolt levels (pure diffusion) and make
     meaningless references for relative error.
     """
-    n_nodes = check_positive_int(n_nodes, "n_nodes")
-    if n_nodes < 2:
-        raise ValidationError("need at least 2 nodes")
-    net = Netlist(name=f"quad-ladder-{n_nodes}")
-    for k in range(1, n_nodes):
-        net.add_resistor(k, k + 1, r)
-    net.add_resistor(1, 0, r)
-    for k in range(1, n_nodes + 1):
-        net.add_capacitor(k, 0, c)
-        net.add_conductance(k, 0, g1=g_leak, g2=g_quad)
-    net.add_current_source(1, 0)
-    net.set_output_nodes([output_node or 1])
-    return net.compile()
+    return quadratic_rc_ladder_netlist(
+        n_nodes,
+        r=r,
+        c=c,
+        g_leak=g_leak,
+        g_quad=g_quad,
+        output_node=output_node,
+    ).compile()
 
 
 def rf_receiver_chain(

@@ -16,6 +16,15 @@ The compiled class depends on the devices present:
   (call ``.quadratic_linearize()`` for the QLDAE),
 * cubic terms only → :class:`repro.systems.CubicODE`,
 * otherwise → :class:`repro.systems.QLDAE`.
+
+Stamps are accumulated as COO entry lists and materialized once at the
+end — either into CSR ``g1``/``mass`` (the sparse fast path, default for
+``n ≥ 256`` states) or into dense ndarrays (default below that, where the
+dense Schur-based MOR machinery is the better tool).  Pass
+``assemble(netlist, sparse=True/False)`` to force either form; the two
+compile to numerically identical systems.  Exponential-diode netlists
+always compile dense (the diode Jacobian is a dense rank-one update per
+term; lift with ``quadratic_linearize()`` and rebuild sparse if needed).
 """
 
 import numpy as np
@@ -35,9 +44,13 @@ from .devices import (
 
 __all__ = ["assemble"]
 
+#: Auto mode (``sparse=None``) stamps CSR matrices at and above this
+#: state count; below it the dense Schur/MOR machinery is the better fit.
+_SPARSE_THRESHOLD = 256
+
 
 class _Stamper:
-    """Accumulates MNA stamps for one netlist."""
+    """Accumulates MNA stamps for one netlist as COO entry lists."""
 
     def __init__(self, netlist):
         self.netlist = netlist
@@ -45,8 +58,8 @@ class _Stamper:
         inductors = [d for d in netlist.devices if isinstance(d, Inductor)]
         self.inductors = inductors
         self.n = self.n_nodes + len(inductors)
-        self.mass = np.zeros((self.n, self.n))
-        self.g1 = np.zeros((self.n, self.n))
+        self.mass_entries = []  # (row, col, value) over n columns
+        self.g1_entries = []
         self.b = np.zeros((self.n, netlist.n_inputs))
         self.g2_entries = []  # (row, col, value) over n² columns
         self.g3_entries = []
@@ -107,7 +120,9 @@ class _Stamper:
         volt = self._voltage_form(device)
         for row, sign in self._kcl_rows(device):
             for col, coeff in volt.items():
-                self.g1[row, col] += sign * conductance * coeff
+                self.g1_entries.append(
+                    (row, col, sign * conductance * coeff)
+                )
 
     def _stamp_capacitor(self, device):
         volt = self._voltage_form(device)
@@ -117,8 +132,8 @@ class _Stamper:
             if row_state is None:
                 continue
             for col, coeff in volt.items():
-                self.mass[row_state, col] += (
-                    row_sign * device.capacitance * coeff
+                self.mass_entries.append(
+                    (row_state, col, row_sign * device.capacitance * coeff)
                 )
 
     def _stamp_current_source(self, device):
@@ -164,22 +179,32 @@ class _Stamper:
     def _stamp_inductors(self):
         for idx, device in enumerate(self.inductors):
             state = self.n_nodes + idx
-            self.mass[state, state] = device.inductance
+            self.mass_entries.append((state, state, device.inductance))
             volt = self._voltage_form(device)
             # Branch: L di/dt = v_pos − v_neg.
             for col, coeff in volt.items():
-                self.g1[state, col] += coeff
+                self.g1_entries.append((state, col, coeff))
             # KCL: current i flows pos -> neg.
             pos = self._state(device.node_pos)
             neg = self._state(device.node_neg)
             if pos is not None:
-                self.g1[pos, state] += -1.0
+                self.g1_entries.append((pos, state, -1.0))
             if neg is not None:
-                self.g1[neg, state] += +1.0
+                self.g1_entries.append((neg, state, +1.0))
 
 
-def assemble(netlist):
-    """Compile *netlist* into a system object (see module docstring)."""
+def assemble(netlist, sparse=None):
+    """Compile *netlist* into a system object (see module docstring).
+
+    Parameters
+    ----------
+    netlist : Netlist
+    sparse : bool, optional
+        ``True`` emits CSR ``g1``/``mass`` (the circuit-scale fast path),
+        ``False`` dense ndarrays.  The default ``None`` picks CSR at
+        ``n >= 256`` states and dense below; exponential-diode netlists
+        always compile dense (see module docstring).
+    """
     if netlist.n_nodes == 0:
         raise SystemStructureError("netlist has no nodes")
     stamper = _Stamper(netlist)
@@ -187,8 +212,30 @@ def assemble(netlist):
         stamper.stamp(device)
     stamper._stamp_inductors()
 
+    n = stamper.n
+    if sparse is None:
+        sparse = n >= _SPARSE_THRESHOLD and not stamper.exp_terms
+    if sparse and stamper.exp_terms:
+        raise SystemStructureError(
+            "sparse assembly is not supported for exponential-diode "
+            "netlists (the diode Jacobian is dense); compile dense and "
+            "lift with quadratic_linearize()"
+        )
+
+    def build_square(entries):
+        rows, cols, vals = (
+            zip(*entries) if entries else ((), (), ())
+        )
+        coo = sp.coo_matrix(
+            (np.asarray(vals, dtype=float), (rows, cols)), shape=(n, n)
+        )
+        return coo.tocsr() if sparse else coo.toarray()
+
+    g1 = build_square(stamper.g1_entries)
+    mass = build_square(stamper.mass_entries)
+
     # Every state needs mass (a capacitor on each node, L on each branch).
-    diag = np.abs(np.diag(stamper.mass))
+    diag = np.abs(mass.diagonal())
     if np.any(diag == 0.0):
         missing = np.nonzero(diag == 0.0)[0]
         raise SystemStructureError(
@@ -197,18 +244,25 @@ def assemble(netlist):
             "repro.systems.descriptor for the singular pencil"
         )
 
-    n = stamper.n
     output = None
     if netlist.output_nodes is not None:
         output = np.zeros((len(netlist.output_nodes), n))
         for row, node in enumerate(netlist.output_nodes):
             output[row, node - 1] = 1.0
 
-    mass = stamper.mass
-    if np.allclose(mass, np.eye(n)):
+    # Unit-capacitor circuits have an identity mass; drop it so the
+    # simulators skip the mass solve entirely.  Both branches apply the
+    # np.allclose(mass, eye) tolerance (atol=1e-8 plus rtol=1e-5 on the
+    # diagonal) so sparse and dense assembly of one netlist agree.
+    if sparse:
+        gap = (mass - sp.identity(n, format="csr")).tocoo()
+        tol = 1e-8 + 1e-5 * (gap.row == gap.col)
+        if gap.nnz == 0 or np.all(np.abs(gap.data) <= tol):
+            mass = None
+    elif np.allclose(mass, np.eye(n)):
         mass = None
 
-    def build_sparse(entries, width):
+    def build_wide(entries, width):
         if not entries:
             return None
         rows, cols, vals = zip(*entries)
@@ -216,8 +270,8 @@ def assemble(netlist):
             (vals, (rows, cols)), shape=(n, width)
         )
 
-    g2 = build_sparse(stamper.g2_entries, n * n)
-    g3 = build_sparse(stamper.g3_entries, n * n * n)
+    g2 = build_wide(stamper.g2_entries, n * n)
+    g3 = build_wide(stamper.g3_entries, n * n * n)
 
     name = netlist.name
     if stamper.exp_terms:
@@ -228,7 +282,7 @@ def assemble(netlist):
                 "terms manually"
             )
         return ExponentialODE(
-            stamper.g1,
+            g1,
             stamper.b,
             stamper.exp_terms,
             mass=mass,
@@ -237,16 +291,16 @@ def assemble(netlist):
         )
     if g3 is not None and g2 is None:
         return CubicODE(
-            stamper.g1, stamper.b, g3=g3, mass=mass, output=output, name=name
+            g1, stamper.b, g3=g3, mass=mass, output=output, name=name
         )
     if g3 is None:
         return QLDAE(
-            stamper.g1, stamper.b, g2=g2, mass=mass, output=output, name=name
+            g1, stamper.b, g2=g2, mass=mass, output=output, name=name
         )
     from ..systems.polynomial import PolynomialODE
 
     return PolynomialODE(
-        stamper.g1,
+        g1,
         stamper.b,
         g2=g2,
         g3=g3,

@@ -117,9 +117,14 @@ class Netlist:
             f"devices={len(self.devices)})"
         )
 
-    def compile(self):
+    def compile(self, sparse=None):
         """Assemble the MNA system (delegates to
-        :func:`repro.circuits.mna.assemble`)."""
+        :func:`repro.circuits.mna.assemble`).
+
+        ``sparse`` forwards to :func:`~repro.circuits.mna.assemble`:
+        ``True``/``False`` force CSR/dense stamps, ``None`` (default)
+        picks CSR at circuit scale (``n >= 256``) and dense below.
+        """
         from .mna import assemble
 
-        return assemble(self)
+        return assemble(self, sparse=sparse)

@@ -1,0 +1,86 @@
+"""Shared one-shot LU helpers (sparse-aware).
+
+:func:`sparse_lu` is the one home of the SuperLU wrapper (error mapping
+plus the near-singular pivot guard shared with
+:class:`~repro.linalg.resolvent.ResolventFactory`'s sparse branch);
+:func:`factorized_solver` layers the sparse/dense dispatch on top for
+callers that just need a ``solve`` callable — the shift-invert Krylov
+chains (:mod:`repro.mor.krylov`, :mod:`repro.mor.norm`) and the
+variational integrator (:mod:`repro.volterra.response`).  Chord-Newton
+(:mod:`repro.simulation.newton`) wraps :func:`sparse_lu` in its own
+cache-facing factorization objects instead, because the chord cache
+tracks which storage form it holds.
+"""
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import NumericalError
+
+__all__ = ["factorized_solver", "shifted_matrix", "sparse_lu"]
+
+#: A sparse-LU U-pivot smaller than this multiple of the largest pivot
+#: marks the matrix numerically singular (mirrors the dense Schur
+#: eigenvalue-gap threshold in the resolvent factory).
+_PIVOT_RTOL = 1e-13
+
+
+def sparse_lu(mat, guard=True):
+    """SuperLU factorization of a sparse square matrix.
+
+    With *guard* (the default) a vanishing U pivot raises
+    :class:`~repro.errors.NumericalError` instead of letting the
+    backsolve return garbage silently.  Chord-Newton passes
+    ``guard=False``: its near-singular iteration matrices are recovered
+    by backtracking/refresh, matching the dense LAPACK behavior.
+    """
+    try:
+        lu = spla.splu(sp.csc_matrix(mat))
+    except RuntimeError as exc:
+        raise NumericalError(f"sparse LU failed: {exc}") from exc
+    if guard:
+        pivots = np.abs(lu.U.diagonal())
+        if pivots.size and pivots.min() <= _PIVOT_RTOL * pivots.max():
+            raise NumericalError(
+                "matrix is numerically singular (sparse LU pivot ratio "
+                f"{pivots.min() / max(pivots.max(), 1e-300):.3e})"
+            )
+    return lu
+
+
+def shifted_matrix(a, shift):
+    """``A − shift·I`` in storage and dtype matching *a* and *shift*.
+
+    Sparse input stays sparse (CSC, ready for ``splu``); dense input
+    relies on numpy's dtype promotion for complex shifts.
+    """
+    n = a.shape[0]
+    if sp.issparse(a):
+        complex_shift = (
+            np.iscomplexobj(np.asarray(shift)) and np.imag(shift) != 0.0
+        )
+        dtype = complex if complex_shift or a.dtype.kind == "c" else float
+        return sp.csc_matrix(
+            a.astype(dtype)
+            - shift * sp.identity(n, dtype=dtype, format="csc")
+        )
+    return np.asarray(a) - shift * np.eye(n)
+
+
+def factorized_solver(mat):
+    """Factor *mat* once and return a ``solve(rhs)`` callable.
+
+    Sparse matrices go through SuperLU with a pivot-ratio singularity
+    guard (raising :class:`~repro.errors.NumericalError`); dense ones
+    through LAPACK ``lu_factor`` with its native error behavior.
+    """
+    if sp.issparse(mat):
+        return sparse_lu(mat).solve
+    lu = sla.lu_factor(mat)
+
+    def solve(rhs):
+        return sla.lu_solve(lu, rhs)
+
+    return solve

@@ -29,10 +29,10 @@ from collections import OrderedDict
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from .._validation import as_square_matrix
 from ..errors import NumericalError, ValidationError
+from .lu import sparse_lu
 from .schur import SchurForm
 
 __all__ = ["ResolventFactory"]
@@ -141,11 +141,14 @@ class ResolventFactory:
             # long sweeps over many other shifts.
             self._lu_cache.move_to_end(key)
             return lu
+        # sparse_lu's pivot guard mirrors the dense path's eigenvalue-gap
+        # check: a shift numerically on the spectrum raises instead of
+        # returning a garbage backsolve silently.
         try:
-            lu = spla.splu(self._csc * (-1.0) + key * self._eye)
-        except RuntimeError as exc:
+            lu = sparse_lu(self._csc * (-1.0) + key * self._eye)
+        except NumericalError as exc:
             raise NumericalError(
-                f"sparse LU of (sI - A) failed at s = {s}: {exc}"
+                f"sparse LU of (sI - A) at s = {s}: {exc}"
             ) from exc
         self._lu_cache[key] = lu
         if len(self._lu_cache) > _SPARSE_LU_CACHE:

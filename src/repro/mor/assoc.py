@@ -117,6 +117,12 @@ class AssociatedTransformMOR:
 
         Returns ``(V, details)`` where *details* records per-block vector
         counts and which transfer functions were present.
+
+        Sparse systems (CSR ``g1``) run the H1 chains through the
+        resolvent factory's sparse LU without densifying; the lifted
+        H2/H3 chains need the dense Schur machinery and densify ``G1``
+        through the workspace (size-guarded) — request
+        ``orders=(q1, 0, 0)`` to stay fully sparse at circuit scale.
         """
         system = system.to_explicit()
         # Memoized per system: multiple expansion points, repeated

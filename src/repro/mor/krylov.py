@@ -8,11 +8,12 @@ transform reduces the *nonlinear* problem to exactly this primitive.
 """
 
 import numpy as np
-import scipy.linalg as sla
+import scipy.sparse as sp
 
 from .._validation import check_positive_int
 from ..errors import ValidationError
 from ..linalg.arnoldi import merge_bases
+from ..linalg.lu import factorized_solver, shifted_matrix
 from ..systems.lti import StateSpace
 from .base import ReducedOrderModel
 
@@ -24,7 +25,10 @@ def krylov_basis(a, b, count, s0=0.0, tol=1e-10):
 
     Parameters
     ----------
-    a : (n, n) array_like
+    a : (n, n) array_like or sparse
+        Scipy sparse input is factored with a sparse LU (one ``splu`` of
+        ``A − s0 I`` per expansion point, never densified); dense input
+        takes the LAPACK path unchanged.
     b : (n,) or (n, m) array_like
         Block starting vectors.
     count : int
@@ -34,7 +38,8 @@ def krylov_basis(a, b, count, s0=0.0, tol=1e-10):
     tol : float
         Deflation tolerance for the final orthonormalization.
     """
-    a = np.asarray(a, dtype=float)
+    if not sp.issparse(a):
+        a = np.asarray(a, dtype=float)
     n = a.shape[0]
     if a.shape != (n, n):
         raise ValidationError(f"a must be square, got {a.shape}")
@@ -42,14 +47,12 @@ def krylov_basis(a, b, count, s0=0.0, tol=1e-10):
     if b.ndim == 1:
         b = b[:, None]
     count = check_positive_int(count, "count")
-    shifted = a - s0 * np.eye(n)
-    if np.iscomplexobj(np.asarray(s0)) and np.imag(s0) != 0.0:
-        shifted = shifted.astype(complex)
-    lu = sla.lu_factor(shifted)
+    shifted = shifted_matrix(a, s0)
+    solve = factorized_solver(shifted)
     blocks = []
-    current = b.astype(lu[0].dtype)
+    current = b.astype(shifted.dtype)
     for _ in range(count):
-        current = sla.lu_solve(lu, current)
+        current = solve(current)
         blocks.append(current.copy())
     return merge_bases(blocks, tol=tol)
 

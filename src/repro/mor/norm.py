@@ -22,11 +22,11 @@ reproduced.
 import time
 
 import numpy as np
-import scipy.linalg as sla
 
 from .._validation import check_nonnegative_int
 from ..errors import ValidationError
 from ..linalg.arnoldi import merge_bases
+from ..linalg.lu import factorized_solver, shifted_matrix
 from .base import ReducedOrderModel
 
 __all__ = ["NORMReducer"]
@@ -119,10 +119,9 @@ class NORMReducer:
         system = system.to_explicit()
         k1, k2, k3 = self.orders
         n = system.n_states
-        lu = sla.lu_factor(system.g1 - self.s0 * np.eye(n))
-
-        def solve(mat):
-            return sla.lu_solve(lu, mat)
+        # Shared sparse-aware dispatch: sparse g1 stays on a sparse LU
+        # instead of silently densifying.
+        solve = factorized_solver(shifted_matrix(system.g1, self.s0))
 
         max_h1 = max(k1, k2, k3)
         h1_moments = []

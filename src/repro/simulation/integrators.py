@@ -8,11 +8,20 @@ with ``θ = 1`` (backward Euler, L-stable, first order) or ``θ = ½``
 (trapezoidal, A-stable, second order — the default for the paper-style
 transient plots).  ``M`` is the mass matrix (identity when absent); it is
 never inverted, so mildly stiff RC/RLC systems integrate cleanly.
+
+Sparse systems (CSR ``g1``/``mass``, e.g. circuit-stamped MNA models)
+stay sparse through the whole step: the identity mass is a sparse
+identity, the iteration matrix ``M − dt·θ·J`` is assembled in CSR, and
+the Newton layer factors it with a sparse LU.  A mixed sparse/dense pair
+falls back to the dense iteration matrix (the dense factor dominates the
+cost anyway).
 """
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..errors import ValidationError
+from ..linalg.lu import sparse_lu
 from .newton import newton_solve
 
 __all__ = ["implicit_step", "THETA_BACKWARD_EULER", "THETA_TRAPEZOIDAL"]
@@ -53,19 +62,53 @@ def implicit_step(
     if dt <= 0.0:
         raise ValidationError("dt must be positive")
     n = system.n_states
-    mass = system.mass if system.mass is not None else np.eye(n)
+    sparse_system = getattr(system, "is_sparse", False) or sp.issparse(
+        system.mass
+    )
+    if system.mass is not None:
+        mass = system.mass
+    elif sparse_system:
+        mass = sp.identity(n, format="csr")
+    else:
+        mass = np.eye(n)
     f_k = system.rhs(x_k, u_k)
     const = mass @ x_k + dt * (1.0 - theta) * f_k
 
     def residual(x):
         return mass @ x - dt * theta * system.rhs(x, u_k1) - const
 
+    mass_dense = None  # lazy one-time densification for mixed pairs only
+
     def jacobian(x):
-        return mass - dt * theta * system.jacobian(x, u_k1)
+        nonlocal mass_dense
+        jac = system.jacobian(x, u_k1)
+        if sp.issparse(mass) and sp.issparse(jac):
+            return sp.csr_matrix(mass - dt * theta * jac)
+        if sp.issparse(jac):
+            jac = jac.toarray()
+        if mass_dense is None:
+            mass_dense = mass.toarray() if sp.issparse(mass) else mass
+        return mass_dense - dt * theta * jac
 
     # Predictor: explicit-Euler-ish guess keeps Newton counts low.
-    guess = x_k + dt * np.linalg.solve(mass, f_k) if system.mass is not None \
-        else x_k + dt * f_k
+    if system.mass is None:
+        guess = x_k + dt * f_k
+    elif sp.issparse(mass):
+        # One sparse LU of the mass matrix, memoized on the system so the
+        # fixed-step driver pays it once, not once per step.  Unguarded:
+        # a nearly singular mass still yields a usable (if poor)
+        # predictor, matching the dense np.linalg.solve behavior; exact
+        # singularity raises NumericalError via the shared helper.
+        cached = getattr(system, "_mass_lu", None)
+        if cached is None or cached[0] is not mass:
+            cached = (mass, sparse_lu(mass, guard=False))
+            try:
+                system._mass_lu = cached
+            except AttributeError:
+                pass
+        guess = x_k + dt * cached[1].solve(f_k)
+    else:
+        guess = x_k + dt * np.linalg.solve(mass, f_k)
     return newton_solve(
         residual,
         jacobian,

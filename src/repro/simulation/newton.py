@@ -8,18 +8,70 @@ of every step*, which dominates the paper's Table-1 runtime.  Chord
 timesteps* — and only refreshes it when convergence degrades.  The
 convergence test is unchanged (it is on the residual, not the step), so
 chord iterates land inside the same tolerance ball as exact Newton.
+
+Sparse fast path: a scipy-sparse iteration matrix (what sparse systems'
+``jacobian`` produces through :func:`~repro.simulation.integrators.
+implicit_step`) is detected here and factored **once** with
+``scipy.sparse.linalg.splu`` — it is never densified, so a circuit-sized
+chord-Newton transient costs ``O(nnz)`` per factorization instead of
+``O(n³)``.  Dense matrices take the LAPACK ``lu_factor`` path unchanged.
 """
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, NumericalError
+from ..linalg.lu import sparse_lu
 
 __all__ = ["newton_solve", "JacobianCache"]
 
 #: A reused-Jacobian iteration must shrink the residual by at least this
 #: factor per step; anything slower triggers a refactorization.
 _CHORD_REFRESH_RATIO = 0.5
+
+
+class _DenseFactorization:
+    """LAPACK LU of a dense iteration matrix."""
+
+    is_sparse = False
+
+    def __init__(self, jac):
+        self._lu = sla.lu_factor(jac)
+
+    def solve(self, rhs):
+        return sla.lu_solve(self._lu, rhs)
+
+
+class _SparseFactorization:
+    """SuperLU factorization of a sparse iteration matrix (no densify).
+
+    Unguarded (``guard=False``): near-singular iteration matrices are
+    recovered by Newton's backtracking/refresh machinery, matching the
+    dense LAPACK path's behavior.
+    """
+
+    is_sparse = True
+
+    def __init__(self, jac):
+        self._lu = sparse_lu(jac, guard=False)
+
+    def solve(self, rhs):
+        return self._lu.solve(rhs)
+
+
+def _factorize(jac):
+    """Factor an iteration matrix, sparse-aware; returns a solver with a
+    ``solve(rhs)`` method and an ``is_sparse`` flag."""
+    if sp.issparse(jac):
+        return _SparseFactorization(jac)
+    return _DenseFactorization(jac)
+
+
+#: Exceptions the factorization/backsolve layer can raise on a singular
+#: iteration matrix (LAPACK raises ValueError/LinAlgError, the shared
+#: sparse_lu helper NumericalError, SuperLU's backsolve RuntimeError).
+_FACTOR_ERRORS = (ValueError, RuntimeError, sla.LinAlgError, NumericalError)
 
 
 class JacobianCache:
@@ -34,6 +86,9 @@ class JacobianCache:
       ``refresh_ratio``,
     * backtracking had to damp the step, or
     * the cached factorization turns out singular/non-finite.
+
+    Sparse iteration matrices are factored with ``splu`` and reused
+    identically; :attr:`lu` then holds the sparse factorization object.
 
     Attributes
     ----------
@@ -55,7 +110,7 @@ class JacobianCache:
 
     def factor(self, jac):
         """Factor *jac* and make it the cached iteration matrix."""
-        self.lu = sla.lu_factor(jac)
+        self.lu = _factorize(jac)
         self.factorizations += 1
         return self.lu
 
@@ -88,6 +143,8 @@ def newton_solve(
     ----------
     residual : callable ``x -> (n,)``
     jacobian : callable ``x -> (n, n)``
+        May return either a dense ndarray or a scipy sparse matrix; the
+        latter is factored with a sparse LU (never densified).
     x0 : (n,) initial guess
     tol : float
         Convergence threshold on ``‖residual‖_∞`` relative to the scale
@@ -119,16 +176,20 @@ def newton_solve(
         return x, 0
     for iteration in range(1, max_iterations + 1):
         fresh = jac_cache is None or jac_cache.lu is None
+        # Evaluate the Jacobian outside the try: errors raised by the
+        # user callable must propagate untouched, not be misreported as
+        # a singular iteration matrix.
+        jac = jacobian(x) if fresh else None
         try:
             if jac_cache is None:
-                lu = sla.lu_factor(jacobian(x))
+                lu = _factorize(jac)
             elif jac_cache.lu is None:
-                lu = jac_cache.factor(jacobian(x))
+                lu = jac_cache.factor(jac)
             else:
                 lu = jac_cache.lu
                 jac_cache.reuses += 1
-            step = sla.lu_solve(lu, res)
-        except (ValueError, sla.LinAlgError) as exc:
+            step = lu.solve(res)
+        except _FACTOR_ERRORS as exc:
             raise ConvergenceError(
                 f"Newton Jacobian is singular at iteration {iteration}",
                 iterations=iteration,
@@ -154,11 +215,10 @@ def newton_solve(
                 # the same iterate.
                 jac_cache.invalidate()
                 fresh = True
+                jac = jacobian(x)
                 try:
-                    retry = sla.lu_solve(
-                        jac_cache.factor(jacobian(x)), res
-                    )
-                except (ValueError, sla.LinAlgError) as exc:
+                    retry = jac_cache.factor(jac).solve(res)
+                except _FACTOR_ERRORS as exc:
                     raise ConvergenceError(
                         "Newton Jacobian is singular at iteration "
                         f"{iteration}",

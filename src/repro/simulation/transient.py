@@ -94,6 +94,11 @@ def simulate(
         every Newton iteration.  The convergence tolerance is unchanged;
         set False to force the classic exact-Newton path.
 
+    Sparse systems (CSR ``g1``/``mass``, e.g. circuit-scale MNA models)
+    integrate without any densification: the iteration matrix stays CSR
+    and is factored with a sparse LU, and a sparse mass matrix is
+    factored once for the per-step predictor.
+
     Returns
     -------
     TransientResult

@@ -200,7 +200,8 @@ def carleman_bilinearize(system, degree=2):
         )
     n = system.n_states
     m = system.n_inputs
-    g1 = system.g1
+    # Carleman lifting is dense by construction; densify sparse stamps.
+    g1 = system.g1.toarray() if sp.issparse(system.g1) else system.g1
     g2 = (
         system.g2.toarray()
         if system.g2 is not None
@@ -223,7 +224,8 @@ def carleman_bilinearize(system, degree=2):
     for i in range(m):
         n_i = np.zeros((dim, dim))
         if system.d1 is not None:
-            n_i[:n, :n] = system.d1[i]
+            d1_i = system.d1[i]
+            n_i[:n, :n] = d1_i.toarray() if sp.issparse(d1_i) else d1_i
         b_col = system.b[:, i]
         # d(x⊗x)/dt picks up (b⊗I + I⊗b) x u from the input terms.
         n_i[n:, :n] = np.kron(b_col[:, None], eye) + np.kron(

@@ -8,6 +8,7 @@ values (used by the paper's §4 remark on automatic order selection).
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
 
 from .._validation import as_matrix, as_square_matrix
 from ..errors import SystemStructureError, ValidationError
@@ -17,11 +18,16 @@ __all__ = ["StateSpace"]
 
 
 class StateSpace:
-    """Dense LTI system ``x' = A x + B u``, ``y = C x + D u``.
+    """LTI system ``x' = A x + B u``, ``y = C x + D u``.
 
     Parameters
     ----------
-    a : (n, n) array_like
+    a : (n, n) array_like or sparse
+        State matrix.  Scipy sparse input is kept as CSR: resolvent-type
+        evaluations (``transfer``, ``frequency_response``, ``moments``)
+        then run through sparse LU factorizations.  Spectral operations
+        (``poles``, Gramians, ``impulse_response``) densify internally —
+        they are inherently dense algorithms.
     b : (n, m) array_like
         Vectors are treated as single-input columns.
     c : (p, n) array_like, optional
@@ -31,7 +37,7 @@ class StateSpace:
     """
 
     def __init__(self, a, b, c=None, d=None):
-        self.a = as_square_matrix(a, "a")
+        self.a = as_square_matrix(a, "a", allow_sparse=True)
         n = self.a.shape[0]
         b = np.asarray(b)
         if b.ndim == 1:
@@ -83,9 +89,13 @@ class StateSpace:
             f"n_inputs={self.n_inputs}, n_outputs={self.n_outputs})"
         )
 
+    def _a_dense(self):
+        """Dense view of ``A`` for the inherently dense algorithms."""
+        return self.a.toarray() if sp.issparse(self.a) else self.a
+
     def poles(self):
         """Eigenvalues of ``A``."""
-        return np.linalg.eigvals(self.a)
+        return np.linalg.eigvals(self._a_dense())
 
     def is_stable(self, margin=0.0):
         """True when all poles have real part < -margin."""
@@ -94,11 +104,20 @@ class StateSpace:
     # -- responses ------------------------------------------------------------
 
     def transfer(self, s):
-        """Evaluate ``H(s) = C (sI − A)^{-1} B + D`` at one complex point."""
+        """Evaluate ``H(s) = C (sI − A)^{-1} B + D`` at one complex point.
+
+        Sparse systems route through the cached
+        :class:`ResolventFactory` (one sparse LU per distinct shift,
+        LRU-reused across calls); dense systems use a direct solve.
+        """
         n = self.n_states
-        resolvent = np.linalg.solve(
-            s * np.eye(n) - self.a.astype(complex), self.b.astype(complex)
-        )
+        if sp.issparse(self.a):
+            resolvent = ResolventFactory.for_system(self).solve(s, self.b)
+        else:
+            resolvent = np.linalg.solve(
+                s * np.eye(n) - self.a.astype(complex),
+                self.b.astype(complex),
+            )
         return self.c @ resolvent + self.d
 
     def frequency_response(self, omegas):
@@ -107,10 +126,31 @@ class StateSpace:
         Returns an array of shape ``(len(omegas), p, m)``.  The whole
         grid is evaluated in one batch through the system's cached
         :class:`ResolventFactory` (one factorization of ``A``, one
-        triangular substitution per frequency) rather than a fresh dense
-        solve per point; repeated calls reuse the factorization.
+        triangular substitution per frequency for dense systems, one
+        cached sparse LU per frequency for sparse ones) rather than a
+        fresh dense solve per point; repeated calls reuse the
+        factorization.
+
+        ``omegas`` must be **real** angular frequencies — the response is
+        evaluated at ``s = jω``.  Complex input (scalar or array) raises
+        :class:`~repro.errors.ValidationError`; evaluate :meth:`transfer`
+        for general complex ``s``.
         """
-        omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
+        omegas = np.atleast_1d(np.asarray(omegas))
+        if omegas.dtype.kind == "c":
+            if np.any(omegas.imag != 0.0):
+                raise ValidationError(
+                    "frequency_response expects real angular frequencies "
+                    "(evaluated at s = j*omega) and would silently drop "
+                    "the imaginary part; use transfer(s) for general "
+                    "complex s"
+                )
+            omegas = omegas.real
+        elif omegas.dtype.kind not in "fiub":
+            raise ValidationError(
+                f"omegas must be real numbers, got dtype={omegas.dtype}"
+            )
+        omegas = omegas.astype(float, copy=False)
         factory = ResolventFactory.for_system(self)
         kernels = factory.solve_many(1j * omegas, self.b)
         out = np.einsum("pn,knm->kpm", self.c.astype(complex), kernels)
@@ -125,17 +165,18 @@ class StateSpace:
         """
         times = np.atleast_1d(np.asarray(times, dtype=float))
         out = np.empty((times.size, self.n_outputs, self.n_inputs))
+        a = self._a_dense()
         diffs = np.diff(times)
         uniform = times.size > 2 and np.allclose(diffs, diffs[0])
         if uniform and times[0] >= 0.0:
-            step = sla.expm(self.a * diffs[0])
-            state = sla.expm(self.a * times[0]) @ self.b
+            step = sla.expm(a * diffs[0])
+            state = sla.expm(a * times[0]) @ self.b
             for idx in range(times.size):
                 out[idx] = self.c @ state
                 state = step @ state
         else:
             for idx, t in enumerate(times):
-                out[idx] = self.c @ sla.expm(self.a * t) @ self.b
+                out[idx] = self.c @ sla.expm(a * t) @ self.b
         return out
 
     # -- moments ---------------------------------------------------------------
@@ -148,15 +189,39 @@ class StateSpace:
         spectrum of ``A``.
         """
         n = self.n_states
-        base = s0 * np.eye(n) - self.a
-        if s0 == 0.0 and not np.iscomplexobj(base):
-            lu = sla.lu_factor(base)
+        if sp.issparse(self.a):
+            factory = ResolventFactory.for_system(self)
+            # Match the dense path's dtype rule exactly: only the
+            # all-real DC expansion yields float64 moments (the factory
+            # computes in complex; the imaginary parts are exactly zero
+            # there).
+            real_case = (
+                s0 == 0.0
+                and self.a.dtype.kind != "c"
+                and not np.iscomplexobj(self.b)
+            )
+
+            def solve(mat):
+                # The factory's per-shift LU cache makes the repeated
+                # solves at s0 one factorization total.
+                out = factory.solve(s0, mat)
+                return out.real if real_case else out
+
+            current = self.b.astype(float if real_case else complex)
         else:
-            lu = sla.lu_factor(base.astype(complex))
+            base = s0 * np.eye(n) - self.a
+            if s0 == 0.0 and not np.iscomplexobj(base):
+                lu = sla.lu_factor(base)
+            else:
+                lu = sla.lu_factor(base.astype(complex))
+
+            def solve(mat):
+                return sla.lu_solve(lu, mat)
+
+            current = self.b.astype(lu[0].dtype)
         moments = []
-        current = self.b.astype(lu[0].dtype)
         for k in range(count):
-            current = sla.lu_solve(lu, current)
+            current = solve(current)
             moments.append(((-1.0) ** k) * (self.c @ current))
         return moments
 
@@ -168,7 +233,9 @@ class StateSpace:
             raise SystemStructureError(
                 "controllability Gramian requires a Hurwitz A"
             )
-        return sla.solve_continuous_lyapunov(self.a, -self.b @ self.b.T)
+        return sla.solve_continuous_lyapunov(
+            self._a_dense(), -self.b @ self.b.T
+        )
 
     def observability_gramian(self):
         """Solve ``Aᵀ Q + Q A + Cᵀ C = 0`` (requires stable ``A``)."""
@@ -176,7 +243,9 @@ class StateSpace:
             raise SystemStructureError(
                 "observability Gramian requires a Hurwitz A"
             )
-        return sla.solve_continuous_lyapunov(self.a.T, -self.c.T @ self.c)
+        return sla.solve_continuous_lyapunov(
+            self._a_dense().T, -self.c.T @ self.c
+        )
 
     def hankel_singular_values(self):
         """Hankel singular values ``sqrt(lambda_i(P Q))``, descending.
@@ -220,8 +289,8 @@ class StateSpace:
         n1, n2 = self.n_states, other.n_states
         a = np.block(
             [
-                [self.a, np.zeros((n1, n2))],
-                [other.b @ self.c, other.a],
+                [self._a_dense(), np.zeros((n1, n2))],
+                [other.b @ self.c, other._a_dense()],
             ]
         )
         b = np.vstack([self.b, other.b @ self.d])

@@ -14,6 +14,20 @@ Nonlinear terms are stored as sparse coefficient matrices
 (``G2: n × n²``, ``G3: n × n³``) *and* as unpacked COO index arrays, so
 right-hand-side and Jacobian evaluation cost ``O(nnz)`` instead of
 materializing ``x ⊗ x`` / ``x ⊗ x ⊗ x``.
+
+Sparsity contract (the circuit-scale fast path):
+
+* ``g1`` and ``mass`` passed as scipy sparse matrices are **kept** as CSR
+  (dense input stays dense — nothing is ever silently sparsified).
+* For such sparse systems :meth:`PolynomialODE.jacobian` returns a CSR
+  matrix assembled from the COO index arrays, ``d1`` matrices are coerced
+  to CSR, and :meth:`PolynomialODE.to_explicit` folds a sparse mass
+  matrix via a sparse LU without densifying ``g1``/``g2``/``g3``.
+* Densification happens only at documented seams: Galerkin projection
+  (:meth:`PolynomialODE.project` — the ROM is small and dense by
+  construction), the associated-transform lifted operators
+  (:mod:`repro.volterra.associated`, which need a dense Schur form), and
+  :class:`~repro.systems.descriptor.DescriptorPencil` (dense QZ).
 """
 
 import numpy as np
@@ -21,7 +35,8 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 
 from .._validation import as_matrix, as_sparse, as_square_matrix
-from ..errors import SystemStructureError, ValidationError
+from ..errors import NumericalError, SystemStructureError, ValidationError
+from ..linalg.lu import sparse_lu
 from .lti import StateSpace
 
 __all__ = ["PolynomialODE", "QLDAE", "CubicODE"]
@@ -73,6 +88,19 @@ class _QuadraticTerm:
             return
         np.add.at(jac, (self.rows, self.i), self.vals * x[self.j])
         np.add.at(jac, (self.rows, self.j), self.vals * x[self.i])
+
+    def jacobian_sparse(self, x):
+        """Jacobian contribution ``∂[G2 (x⊗x)]/∂x`` as a CSR matrix.
+
+        Duplicate (row, col) entries are summed by the COO→CSR
+        conversion, so the result matches :meth:`add_jacobian` exactly.
+        """
+        rows = np.concatenate([self.rows, self.rows])
+        cols = np.concatenate([self.i, self.j])
+        data = np.concatenate(
+            [self.vals * x[self.j], self.vals * x[self.i]]
+        )
+        return sp.csr_matrix((data, (rows, cols)), shape=(self.n, self.n))
 
 
 class _CubicTerm:
@@ -128,20 +156,58 @@ class _CubicTerm:
         np.add.at(jac, (self.rows, self.j), self.vals * x[self.i] * x[self.k])
         np.add.at(jac, (self.rows, self.k), self.vals * x[self.i] * x[self.j])
 
+    def jacobian_sparse(self, x):
+        """Jacobian contribution ``∂[G3 (x⊗x⊗x)]/∂x`` as a CSR matrix."""
+        rows = np.concatenate([self.rows, self.rows, self.rows])
+        cols = np.concatenate([self.i, self.j, self.k])
+        data = np.concatenate(
+            [
+                self.vals * x[self.j] * x[self.k],
+                self.vals * x[self.i] * x[self.k],
+                self.vals * x[self.i] * x[self.j],
+            ]
+        )
+        return sp.csr_matrix((data, (rows, cols)), shape=(self.n, self.n))
 
-def _normalize_d1(d1, n, m):
-    """Normalize ``d1`` to a tuple of m dense (n, n) matrices or None."""
+
+def _normalize_d1(d1, n, m, sparse=False):
+    """Normalize ``d1`` to a tuple of m (n, n) matrices or None.
+
+    Accepts a single matrix (ndarray, scipy sparse, or plain nested
+    lists) or a sequence of m matrices.  With ``sparse`` (set when the
+    owning system stores ``g1`` sparse) the matrices are kept/coerced to
+    CSR so the assembled Jacobian stays sparse; otherwise they are dense.
+    """
     if d1 is None:
         return None
-    if sp.issparse(d1) or (
-        isinstance(d1, np.ndarray) and np.asarray(d1).ndim == 2
-    ):
+    if sp.issparse(d1):
         d1 = [d1]
+    else:
+        if not isinstance(d1, (list, tuple, np.ndarray)):
+            d1 = list(d1)
+        if not (
+            isinstance(d1, (list, tuple))
+            and any(sp.issparse(el) for el in d1)
+        ):
+            # Coerce *before* the ndim check: a plain nested-list 2-D d1
+            # is a single matrix, not a sequence of 1-D per-input rows.
+            try:
+                arr = np.asarray(d1)
+            except ValueError:
+                arr = None  # ragged sequence; validated per entry below
+            if arr is not None and arr.dtype != object:
+                if arr.ndim == 2:
+                    d1 = [arr]
+                elif arr.ndim == 3:
+                    d1 = list(arr)
     mats = []
     for idx, mat in enumerate(d1):
-        mats.append(as_square_matrix(
-            mat.toarray() if sp.issparse(mat) else mat, f"d1[{idx}]"
-        ))
+        mat = as_square_matrix(mat, f"d1[{idx}]", allow_sparse=sparse)
+        if sparse and not sp.issparse(mat):
+            # A dense D1 on a sparse system would densify every Jacobian
+            # assembly; coerce so the CSR contract holds end-to-end.
+            mat = sp.csr_matrix(mat)
+        mats.append(mat)
         if mats[-1].shape != (n, n):
             raise SystemStructureError(
                 f"d1[{idx}] has shape {mats[-1].shape}, expected ({n}, {n})"
@@ -154,7 +220,13 @@ def _normalize_d1(d1, n, m):
         raise SystemStructureError(
             f"got {len(mats)} D1 matrices for {m} inputs"
         )
-    if all(np.count_nonzero(mat) == 0 for mat in mats):
+
+    def _nonzeros(mat):
+        return (
+            mat.count_nonzero() if sp.issparse(mat) else np.count_nonzero(mat)
+        )
+
+    if all(_nonzeros(mat) == 0 for mat in mats):
         return None
     return tuple(mats)
 
@@ -164,8 +236,10 @@ class PolynomialODE:
 
     Parameters
     ----------
-    g1 : (n, n) array_like
-        Linear state matrix (dense).
+    g1 : (n, n) array_like or sparse
+        Linear state matrix.  Scipy sparse input is kept as CSR and
+        switches the system onto the sparse fast path (see module
+        docstring); dense input stays dense.
     b : (n,) or (n, m) array_like
         Input matrix; a vector means a single input.
     g2 : (n, n²) array_like or sparse, optional
@@ -175,10 +249,11 @@ class PolynomialODE:
     d1 : (n, n) matrix or sequence of m matrices, optional
         Bilinear input coupling; the MIMO generalization uses one matrix
         per input column (``Σ_i D1ᵢ x uᵢ``).
-    mass : (n, n) array_like, optional
+    mass : (n, n) array_like or sparse, optional
         Mass matrix ``C`` (paper eq. 1); ``None`` means identity.  Must be
         invertible here — singular pencils go through
-        :mod:`repro.systems.descriptor` first.
+        :mod:`repro.systems.descriptor` first.  Sparse input is kept as
+        CSR and factored with a sparse LU wherever it is inverted.
     output : (p, n) array_like, optional
         Output map ``y = output @ x``; default observes the full state.
     name : str
@@ -196,7 +271,7 @@ class PolynomialODE:
         output=None,
         name="",
     ):
-        self.g1 = as_square_matrix(g1, "g1")
+        self.g1 = as_square_matrix(g1, "g1", allow_sparse=True)
         n = self.g1.shape[0]
         b = np.asarray(b)
         if b.ndim == 1:
@@ -218,8 +293,12 @@ class PolynomialODE:
             raise SystemStructureError(
                 f"g3 must be (n, n^3) = ({n}, {n ** 3}), got {self.g3.shape}"
             )
-        self.d1 = _normalize_d1(d1, n, m)
-        self.mass = None if mass is None else as_square_matrix(mass, "mass")
+        self.d1 = _normalize_d1(d1, n, m, sparse=self.is_sparse)
+        self.mass = (
+            None
+            if mass is None
+            else as_square_matrix(mass, "mass", allow_sparse=True)
+        )
         if self.mass is not None and self.mass.shape != (n, n):
             raise SystemStructureError(
                 f"mass must be ({n}, {n}), got {self.mass.shape}"
@@ -256,6 +335,17 @@ class PolynomialODE:
     @property
     def has_mass(self):
         return self.mass is not None
+
+    @property
+    def is_sparse(self):
+        """True when ``g1`` is stored as a scipy sparse matrix.
+
+        Sparse systems keep CSR matrices alive end-to-end: ``jacobian``
+        returns CSR, the Newton layer factors iteration matrices with a
+        sparse LU, and resolvent/Krylov solves go through the factory's
+        sparse branch.
+        """
+        return sp.issparse(self.g1)
 
     def __repr__(self):
         parts = [f"n={self.n_states}", f"inputs={self.n_inputs}"]
@@ -300,9 +390,27 @@ class PolynomialODE:
         return f
 
     def jacobian(self, x, u):
-        """State Jacobian ``∂f/∂x`` at ``(x, u)`` (dense)."""
+        """State Jacobian ``∂f/∂x`` at ``(x, u)``.
+
+        Dense systems get a dense ndarray; sparse systems (CSR ``g1``)
+        get a CSR matrix assembled from the COO index arrays — the Newton
+        layer factors either form without densifying.
+        """
         x = np.asarray(x, dtype=float).reshape(self.n_states)
         u = self._coerce_input(u)
+        if self.is_sparse:
+            jac = self.g1
+            if self._quad is not None:
+                jac = jac + self._quad.jacobian_sparse(x)
+            if self._cubic is not None:
+                jac = jac + self._cubic.jacobian_sparse(x)
+            if self.d1 is not None:
+                for d1_i, u_i in zip(self.d1, u):
+                    if u_i != 0.0:
+                        jac = jac + d1_i * u_i
+            if jac is self.g1:
+                jac = jac.copy()
+            return sp.csr_matrix(jac)
         jac = self.g1.copy()
         if self._quad is not None:
             self._quad.add_jacobian(jac, x)
@@ -329,9 +437,19 @@ class PolynomialODE:
         Returns an equivalent system with ``mass=None`` (the paper's
         "regular system" trimming, eq. 1 → eq. 2).  Raises
         :class:`SystemStructureError` when the mass matrix is singular.
+
+        A sparse mass matrix is factored once with a sparse LU and the
+        fold keeps every sparse coefficient (``g1``, ``g2``, ``g3``,
+        ``d1``) sparse: ``C^{-1}`` is applied only to the nonzero columns
+        of each coefficient matrix, so a circuit-sized system never
+        materializes an ``(n, n²)`` dense block.  A dense mass matrix
+        takes the dense LAPACK path (densifying a sparse ``g1``/``d1`` in
+        the mixed sparse-state/dense-mass corner case).
         """
         if self.mass is None:
             return self
+        if sp.issparse(self.mass):
+            return self._to_explicit_sparse()
         sign, logdet = np.linalg.slogdet(self.mass)
         if sign == 0 or not np.isfinite(logdet):
             raise SystemStructureError(
@@ -341,6 +459,8 @@ class PolynomialODE:
         lu = sla.lu_factor(self.mass)
 
         def solve(mat):
+            if sp.issparse(mat):
+                mat = mat.toarray()
             return sla.lu_solve(lu, mat)
 
         g2 = None
@@ -355,6 +475,82 @@ class PolynomialODE:
         return type(self)._from_parts(
             g1=solve(self.g1),
             b=solve(self.b),
+            g2=g2,
+            g3=g3,
+            d1=d1,
+            mass=None,
+            output=self.output,
+            name=self.name,
+        )
+
+    def _to_explicit_sparse(self):
+        """Sparse-mass fold: ``C^{-1}`` through one sparse LU, no dense
+        ``(n, n^k)`` intermediates."""
+        try:
+            lu = sparse_lu(self.mass)
+        except NumericalError as exc:
+            raise SystemStructureError(
+                "mass matrix is singular; use repro.systems.descriptor to "
+                "extract the regular part first"
+            ) from exc
+
+        def solve_dense(mat):
+            out = lu.solve(np.asarray(mat, dtype=float))
+            if not np.isfinite(out).all():
+                raise SystemStructureError(
+                    "mass matrix is numerically singular; use "
+                    "repro.systems.descriptor to extract the regular part"
+                )
+            return out
+
+        def solve_columns(coeff, chunk=512):
+            """Apply ``C^{-1}`` to a sparse (n, width) matrix column-wise,
+            touching only columns that carry nonzeros.
+
+            Works entirely in nnz-sized structures: a CSC view of the
+            full ``(n, n^k)`` width would allocate an O(n^k) indptr, so
+            the nonzero columns are compacted through the COO indices
+            first.
+            """
+            coo = coeff.tocoo()
+            if coo.nnz == 0:
+                return sp.csr_matrix(coeff.shape)
+            cols, local_col = np.unique(coo.col, return_inverse=True)
+            compact = sp.csc_matrix(
+                (coo.data, (coo.row, local_col)),
+                shape=(coeff.shape[0], cols.size),
+            )
+            rows_acc, cols_acc, vals_acc = [], [], []
+            for start in range(0, cols.size, chunk):
+                block = solve_dense(compact[:, start : start + chunk].toarray())
+                r, c = np.nonzero(block)
+                rows_acc.append(r)
+                cols_acc.append(cols[start + c])
+                vals_acc.append(block[r, c])
+            return sp.csr_matrix(
+                (
+                    np.concatenate(vals_acc),
+                    (np.concatenate(rows_acc), np.concatenate(cols_acc)),
+                ),
+                shape=coeff.shape,
+            )
+
+        g1 = (
+            solve_columns(self.g1)
+            if sp.issparse(self.g1)
+            else solve_dense(self.g1)
+        )
+        g2 = None if self.g2 is None else solve_columns(self.g2)
+        g3 = None if self.g3 is None else solve_columns(self.g3)
+        d1 = None
+        if self.d1 is not None:
+            d1 = [
+                solve_columns(mat) if sp.issparse(mat) else solve_dense(mat)
+                for mat in self.d1
+            ]
+        return type(self)._from_parts(
+            g1=g1,
+            b=solve_dense(self.b),
             g2=g2,
             g3=g3,
             d1=d1,

@@ -37,6 +37,7 @@ import itertools
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
 
 from .._validation import check_positive_int
 from ..errors import SystemStructureError, ValidationError
@@ -47,6 +48,7 @@ from ..linalg.operators import (
     solve_right_kron_sum,
 )
 from ..linalg.resolvent import ResolventFactory
+from ..linalg.schur import SchurForm
 from ..linalg.sylvester import KronSumSolver, solve_pi_sylvester
 from ..systems.lti import StateSpace
 from .transfer import permutation_indices
@@ -76,6 +78,12 @@ def _require_explicit(system):
 # ---------------------------------------------------------------------------
 
 
+#: Largest sparse system the lifted H2/H3 machinery will transparently
+#: densify for its one-time Schur factorization; the H1 chains never
+#: densify (they run on the factory's sparse LU).
+_SPARSE_SCHUR_LIMIT = 2048
+
+
 class AssociatedWorkspace:
     """Shared factorizations for one system's associated realizations.
 
@@ -85,14 +93,22 @@ class AssociatedWorkspace:
     is obtained through the system's :class:`ResolventFactory`, so the
     same factorization also serves transfer-function evaluation and
     distortion sweeps on that system.
+
+    Sparse systems (CSR ``g1``) carry no Schur form; shifted ``G1``
+    solves (the H1 / decoupled-H2 linear chains) then route through the
+    factory's per-shift sparse LU cache via :meth:`solve_shifted` and
+    never densify.  Only the lifted Kronecker-sum machinery (coupled H2,
+    H3, the Π Sylvester solve) inherently needs the dense Schur form —
+    :attr:`schur` builds one lazily for moderate sizes and refuses at
+    circuit scale.
     """
 
     def __init__(self, system):
         _require_explicit(system)
         self.system = system
         self.resolvent = ResolventFactory.for_system(system)
-        self.schur = self.resolvent.schur
-        self.kron_solver = KronSumSolver(system.g1, schur=self.schur)
+        self._schur = self.resolvent.schur  # None on the sparse branch
+        self._kron_solver = None
         self._a2_op = None
         self._pi = None
         # Everything the lazily cached Π / lifted operator / input
@@ -134,6 +150,54 @@ class AssociatedWorkspace:
     def m(self):
         return self.system.n_inputs
 
+    def _g1_dense(self):
+        g1 = self.system.g1
+        return g1.toarray() if sp.issparse(g1) else g1
+
+    @property
+    def schur(self):
+        """The dense Schur form of ``G1`` (lazy for sparse systems).
+
+        Sparse systems build it on first access — a documented
+        densification seam needed only by the lifted H2/H3 operators —
+        and refuse beyond ``_SPARSE_SCHUR_LIMIT`` states, where the
+        Kronecker-sum machinery is intractable anyway.
+        """
+        if self._schur is None:
+            n = self.system.n_states
+            if n > _SPARSE_SCHUR_LIMIT:
+                raise SystemStructureError(
+                    f"the lifted H2/H3 realizations need a dense Schur "
+                    f"form of G1, which would densify a sparse "
+                    f"{n}-state system; restrict sparse systems of this "
+                    f"size to H1 moments (orders=(q1, 0, 0)) or compile "
+                    f"the circuit dense"
+                )
+            self._schur = SchurForm(self._g1_dense())
+        return self._schur
+
+    def solve_shifted(self, shift, rhs):
+        """Solve ``(G1 + shift·I) x = rhs`` without densifying.
+
+        Dense systems use the shared Schur form; sparse systems route
+        through the resolvent factory's per-shift sparse LU cache
+        (``(G1 + αI) x = r`` ⇔ ``x = −(−αI − G1)^{-1} r``).
+        """
+        if self._schur is not None:
+            return self._schur.solve_shifted(shift, rhs)
+        return -self.resolvent.solve(
+            -shift, np.asarray(rhs, dtype=complex)
+        )
+
+    @property
+    def kron_solver(self):
+        """Kronecker-sum solver on the shared Schur form (lazy)."""
+        if self._kron_solver is None:
+            self._kron_solver = KronSumSolver(
+                self._g1_dense(), schur=self.schur
+            )
+        return self._kron_solver
+
     @property
     def a2_operator(self):
         """The eq.-(17) lifted state matrix as a structured operator."""
@@ -144,7 +208,7 @@ class AssociatedWorkspace:
                     "system has no quadratic term; Ã2 is undefined"
                 )
             self._a2_op = QuadraticLiftedOperator(
-                system.g1,
+                self._g1_dense(),
                 system.g2,
                 kron_solver=self.kron_solver,
                 schur=self.schur,
@@ -161,7 +225,9 @@ class AssociatedWorkspace:
                     "system has no quadratic term; Π is undefined"
                 )
             self._pi = solve_pi_sylvester(
-                system.g1, system.g2.toarray(), solver=self.kron_solver
+                self._g1_dense(),
+                system.g2.toarray(),
+                solver=self.kron_solver,
             )
         return self._pi
 
@@ -326,14 +392,19 @@ class AssociatedRealization:
 # ---------------------------------------------------------------------------
 
 
-class _DenseG1Operator:
-    """Adapter presenting ``G1`` through the operator interface using the
-    workspace's Schur form (no extra factorization)."""
+class _G1Operator:
+    """Adapter presenting ``G1`` through the operator interface.
 
-    def __init__(self, g1, schur):
-        self.g1 = g1
-        self.schur = schur
-        self.shape = g1.shape
+    Shifted solves dispatch through the workspace: the shared Schur form
+    for dense systems, the resolvent factory's sparse LU cache for sparse
+    ones — so H1 moment chains on circuit-sized CSR systems never
+    densify ``G1``.
+    """
+
+    def __init__(self, workspace):
+        self.workspace = workspace
+        self.g1 = workspace.system.g1
+        self.shape = self.g1.shape
 
     @property
     def dim(self):
@@ -343,19 +414,22 @@ class _DenseG1Operator:
         return self.g1 @ np.asarray(x)
 
     def solve_shifted(self, shift, rhs):
-        return self.schur.solve_shifted(shift, rhs)
+        return self.workspace.solve_shifted(shift, rhs)
 
     def solve_shifted_transpose(self, shift, rhs):
-        return self.schur.solve_shifted_transpose(shift, rhs)
+        # Transpose solves are only used by the dense lifted machinery;
+        # for sparse systems this lazily builds the (size-guarded) Schur
+        # form.
+        return self.workspace.schur.solve_shifted_transpose(shift, rhs)
 
     def dense(self):
-        return self.g1.copy()
+        return self.g1.toarray() if sp.issparse(self.g1) else self.g1.copy()
 
 
 def associated_h1(system, workspace=None):
     """Trivial realization of ``H1(s) = (sI − G1)^{-1} B``."""
     workspace = workspace or AssociatedWorkspace.for_system(system)
-    op = _DenseG1Operator(workspace.system.g1, workspace.schur)
+    op = _G1Operator(workspace)
     return AssociatedRealization(
         op,
         workspace.system.b,
@@ -415,7 +489,7 @@ class DecoupledH2Realization:
     def eval(self, s):
         """Evaluate ``H2(s)`` by summing the two subsystem responses."""
         ws = self.workspace
-        term1 = -ws.schur.solve_shifted(-s, self.seed_linear.astype(complex))
+        term1 = -ws.solve_shifted(-s, self.seed_linear.astype(complex))
         out = np.empty_like(term1)
         for col in range(self.n_cols):
             x = ws.kron_solver.solve(self.bbs[:, col], k=2, shift=-s)
@@ -439,7 +513,7 @@ class DecoupledH2Realization:
         for col in cols:
             current = self.seed_linear[:, col].astype(complex)
             for _ in range(count):
-                current = ws.schur.solve_shifted(-s0, current)
+                current = ws.solve_shifted(-s0, current)
                 block1.append(current.copy())
             current = self.bbs[:, col].astype(complex)
             for _ in range(count):
@@ -572,7 +646,7 @@ class AssociatedH3Operator:
         if self.has_cubic:
             x_d = ws.kron_solver.solve(r_d, k=3, shift=shift)
         top_rhs = r_a - self._couple_top(x_b, x_c, x_d)
-        x_a = ws.schur.solve_shifted(shift, top_rhs)
+        x_a = ws.solve_shifted(shift, top_rhs)
         return np.concatenate([x_a, x_b, x_c, x_d])
 
     def dense(self):
@@ -582,7 +656,7 @@ class AssociatedH3Operator:
                 f"refusing to densify a {self.dim}-dimensional H3 operator"
             )
         ws = self.workspace
-        g1 = ws.system.g1
+        g1 = ws._g1_dense()
         n = self.n
         blocks = [[g1]]
         diag = []

@@ -19,10 +19,11 @@ robustly (A-stable; no Newton needed).
 """
 
 import numpy as np
-import scipy.linalg as sla
+import scipy.sparse as sp
 
 from .._validation import check_positive_int
 from ..errors import SystemStructureError, ValidationError
+from ..linalg.lu import factorized_solver
 from ..linalg.resolvent import ResolventFactory
 
 __all__ = ["VolterraResponse", "volterra_series_response", "frequency_sweep"]
@@ -139,16 +140,23 @@ def volterra_series_response(system, u_fn, t_end, dt, order=3):
     u = _input_samples(u_fn, times, m)
 
     g1 = system.g1
-    eye = np.eye(n)
-    lhs = sla.lu_factor(eye - 0.5 * dt * g1)
-    rhs_mat = eye + 0.5 * dt * g1
+    if sp.issparse(g1):
+        # Sparse fast path: one sparse LU of the trapezoidal operator,
+        # CSR matvecs for the explicit half-step.
+        eye = sp.identity(n, format="csr")
+        solve = factorized_solver(eye - 0.5 * dt * g1)
+        rhs_mat = sp.csr_matrix(eye + 0.5 * dt * g1)
+    else:
+        eye = np.eye(n)
+        solve = factorized_solver(eye - 0.5 * dt * g1)
+        rhs_mat = eye + 0.5 * dt * g1
 
     def integrate(forcing):
         """Trapezoidal solve of x' = G1 x + forcing(t) over the grid."""
         traj = np.zeros((steps, n))
         for k in range(steps - 1):
             rhs = rhs_mat @ traj[k] + 0.5 * dt * (forcing[k] + forcing[k + 1])
-            traj[k + 1] = sla.lu_solve(lhs, rhs)
+            traj[k + 1] = solve(rhs)
         return traj
 
     orders = {}

@@ -1,0 +1,457 @@
+"""Sparse fast-path coverage.
+
+CSR-stamped MNA circuits must run ``simulate`` and ``distortion_sweep``
+with **zero densifications** of ``g1``/``mass``/iteration matrices
+(enforced here by poisoning ``toarray`` during the sparse runs), and the
+sparse and dense paths must agree to ≤ 1e-9.  Also covers the sparse
+Krylov/associated chains, the ``d1`` nested-list regression and the
+``frequency_response`` complex-input rejection.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.distortion import distortion_sweep
+from repro.circuits.examples import quadratic_rc_ladder_netlist
+from repro.errors import ValidationError
+from repro.linalg.resolvent import ResolventFactory
+from repro.mor.assoc import AssociatedTransformMOR
+from repro.mor.krylov import krylov_basis
+from repro.simulation.integrators import implicit_step
+from repro.simulation.newton import JacobianCache
+from repro.simulation.transient import simulate
+from repro.systems import QLDAE, StateSpace
+from repro.volterra.associated import AssociatedWorkspace, associated_h1
+
+
+def make_stable_matrix(rng, n, margin=1.5, spread=0.3):
+    """Random Hurwitz matrix (mirrors the conftest helper, which is not
+    importable from test modules)."""
+    return -margin * np.eye(n) + spread * rng.standard_normal((n, n))
+
+
+def ladder_netlist(n_nodes, c=1.0, g_quad=0.5):
+    """Quadratic RC ladder (the bench/example circuit) as a netlist."""
+    return quadratic_rc_ladder_netlist(n_nodes, c=c, g_quad=g_quad)
+
+
+def forbid_densify(monkeypatch):
+    """Poison sparse→dense conversion for the duration of a test."""
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"sparse matrix {self.shape} was densified on the fast path"
+        )
+
+    for cls in (sp.csr_matrix, sp.csc_matrix, sp.coo_matrix):
+        monkeypatch.setattr(cls, "toarray", boom)
+        monkeypatch.setattr(cls, "todense", boom)
+
+
+def drive(t):
+    return 0.8 * np.cos(0.3 * t)
+
+
+class TestSparseMNA:
+    def test_auto_threshold(self):
+        small = ladder_netlist(20).compile()
+        large = ladder_netlist(300).compile()
+        assert not small.is_sparse
+        assert isinstance(small.g1, np.ndarray)
+        assert large.is_sparse
+        assert isinstance(large.g1, sp.csr_matrix)
+
+    def test_explicit_flag_overrides(self):
+        net = ladder_netlist(20)
+        assert net.compile(sparse=True).is_sparse
+        assert not net.compile(sparse=False).is_sparse
+
+    def test_sparse_and_dense_stamps_agree(self):
+        net = ladder_netlist(40, c=0.5)
+        ssys = net.compile(sparse=True)
+        dsys = net.compile(sparse=False)
+        assert np.allclose(ssys.g1.toarray(), dsys.g1)
+        assert np.allclose(ssys.mass.toarray(), dsys.mass)
+        assert np.allclose(ssys.g2.toarray(), dsys.g2.toarray())
+        assert np.allclose(ssys.b, dsys.b)
+
+    def test_unit_capacitors_drop_identity_mass(self):
+        ssys = ladder_netlist(40, c=1.0).compile(sparse=True)
+        assert ssys.mass is None
+
+    def test_identity_mass_tolerance_matches_dense(self):
+        # Near-identity caps must compile to the same structure on both
+        # paths (np.allclose tolerance, not an exact-zero check).
+        net = ladder_netlist(40, c=1.0 + 1e-9)
+        assert net.compile(sparse=True).mass is None
+        assert net.compile(sparse=False).mass is None
+        net = ladder_netlist(40, c=1.5)
+        assert net.compile(sparse=True).mass is not None
+        assert net.compile(sparse=False).mass is not None
+
+    def test_sparse_jacobian_is_csr_and_matches_dense(self):
+        net = ladder_netlist(60, c=0.5)
+        ssys = net.compile(sparse=True)
+        dsys = net.compile(sparse=False)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(ssys.n_states)
+        jac_s = ssys.jacobian(x, [0.4])
+        jac_d = dsys.jacobian(x, [0.4])
+        assert isinstance(jac_s, sp.csr_matrix)
+        assert np.abs(jac_s.toarray() - jac_d).max() < 1e-12
+
+
+class TestSparseSimulateEndToEnd:
+    """The acceptance workload: n ≥ 1000, zero densifications, ≤ 1e-9."""
+
+    N = 1024
+
+    @pytest.fixture(scope="class")
+    def systems(self):
+        net = ladder_netlist(self.N, c=0.5)
+        return net.compile(sparse=True), net.compile(sparse=False)
+
+    def test_types_stay_sparse(self, systems):
+        ssys, _ = systems
+        assert ssys.is_sparse
+        assert isinstance(ssys.g1, sp.csr_matrix)
+        assert isinstance(ssys.mass, sp.csr_matrix)
+        assert isinstance(
+            ssys.jacobian(np.zeros(self.N), [0.0]), sp.csr_matrix
+        )
+
+    def test_simulate_parity_without_densifying(
+        self, systems, monkeypatch
+    ):
+        ssys, dsys = systems
+        res_dense = simulate(dsys, drive, 4.0, 0.05)
+        forbid_densify(monkeypatch)
+        res_sparse = simulate(ssys, drive, 4.0, 0.05)
+        assert res_sparse.jacobian_factorizations >= 1
+        assert np.abs(res_sparse.states - res_dense.states).max() <= 1e-9
+
+    def test_iteration_matrix_factored_sparse(self, systems):
+        ssys, _ = systems
+        cache = JacobianCache()
+        x0 = np.zeros(self.N)
+        implicit_step(ssys, x0, [drive(0.0)], [drive(0.05)], 0.05,
+                      jac_cache=cache)
+        assert cache.lu is not None and cache.lu.is_sparse
+
+    def test_distortion_sweep_parity_without_densifying(
+        self, monkeypatch
+    ):
+        # Unit capacitors: identity mass is dropped, so the sweep needs
+        # no to_explicit fold and runs fully sparse.
+        net = ladder_netlist(self.N, c=1.0)
+        ssys = net.compile(sparse=True)
+        dsys = net.compile(sparse=False)
+        omegas = np.linspace(0.05, 0.4, 4)
+        _, hd2_d, hd3_d = distortion_sweep(dsys, omegas, amplitude=0.5)
+        forbid_densify(monkeypatch)
+        _, hd2_s, hd3_s = distortion_sweep(ssys, omegas, amplitude=0.5)
+        factory = ResolventFactory.for_system(ssys)
+        assert factory.schur is None  # sparse-LU branch served the sweep
+        assert np.abs(hd2_s - hd2_d).max() / np.abs(hd2_d).max() <= 1e-9
+        assert np.abs(hd3_s - hd3_d).max() / np.abs(hd3_d).max() <= 1e-9
+
+
+class TestSparseToExplicit:
+    def test_sparse_mass_fold_matches_dense(self):
+        net = ladder_netlist(50, c=0.5)
+        es = net.compile(sparse=True).to_explicit()
+        ed = net.compile(sparse=False).to_explicit()
+        assert sp.issparse(es.g1) and es.mass is None
+        assert np.abs(es.g1.toarray() - ed.g1).max() < 1e-12
+        assert np.abs(es.g2.toarray() - ed.g2.toarray()).max() < 1e-12
+        assert np.allclose(es.b, ed.b)
+
+    def test_cubic_sparse_mass_fold_matches_dense(self, rng):
+        from repro.systems import CubicODE
+
+        n = 20
+        g1 = make_stable_matrix(rng, n)
+        g3 = 0.05 * sp.random(n, n**3, density=2e-4, random_state=11)
+        b = rng.standard_normal(n)
+        mass = np.diag(0.5 + rng.random(n))
+        dense = CubicODE(g1, b, g3=g3, mass=mass).to_explicit()
+        sparse = CubicODE(
+            sp.csr_matrix(g1), b, g3=g3, mass=sp.csr_matrix(mass)
+        ).to_explicit()
+        assert sp.issparse(sparse.g3)
+        assert np.abs(sparse.g3.toarray() - dense.g3.toarray()).max() < 1e-12
+
+    def test_singular_sparse_mass_raises(self):
+        from repro.errors import SystemStructureError
+
+        g1 = sp.csr_matrix(-np.eye(3))
+        mass = sp.csr_matrix(np.diag([1.0, 0.0, 1.0]))
+        system = QLDAE(g1, np.ones(3), mass=mass)
+        with pytest.raises(SystemStructureError):
+            system.to_explicit()
+
+
+class TestSparseKrylovChains:
+    def test_krylov_basis_sparse_matches_dense(self, rng):
+        a = make_stable_matrix(rng, 40)
+        a[np.abs(a) < 0.25] = 0.0  # sparsify off-diagonals
+        np.fill_diagonal(a, np.diag(a) - 1.0)
+        b = rng.standard_normal((40, 2))
+        for s0 in (0.0, 0.7, 0.3 + 0.4j):
+            v_dense = krylov_basis(a, b, 3, s0=s0)
+            v_sparse = krylov_basis(sp.csr_matrix(a), b, 3, s0=s0)
+            # Compare spanned subspaces (bases may differ by rotation).
+            assert v_dense.shape == v_sparse.shape
+            overlap = np.linalg.svd(
+                v_dense.conj().T @ v_sparse, compute_uv=False
+            )
+            assert np.abs(overlap - 1.0).max() < 1e-8
+
+    def test_associated_h1_chain_stays_sparse(self, rng):
+        n = 50
+        g1 = make_stable_matrix(rng, n)
+        g1[np.abs(g1) < 0.25] = 0.0
+        np.fill_diagonal(g1, np.diag(g1) - 1.0)
+        g2 = 0.1 * sp.random(n, n * n, density=0.001, random_state=7)
+        b = rng.standard_normal(n)
+        dense_sys = QLDAE(g1, b, g2=g2)
+        sparse_sys = QLDAE(sp.csr_matrix(g1), b, g2=g2)
+        block_d = associated_h1(dense_sys).moment_vectors(4, s0=0.3)
+        ws = AssociatedWorkspace.for_system(sparse_sys)
+        block_s = associated_h1(sparse_sys, ws).moment_vectors(4, s0=0.3)
+        assert ws.resolvent.schur is None  # factory is on the LU branch
+        assert ws._schur is None  # the chain never built a Schur form
+        assert np.abs(block_s - block_d).max() < 1e-9
+
+    def test_norm_reducer_sparse_matches_dense(self):
+        from repro.mor import NORMReducer
+
+        ssys = ladder_netlist(300).compile(sparse=True)
+        dsys = ladder_netlist(300).compile(sparse=False)
+        rom_s = NORMReducer(orders=(3, 1, 0)).reduce(ssys)
+        rom_d = NORMReducer(orders=(3, 1, 0)).reduce(dsys)
+        assert rom_s.system.n_states == rom_d.system.n_states
+
+    def test_sparse_resolvent_near_eigenvalue_raises(self):
+        from repro.errors import NumericalError
+
+        a = sp.csr_matrix(np.diag([-1.0, -2.0, -3.0]))
+        factory = ResolventFactory(a)
+        with pytest.raises(NumericalError):
+            factory.solve(-1.0 + 1e-15, np.ones(3))
+
+    def test_h1_only_mor_reduces_sparse_system(self, rng):
+        ssys = ladder_netlist(300).compile(sparse=True)
+        mor = AssociatedTransformMOR(orders=(4, 0, 0))
+        rom = mor.reduce(ssys)
+        assert rom.system.n_states <= 4
+        dsys = ladder_netlist(300).compile(sparse=False)
+        rom_d = AssociatedTransformMOR(orders=(4, 0, 0)).reduce(dsys)
+        assert rom.system.n_states == rom_d.system.n_states
+
+
+class TestStateSpaceSparse:
+    def test_frequency_response_sparse_matches_dense(self, rng):
+        a = make_stable_matrix(rng, 30)
+        a[np.abs(a) < 0.25] = 0.0
+        np.fill_diagonal(a, np.diag(a) - 1.0)
+        b = rng.standard_normal((30, 2))
+        c = rng.standard_normal((1, 30))
+        dense = StateSpace(a, b, c)
+        sparse = StateSpace(sp.csr_matrix(a), b, c)
+        assert sp.issparse(sparse.a)
+        omegas = np.linspace(0.1, 2.0, 7)
+        hd = dense.frequency_response(omegas)
+        hs = sparse.frequency_response(omegas)
+        assert np.abs(hd - hs).max() < 1e-10
+
+    def test_transfer_and_moments_sparse(self, rng):
+        a = make_stable_matrix(rng, 12)
+        dense = StateSpace(a, np.ones(12))
+        sparse = StateSpace(sp.csr_matrix(a), np.ones(12))
+        assert np.allclose(
+            dense.transfer(0.5 + 0.2j), sparse.transfer(0.5 + 0.2j)
+        )
+        for s0 in (0.0, 0.4):
+            md = dense.moments(3, s0=s0)
+            ms = sparse.moments(3, s0=s0)
+            for lhs, rhs in zip(md, ms):
+                assert np.abs(lhs - rhs).max() < 1e-10
+                assert lhs.dtype == rhs.dtype  # incl. real DC moments
+
+
+class TestD1Normalization:
+    """Regression: nested-list 2-D d1 used to be routed down the
+    per-input-sequence path and rejected with an ndim error."""
+
+    def test_nested_list_single_matrix(self):
+        g1 = -np.eye(2)
+        system = QLDAE(g1, [1.0, 0.0], d1=[[0.1, 0.0], [0.0, 0.2]])
+        assert len(system.d1) == 1
+        assert np.allclose(system.d1[0], [[0.1, 0.0], [0.0, 0.2]])
+
+    def test_nested_list_matches_ndarray(self):
+        g1 = -np.eye(2)
+        via_list = QLDAE(g1, [1.0, 0.0], d1=[[0.1, 0.3], [0.0, 0.2]])
+        via_array = QLDAE(
+            g1, [1.0, 0.0], d1=np.array([[0.1, 0.3], [0.0, 0.2]])
+        )
+        assert np.allclose(via_list.d1[0], via_array.d1[0])
+
+    def test_sequence_of_matrices_still_per_input(self):
+        g1 = -np.eye(2)
+        b = np.eye(2)  # two inputs
+        mats = [[[0.1, 0.0], [0.0, 0.2]], [[0.0, 0.3], [0.0, 0.0]]]
+        system = QLDAE(g1, b, d1=mats)
+        assert len(system.d1) == 2
+        assert np.allclose(system.d1[1], mats[1])
+
+    def test_sparse_system_keeps_d1_sparse(self):
+        g1 = sp.csr_matrix(-np.eye(3))
+        d1 = sp.csr_matrix(0.1 * np.eye(3))
+        system = QLDAE(g1, np.ones(3), d1=d1)
+        assert sp.issparse(system.d1[0])
+        jac = system.jacobian(np.zeros(3), [2.0])
+        assert isinstance(jac, sp.csr_matrix)
+        assert np.allclose(jac.toarray(), -np.eye(3) + 0.2 * np.eye(3))
+
+    def test_dense_d1_on_sparse_system_coerced_to_csr(self):
+        g1 = sp.csr_matrix(-np.eye(3))
+        system = QLDAE(g1, np.ones(3), d1=0.1 * np.eye(3))
+        assert sp.issparse(system.d1[0])
+        jac = system.jacobian(np.zeros(3), [2.0])
+        assert isinstance(jac, sp.csr_matrix)
+        assert np.allclose(jac.toarray(), -np.eye(3) + 0.2 * np.eye(3))
+
+
+class TestFrequencyResponseValidation:
+    """Regression: complex input used to raise a raw TypeError (scalar)
+    or silently discard the imaginary part (arrays)."""
+
+    @pytest.fixture
+    def system(self, stable5):
+        return StateSpace(stable5, np.ones(5), np.ones((1, 5)))
+
+    def test_scalar_complex_rejected(self, system):
+        with pytest.raises(ValidationError, match="transfer"):
+            system.frequency_response(1.0 + 2.0j)
+
+    def test_complex_array_rejected(self, system):
+        with pytest.raises(ValidationError, match="imaginary"):
+            system.frequency_response(np.array([1.0, 1.0 + 0.5j]))
+
+    def test_complex_dtype_with_zero_imag_accepted(self, system):
+        omegas = np.array([0.5, 1.5], dtype=complex)
+        out = system.frequency_response(omegas)
+        ref = system.frequency_response(np.array([0.5, 1.5]))
+        assert np.allclose(out, ref)
+
+    def test_integer_input_accepted(self, system):
+        out = system.frequency_response([1, 2])
+        ref = system.frequency_response([1.0, 2.0])
+        assert np.allclose(out, ref)
+
+    def test_non_numeric_rejected(self, system):
+        with pytest.raises(ValidationError):
+            system.frequency_response(np.array(["a", "b"]))
+
+
+class TestSparseConsumers:
+    """Workflows fed by the auto-sparse assemble path must keep working."""
+
+    def test_volterra_series_response_sparse_matches_dense(self):
+        from repro.volterra.response import volterra_series_response
+
+        net = ladder_netlist(300)
+        ssys = net.compile(sparse=True)
+        dsys = net.compile(sparse=False)
+
+        def u_fn(t):
+            return 0.3 * np.sin(t)
+
+        res_s = volterra_series_response(ssys, u_fn, 2.0, 0.1, order=2)
+        res_d = volterra_series_response(dsys, u_fn, 2.0, 0.1, order=2)
+        for k in res_d.orders:
+            assert np.abs(res_s.orders[k] - res_d.orders[k]).max() <= 1e-9
+
+    def test_carleman_bilinearize_sparse_matches_dense(self, rng):
+        from repro.systems.bilinear import carleman_bilinearize
+
+        n = 6
+        g1 = make_stable_matrix(rng, n)
+        g2 = 0.1 * rng.standard_normal((n, n * n))
+        b = rng.standard_normal(n)
+        dense = carleman_bilinearize(QLDAE(g1, b, g2=g2))
+        sparse = carleman_bilinearize(QLDAE(sp.csr_matrix(g1), b, g2=g2))
+        assert np.allclose(dense.a, sparse.a)
+        assert np.allclose(dense.n_mats[0], sparse.n_mats[0])
+
+
+class TestNewtonErrorPropagation:
+    def test_user_jacobian_error_propagates(self):
+        # A RuntimeError raised inside the user's jacobian callable must
+        # surface as-is, not be misreported as a singular iteration
+        # matrix (the sparse splu path catches RuntimeError).
+        from repro.simulation.newton import newton_solve
+
+        def residual(x):
+            return x**2 + 1.0
+
+        def jacobian(x):
+            raise RuntimeError("user bug")
+
+        with pytest.raises(RuntimeError, match="user bug"):
+            newton_solve(residual, jacobian, np.array([1.0]))
+
+
+class TestPerfLogAppend:
+    """The benchmark trajectory must accumulate, never overwrite."""
+
+    @pytest.fixture
+    def perf_log(self):
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "perf_log.py"
+        )
+        spec = importlib.util.spec_from_file_location("perf_log", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_append_accumulates(self, perf_log, tmp_path):
+        out = tmp_path / "BENCH.json"
+        assert perf_log.append_run(out, {"meta": {"bench": "a"}}) == 1
+        assert perf_log.append_run(out, {"meta": {"bench": "b"}}) == 2
+        runs = perf_log.load_runs(out)
+        assert [r["meta"]["bench"] for r in runs] == ["a", "b"]
+
+    def test_legacy_single_run_wrapped(self, perf_log, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH.json"
+        out.write_text(json.dumps({"meta": {}, "case": {"t": 1.0}}))
+        perf_log.append_run(out, {"meta": {"bench": "new"}})
+        runs = perf_log.load_runs(out)
+        assert len(runs) == 2
+        assert runs[0]["case"] == {"t": 1.0}
+
+    def test_corrupt_file_refuses_to_overwrite(self, perf_log, tmp_path):
+        out = tmp_path / "BENCH.json"
+        out.write_text('{"runs": [truncated')
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            perf_log.append_run(out, {"meta": {}})
+        assert out.read_text() == '{"runs": [truncated'
+
+    def test_unrecognized_shape_refuses_to_overwrite(
+        self, perf_log, tmp_path
+    ):
+        out = tmp_path / "BENCH.json"
+        out.write_text('[{"meta": {}}]')  # top-level list, not keyed
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            perf_log.append_run(out, {"meta": {}})
+        assert out.read_text() == '[{"meta": {}}]'
