@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Solve-plan engine: serial vs thread-pool backend on the hot fan-outs.
+
+Times the two acceptance workloads of the parallel engine —
+
+* a multi-point **distortion sweep** on a circuit-sized sparse quadratic
+  RC ladder (per-point H3 assemblies plus the batched H1/H2 grids), and
+* a multipoint **decoupled-H2 basis build** (the paper's eq.-(18)
+  independent Krylov chains) on a warm workspace, so the timed region is
+  exactly the embarrassingly parallel chain work, not the shared Π /
+  Schur setup both backends reuse —
+
+once on the ``SerialExecutor`` (the default) and once on the
+``ThreadPoolExecutor``, asserting parity ≤ 1e-10, and **appends** one
+entry to the keyed run list in ``benchmarks/BENCH_sweep.json``.
+
+The thread backend only pays off when the host actually has cores:
+the entry records ``cpu_count`` and ``workers`` so a ~1× speedup on a
+single-core container reads as the hardware statement it is, not a
+regression.  On a ≥ 4-core host the expectation is ≥ 2× on both cases.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [workers] \
+        [sweep_n_nodes] [basis_n_states]
+
+``REPRO_BENCH_QUICK=1`` shrinks both cases for CI smoke runs.
+"""
+
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import repro.engine as engine  # noqa: E402
+from benchmarks.perf_log import append_run  # noqa: E402
+from repro.analysis.distortion import distortion_sweep  # noqa: E402
+from repro.circuits.examples import (  # noqa: E402
+    quadratic_rc_ladder_netlist,
+)
+from repro.mor import AssociatedTransformMOR  # noqa: E402
+from repro.volterra.associated import AssociatedWorkspace  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+DEFAULT_WORKERS = 4
+DEFAULT_SWEEP_NODES = 512
+DEFAULT_BASIS_STATES = 192
+SWEEP_POINTS = 50
+
+
+def _quick():
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def _reset_caches(system):
+    """Drop the per-system memoized factorization layers (cold start)."""
+    for attr in (
+        "_resolvent_factory",
+        "_volterra_evaluator",
+        "_associated_workspace",
+    ):
+        try:
+            setattr(system, attr, None)
+        except AttributeError:
+            pass
+
+
+def run_parallel_sweep_case(workers, n_nodes=None, points=None):
+    """50-point distortion sweep: serial vs thread backend."""
+    if n_nodes is None:
+        n_nodes = 192 if _quick() else DEFAULT_SWEEP_NODES
+    if points is None:
+        points = 10 if _quick() else SWEEP_POINTS
+    system = quadratic_rc_ladder_netlist(n_nodes).compile(sparse=True)
+    omegas = np.linspace(0.05, 0.5, points)
+
+    # Untimed warm-up: allocator, SuperLU setup, import-time lazy state.
+    _reset_caches(system)
+    engine.configure(workers=1)
+    distortion_sweep(system, omegas, 0.5)
+
+    _reset_caches(system)
+    start = time.perf_counter()
+    _, hd2_serial, hd3_serial = distortion_sweep(system, omegas, 0.5)
+    serial_s = time.perf_counter() - start
+
+    _reset_caches(system)
+    with engine.using(workers=workers):
+        start = time.perf_counter()
+        _, hd2_par, hd3_par = distortion_sweep(system, omegas, 0.5)
+        parallel_s = time.perf_counter() - start
+
+    agreement = float(
+        max(
+            np.abs(hd2_serial - hd2_par).max(),
+            np.abs(hd3_serial - hd3_par).max(),
+        )
+    )
+    assert agreement <= 1e-10, f"parity violated: {agreement:.3e}"
+    return {
+        "n_states": int(system.n_states),
+        "points": int(points),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "max_abs_disagreement": agreement,
+    }
+
+
+def run_parallel_basis_case(workers, n_states=None):
+    """Decoupled-H2 multipoint basis build: serial vs thread backend.
+
+    The workspace (Schur form, Π, Kronecker-sum solver) is warmed first
+    — both backends share those one-time factorizations — so the timed
+    region is the per-subsystem / per-expansion-point chain fan-out the
+    engine actually parallelizes.
+    """
+    if n_states is None:
+        n_states = 96 if _quick() else DEFAULT_BASIS_STATES
+    system = quadratic_rc_ladder_netlist(n_states).compile(sparse=False)
+    explicit = system.to_explicit()
+    points = tuple(1j * w for w in np.linspace(0.0, 1.0, 6))
+    reducer = AssociatedTransformMOR(
+        orders=(3, 2, 0), expansion_points=points, strategy="decoupled"
+    )
+
+    workspace = AssociatedWorkspace.for_system(explicit)
+    workspace.pi  # warm the shared eq.-(18) Sylvester solve
+
+    # Untimed warm-up pass (same reasons as the sweep case).
+    engine.configure(workers=1)
+    reducer.build_basis(explicit, workspace)
+
+    start = time.perf_counter()
+    basis_serial, details = reducer.build_basis(explicit, workspace)
+    serial_s = time.perf_counter() - start
+
+    with engine.using(workers=workers):
+        start = time.perf_counter()
+        basis_par, _ = reducer.build_basis(explicit, workspace)
+        parallel_s = time.perf_counter() - start
+
+    agreement = float(np.abs(basis_serial - basis_par).max())
+    assert agreement <= 1e-10, f"parity violated: {agreement:.3e}"
+    return {
+        "n_states": int(explicit.n_states),
+        "expansion_points": len(points),
+        "basis_vectors": int(basis_serial.shape[1]),
+        "raw_vectors": int(details["raw_vectors"]),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "max_abs_disagreement": agreement,
+    }
+
+
+def main():
+    argv = sys.argv[1:]
+    workers = int(argv[0]) if len(argv) > 0 else DEFAULT_WORKERS
+    sweep_nodes = int(argv[1]) if len(argv) > 1 else None
+    basis_states = int(argv[2]) if len(argv) > 2 else None
+    results = {
+        "meta": {
+            "bench": "bench_parallel",
+            "generated_unix": time.time(),
+            "quick_scale": _quick(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+        }
+    }
+    print(f"distortion sweep, serial vs {workers} workers ...")
+    results["parallel_distortion_sweep"] = run_parallel_sweep_case(
+        workers, n_nodes=sweep_nodes
+    )
+    print(
+        "  serial {serial_s:.3f}s -> parallel {parallel_s:.3f}s "
+        "({speedup:.2f}x on n={n_states}, {points} points, "
+        "agreement {max_abs_disagreement:.2e})"
+        .format(**results["parallel_distortion_sweep"])
+    )
+
+    print(f"decoupled-H2 basis build, serial vs {workers} workers ...")
+    results["parallel_decoupled_basis"] = run_parallel_basis_case(
+        workers, n_states=basis_states
+    )
+    print(
+        "  serial {serial_s:.3f}s -> parallel {parallel_s:.3f}s "
+        "({speedup:.2f}x on n={n_states}, {expansion_points} points, "
+        "agreement {max_abs_disagreement:.2e})"
+        .format(**results["parallel_decoupled_basis"])
+    )
+
+    engine.configure(workers=1)
+    count = append_run(OUT_PATH, results)
+    print(f"appended run {count} to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 
 __version__ = "1.0.0"
 
+from . import engine  # noqa: F401  (repro.engine.configure / REPRO_WORKERS)
 from .errors import (  # noqa: F401
     ConvergenceError,
     NumericalError,
@@ -43,6 +44,7 @@ from .systems import (  # noqa: F401
 )
 
 __all__ = [
+    "engine",
     "ConvergenceError",
     "NumericalError",
     "ReproError",

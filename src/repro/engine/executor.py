@@ -1,0 +1,232 @@
+"""Executor backends for :class:`~repro.engine.plan.SolvePlan`.
+
+Two backends share one tiny contract — ``run(callables) -> results`` in
+submission order — plus a module-global configuration so that every
+plan-emitting layer (resolvent batches, Krylov chains, distortion
+sweeps) picks up the same backend without threading an executor handle
+through a dozen call signatures.
+
+The serial backend is the default: it is deterministic, allocation-free
+and exactly reproduces the historical inline loops.  The thread-pool
+backend exists because the numerical kernels underneath every task
+(LAPACK ``trtrs``, BLAS GEMM, SuperLU) release the GIL, so independent
+solves genuinely overlap on multicore hosts.
+"""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor as _PoolImpl
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "configure",
+    "current_workers",
+    "get_executor",
+    "using",
+]
+
+#: Set (per thread) while a task is running on a pool worker; nested
+#: plans observe it and fall back to inline serial execution so that a
+#: task can never deadlock waiting on pool slots its ancestors occupy.
+_worker_state = threading.local()
+
+
+def in_worker():
+    """True when the calling thread is a pool worker running a task."""
+    return getattr(_worker_state, "active", False)
+
+
+class Executor:
+    """Backend contract: run zero-argument callables, keep their order."""
+
+    workers = 1
+
+    def run(self, callables):
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-order, in-thread execution (the deterministic default)."""
+
+    workers = 1
+
+    def run(self, callables):
+        return [fn() for fn in callables]
+
+
+class ThreadPoolExecutor(Executor):
+    """Persistent thread-pool backend (``workers >= 2``).
+
+    The underlying pool is created lazily on first use and reused across
+    plans — pool spin-up is microseconds, but keeping it warm means a
+    50-point sweep pays it once, not per batch.  Results come back in
+    submission order; the first task exception (by submission order) is
+    re-raised after all tasks have settled, so no work is silently
+    dropped mid-flight.
+    """
+
+    def __init__(self, workers):
+        workers = int(workers)
+        if workers < 2:
+            raise ValidationError(
+                f"ThreadPoolExecutor needs workers >= 2, got {workers}; "
+                "use SerialExecutor for single-threaded execution"
+            )
+        self.workers = workers
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = _PoolImpl(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    @staticmethod
+    def _wrap(fn):
+        def task():
+            _worker_state.active = True
+            try:
+                return fn()
+            finally:
+                _worker_state.active = False
+
+        return task
+
+    def run(self, callables):
+        callables = list(callables)
+        if not callables:
+            return []
+        if len(callables) == 1 or in_worker():
+            # Nested plan on a worker thread (or a degenerate plan):
+            # execute inline — waiting on pool slots owned by ancestors
+            # would deadlock, and one task gains nothing from dispatch.
+            return [fn() for fn in callables]
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._wrap(fn)) for fn in callables]
+        results = []
+        first_error = None
+        try:
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # re-raised below, in task order
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+        except BaseException:
+            # KeyboardInterrupt (or another non-Exception) hit the
+            # waiting thread: drop not-yet-started tasks and propagate
+            # immediately instead of blocking on the rest of the plan.
+            for future in futures:
+                future.cancel()
+            raise
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shutdown(self):
+        """Tear down the pool (the executor rebuilds it if reused)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# global configuration
+# ---------------------------------------------------------------------------
+
+_config_lock = threading.Lock()
+_serial = SerialExecutor()
+_executor = None  # resolved lazily from REPRO_WORKERS on first use
+
+
+def _from_env():
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return _serial
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValidationError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}"
+        ) from exc
+    if workers <= 1:
+        return _serial
+    return ThreadPoolExecutor(workers)
+
+
+def get_executor():
+    """The globally configured backend (serial unless told otherwise)."""
+    global _executor
+    with _config_lock:
+        if _executor is None:
+            _executor = _from_env()
+        return _executor
+
+
+def _set_executor(executor):
+    global _executor
+    with _config_lock:
+        previous, _executor = _executor, executor
+    return previous
+
+
+def configure(workers=None):
+    """Select the global backend: ``workers <= 1`` (or None) is serial,
+    anything larger a thread pool of that size.  Returns the executor.
+
+    Overrides any ``REPRO_WORKERS`` environment setting for the rest of
+    the process (the env var is only a default for the first use).
+    """
+    if workers is None or int(workers) <= 1:
+        executor = _serial
+    else:
+        executor = ThreadPoolExecutor(int(workers))
+    previous = _set_executor(executor)
+    # Unlike `using` (which restores — and then tears down — its scoped
+    # pool on exit), configure permanently replaces the backend: reap
+    # the displaced pool's worker threads instead of leaking them.
+    if isinstance(previous, ThreadPoolExecutor) and previous is not executor:
+        previous.shutdown()
+    return executor
+
+
+def current_workers():
+    """Worker count of the active backend (1 for serial)."""
+    return get_executor().workers
+
+
+class using:
+    """Context manager: temporarily switch the global backend.
+
+    ``with engine.using(workers=4): ...`` — used by the parity tests and
+    the benchmark harness to compare backends on identical workloads.
+    """
+
+    def __init__(self, workers=None):
+        self._workers = workers
+        self._previous = None
+
+    def __enter__(self):
+        target = (
+            _serial
+            if self._workers is None or int(self._workers) <= 1
+            else ThreadPoolExecutor(int(self._workers))
+        )
+        self._previous = _set_executor(target)
+        return target
+
+    def __exit__(self, exc_type, exc, tb):
+        current = _set_executor(self._previous)
+        if isinstance(current, ThreadPoolExecutor):
+            current.shutdown()
+        return False

@@ -1,0 +1,114 @@
+"""Declarative solve plans: independent tasks with explicit inputs.
+
+A :class:`SolvePlan` is the unit of hand-off between the numerical
+layers and the executor backends: a layer that used to run an inline
+``for`` loop over independent solves instead *adds one task per loop
+iteration* (binding every input explicitly — tasks must not depend on
+loop variables by closure mutation) and calls :meth:`SolvePlan.execute`.
+Results always come back in submission order, so the assembly code after
+the plan is identical for every backend.
+"""
+
+from functools import partial
+
+from .executor import get_executor
+
+__all__ = ["SolveTask", "SolvePlan", "chunk_bounds", "parallel_map"]
+
+
+class SolveTask:
+    """One independent unit of work: a callable with bound arguments.
+
+    ``tag`` is free-form caller metadata (e.g. ``("H2-chain", s0, col)``)
+    used to regroup results after execution; the engine never inspects
+    it.
+    """
+
+    __slots__ = ("fn", "args", "kwargs", "tag")
+
+    def __init__(self, fn, args=(), kwargs=None, tag=None):
+        self.fn = fn
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs) if kwargs else None
+        self.tag = tag
+
+    def __call__(self):
+        if self.kwargs:
+            return self.fn(*self.args, **self.kwargs)
+        return self.fn(*self.args)
+
+    def __repr__(self):
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"SolveTask({name}, tag={self.tag!r})"
+
+
+class SolvePlan:
+    """An ordered list of independent :class:`SolveTask` items.
+
+    ``label`` names the emitting site in diagnostics; it carries no
+    semantics.
+    """
+
+    def __init__(self, label=None):
+        self.label = label
+        self.tasks = []
+
+    def add(self, fn, *args, tag=None, **kwargs):
+        """Append a task calling ``fn(*args, **kwargs)``; returns it."""
+        task = SolveTask(fn, args, kwargs, tag=tag)
+        self.tasks.append(task)
+        return task
+
+    def __len__(self):
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def tags(self):
+        return [task.tag for task in self.tasks]
+
+    def execute(self, executor=None):
+        """Run every task; results in submission order.
+
+        With no *executor* the globally configured backend is used.
+        Empty and single-task plans short-circuit to inline execution on
+        any backend.
+        """
+        if not self.tasks:
+            return []
+        if len(self.tasks) == 1:
+            return [self.tasks[0]()]
+        executor = executor if executor is not None else get_executor()
+        return executor.run(self.tasks)
+
+    def __repr__(self):
+        return f"SolvePlan({self.label!r}, {len(self.tasks)} tasks)"
+
+
+def chunk_bounds(count, parts):
+    """Split ``range(count)`` into at most *parts* contiguous chunks.
+
+    Returns ``[(lo, hi), ...]`` covering ``0..count`` with sizes differing
+    by at most one — the standard block partition for grid batches whose
+    per-item cost is uniform.
+    """
+    count = int(count)
+    parts = max(1, min(int(parts), count))
+    base, extra = divmod(count, parts)
+    bounds = []
+    lo = 0
+    for idx in range(parts):
+        hi = lo + base + (1 if idx < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def parallel_map(fn, items, executor=None, label=None):
+    """``[fn(item) for item in items]`` through the engine."""
+    plan = SolvePlan(label=label or "parallel_map")
+    for item in items:
+        plan.tasks.append(SolveTask(partial(fn, item)))
+    return plan.execute(executor)

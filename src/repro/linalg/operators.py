@@ -15,6 +15,8 @@ Kronecker-sum structure, so a Krylov iteration touches only
 ``O(n²)``/``O(n³)`` memory.
 """
 
+import threading
+
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
@@ -45,6 +47,7 @@ class DenseOperator:
         self.a = as_square_matrix(a, "a")
         self.shape = self.a.shape
         self._lu_cache = {}
+        self._lock = threading.Lock()
 
     @property
     def dim(self):
@@ -55,11 +58,15 @@ class DenseOperator:
 
     def _lu(self, shift, transpose):
         key = (complex(shift), bool(transpose))
-        if key not in self._lu_cache:
+        with self._lock:
+            lu = self._lu_cache.get(key)
+        if lu is None:
             mat = self.a.T if transpose else self.a
             shifted = mat.astype(complex) + shift * np.eye(self.dim)
-            self._lu_cache[key] = sla.lu_factor(shifted)
-        return self._lu_cache[key]
+            lu = sla.lu_factor(shifted)
+            with self._lock:
+                lu = self._lu_cache.setdefault(key, lu)
+        return lu
 
     def solve_shifted(self, shift, rhs):
         """Solve ``(A + shift I) x = rhs``."""

@@ -24,6 +24,7 @@ recomputed from the factored form, so cached and direct paths agree to
 rounding.
 """
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -31,6 +32,7 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 
 from .._validation import as_square_matrix
+from ..engine import SolvePlan, chunk_bounds, get_executor
 from ..errors import NumericalError, ValidationError
 from .lu import sparse_lu
 from .schur import SchurForm
@@ -43,6 +45,35 @@ _SINGULAR_RTOL = 1e-13
 #: Maximum number of per-shift sparse LU factorizations kept alive.
 _SPARSE_LU_CACHE = 64
 
+#: Serializes :meth:`ResolventFactory.for_system` so that concurrent
+#: callers hammering the same system always observe exactly one factory.
+_FOR_SYSTEM_LOCK = threading.RLock()
+
+
+class _RealSparseLU:
+    """Real SuperLU factorization serving complex right-hand sides.
+
+    Real shifts on real matrices (DC moments, real H1 chains) factor in
+    real arithmetic — roughly half the flops and memory of the complex
+    factorization they previously paid — and complex right-hand sides
+    are served by two real backsolves (still cheaper than one complex
+    backsolve on a complex factorization).
+    """
+
+    __slots__ = ("_lu",)
+
+    def __init__(self, lu):
+        self._lu = lu
+
+    def solve(self, rhs):
+        if np.iscomplexobj(rhs):
+            real = self._lu.solve(np.ascontiguousarray(rhs.real))
+            if np.any(rhs.imag):
+                imag = self._lu.solve(np.ascontiguousarray(rhs.imag))
+                return real + 1j * imag
+            return real.astype(complex)
+        return self._lu.solve(np.ascontiguousarray(rhs))
+
 
 class ResolventFactory:
     """Serve ``(s I − A)^{-1} RHS`` for arbitrary shifts from one setup.
@@ -53,7 +84,11 @@ class ResolventFactory:
         System matrix.  Dense input is Schur-factored once (``A = Q T Qᴴ``,
         so ``(s I − A)^{-1} = Q (s I − T)^{-1} Qᴴ`` and every shift costs
         one triangular substitution).  Sparse input keeps its CSC form and
-        caches one sparse LU per distinct shift (bounded LRU).
+        caches one sparse LU per distinct shift (bounded LRU); **real**
+        sparse input additionally keeps the matrix real, so real shifts
+        (DC moments, real H1 chains) factor in real arithmetic — about
+        half the flops and memory — and only complex shifts pay the
+        complex cast (see :class:`_RealSparseLU`).
     schur : SchurForm, optional
         Precomputed factorization of a dense ``a`` to share (e.g. from an
         :class:`~repro.volterra.associated.AssociatedWorkspace`).
@@ -66,6 +101,7 @@ class ResolventFactory:
     """
 
     def __init__(self, a, schur=None):
+        self._lock = threading.RLock()
         if sp.issparse(a):
             if a.shape[0] != a.shape[1]:
                 raise ValidationError(
@@ -74,9 +110,17 @@ class ResolventFactory:
             self.matrix = a
             self.n = a.shape[0]
             self.schur = None
-            self._csc = sp.csc_matrix(a, copy=False).astype(complex)
-            self._eye = sp.identity(self.n, dtype=complex, format="csc")
+            # Real input keeps a real CSC: real shifts then factor in
+            # real arithmetic (see _RealSparseLU); the complex form is
+            # built lazily only when a complex shift actually arrives.
+            dtype = complex if a.dtype.kind == "c" else float
+            self._csc = sp.csc_matrix(a, copy=False).astype(dtype)
+            self._real = dtype is float
+            self._eye = sp.identity(self.n, dtype=dtype, format="csc")
+            self._csc_complex = None if self._real else self._csc
+            self._eye_complex = None if self._real else self._eye
             self._lu_cache = OrderedDict()
+            self.sparse_lu_stats = {"real": 0, "complex": 0}
         else:
             dense = as_square_matrix(a, "a")
             self.matrix = a if isinstance(a, np.ndarray) else dense
@@ -87,8 +131,10 @@ class ResolventFactory:
                 )
             self.schur = schur if schur is not None else SchurForm(dense)
             # Work matrix for (s I − T): off-diagonals are fixed at −T,
-            # only the diagonal changes per shift.
-            self._work = -self.schur.t
+            # only the diagonal changes per shift.  One copy per thread,
+            # so concurrent per-shift tasks never trample each other.
+            self._neg_t = -self.schur.t
+            self._work = threading.local()
             self._diag = self.schur.eigenvalues
             self._scale = max(np.abs(self._diag).max(), 1.0)
         self.solve_count = 0
@@ -113,15 +159,31 @@ class ResolventFactory:
                 "system exposes neither .g1 nor .a; cannot build a "
                 "resolvent factory"
             )
-        cached = getattr(system, attr, None)
-        if cached is not None and cached.matrix is mat:
-            return cached
+        def _lookup():
+            cached = getattr(system, attr, None)
+            if cached is not None and cached.matrix is mat:
+                return cached
+            return None
+
+        # Compute-outside-lock, first-insert-wins: concurrent callers
+        # racing on one cold system may factor G1 twice (identical
+        # results, the first insert is what everyone returns), but the
+        # global lock is never held across the O(n³) factorization — a
+        # cold build on one system cannot stall lookups on others.
+        with _FOR_SYSTEM_LOCK:
+            cached = _lookup()
+            if cached is not None:
+                return cached
         factory = cls(mat)
-        try:
-            setattr(system, attr, factory)
-        except AttributeError:
-            pass
-        return factory
+        with _FOR_SYSTEM_LOCK:
+            cached = _lookup()
+            if cached is not None:
+                return cached
+            try:
+                setattr(system, attr, factory)
+            except AttributeError:
+                pass
+            return factory
 
     # -- internals -----------------------------------------------------------
 
@@ -133,33 +195,72 @@ class ResolventFactory:
                 f"(smallest |s - lambda| = {gap:.3e})"
             )
 
-    def _sparse_lu(self, s):
-        key = complex(s)
-        lu = self._lu_cache.get(key)
-        if lu is not None:
-            # True LRU: a hit refreshes recency so hot shifts survive
-            # long sweeps over many other shifts.
-            self._lu_cache.move_to_end(key)
-            return lu
+    def _csc_as_complex(self):
+        """The complex CSC pair (matrix, identity), built lazily."""
+        with self._lock:
+            if self._csc_complex is None:
+                self._csc_complex = self._csc.astype(complex)
+                self._eye_complex = sp.identity(
+                    self.n, dtype=complex, format="csc"
+                )
+            return self._csc_complex, self._eye_complex
+
+    def _factor_shift(self, key):
+        """Factor ``(key I − A)`` — real arithmetic for real shifts on
+        real matrices, complex otherwise."""
         # sparse_lu's pivot guard mirrors the dense path's eigenvalue-gap
         # check: a shift numerically on the spectrum raises instead of
         # returning a garbage backsolve silently.
         try:
-            lu = sparse_lu(self._csc * (-1.0) + key * self._eye)
+            if self._real and key.imag == 0.0:
+                lu = _RealSparseLU(
+                    sparse_lu(self._csc * (-1.0) + key.real * self._eye)
+                )
+                kind = "real"
+            else:
+                csc, eye = self._csc_as_complex()
+                lu = sparse_lu(csc * (-1.0) + key * eye)
+                kind = "complex"
         except NumericalError as exc:
             raise NumericalError(
-                f"sparse LU of (sI - A) at s = {s}: {exc}"
+                f"sparse LU of (sI - A) at s = {key}: {exc}"
             ) from exc
-        self._lu_cache[key] = lu
-        if len(self._lu_cache) > _SPARSE_LU_CACHE:
-            self._lu_cache.popitem(last=False)
+        with self._lock:
+            self.sparse_lu_stats[kind] += 1
+        return lu
+
+    def _sparse_lu(self, s):
+        key = complex(s)
+        with self._lock:
+            lu = self._lu_cache.get(key)
+            if lu is not None:
+                # True LRU: a hit refreshes recency so hot shifts survive
+                # long sweeps over many other shifts.
+                self._lu_cache.move_to_end(key)
+                return lu
+        # Factor outside the lock so concurrent distinct shifts overlap;
+        # two threads racing on the *same* cold shift duplicate the
+        # factorization (identical results) and the first insert wins.
+        lu = self._factor_shift(key)
+        with self._lock:
+            existing = self._lu_cache.get(key)
+            if existing is not None:
+                self._lu_cache.move_to_end(key)
+                return existing
+            self._lu_cache[key] = lu
+            if len(self._lu_cache) > _SPARSE_LU_CACHE:
+                self._lu_cache.popitem(last=False)
         return lu
 
     def _triangular(self, s, w):
-        """Solve ``(s I − T) y = w`` reusing the −T work matrix."""
+        """Solve ``(s I − T) y = w`` on this thread's −T work matrix."""
         self._check_shift(s)
-        np.fill_diagonal(self._work, s - self._diag)
-        return sla.solve_triangular(self._work, w, lower=False)
+        work = getattr(self._work, "mat", None)
+        if work is None:
+            work = self._neg_t.copy()
+            self._work.mat = work
+        np.fill_diagonal(work, s - self._diag)
+        return sla.solve_triangular(work, w, lower=False)
 
     # -- public API ----------------------------------------------------------
 
@@ -176,7 +277,8 @@ class ResolventFactory:
             raise ValidationError(
                 f"rhs has {mat.shape[0]} rows, expected {self.n}"
             )
-        self.solve_count += mat.shape[1]
+        with self._lock:
+            self.solve_count += mat.shape[1]
         if self.schur is None:
             x = self._sparse_lu(s).solve(np.ascontiguousarray(mat))
         else:
@@ -201,6 +303,12 @@ class ResolventFactory:
         On the dense path the basis rotations are hoisted out of the
         shift loop: one ``Qᴴ RHS`` up front, one ``Q @ [y_1 | y_2 | ...]``
         GEMM at the end, and a single triangular substitution per shift.
+
+        The per-shift solves have no data dependencies, so the grid is
+        emitted as a :class:`~repro.engine.SolvePlan` of contiguous
+        chunks — one per worker of the configured engine backend; the
+        default serial backend reproduces the historical inline loop
+        exactly.
         """
         shifts = np.atleast_1d(np.asarray(shifts, dtype=complex))
         rhs = np.asarray(rhs, dtype=complex)
@@ -211,17 +319,34 @@ class ResolventFactory:
                 f"rhs has {mat.shape[0]} rows, expected {self.n}"
             )
         k, m = shifts.size, mat.shape[1]
-        self.solve_count += k * m
+        with self._lock:
+            self.solve_count += k * m
+        workers = get_executor().workers
         if self.schur is None:
             dense_rhs = np.ascontiguousarray(mat)
             out = np.empty((k, self.n, m), dtype=complex)
-            for idx, s in enumerate(shifts):
-                out[idx] = self._sparse_lu(s).solve(dense_rhs)
+
+            def _sparse_chunk(lo, hi):
+                for idx in range(lo, hi):
+                    out[idx] = self._sparse_lu(shifts[idx]).solve(dense_rhs)
+
+            plan = SolvePlan("resolvent.solve_many[sparse]")
+            for lo, hi in chunk_bounds(k, workers):
+                plan.add(_sparse_chunk, lo, hi)
+            plan.execute()
         else:
             w = self.schur.q.conj().T @ mat
             ys = np.empty((self.n, k * m), dtype=complex)
-            for idx, s in enumerate(shifts):
-                ys[:, idx * m : (idx + 1) * m] = self._triangular(s, w)
+
+            def _dense_chunk(lo, hi):
+                for idx in range(lo, hi):
+                    s = shifts[idx]
+                    ys[:, idx * m : (idx + 1) * m] = self._triangular(s, w)
+
+            plan = SolvePlan("resolvent.solve_many[dense]")
+            for lo, hi in chunk_bounds(k, workers):
+                plan.add(_dense_chunk, lo, hi)
+            plan.execute()
             x = self.schur.q @ ys
             out = np.moveaxis(x.reshape(self.n, k, m), 1, 0)
         return out[:, :, 0] if squeeze else out

@@ -12,6 +12,8 @@ the real quasi-triangular form at the cost of complex arithmetic; for real
 inputs all results are real up to rounding (asserted in the test suite).
 """
 
+import threading
+
 import numpy as np
 import scipy.linalg as sla
 
@@ -57,12 +59,18 @@ class SchurForm:
         self._scale = max(np.abs(self.eigenvalues).max(), 1.0)
         # Reusable work matrix for shifted triangular solves: only the
         # diagonal depends on the shift, so per-solve cost is O(n) setup
-        # instead of an O(n²) allocate-and-add of ``T + alpha I``.
-        self._work = t.copy()
+        # instead of an O(n²) allocate-and-add of ``T + alpha I``.  Held
+        # per thread: concurrent tasks from the solve-plan engine each
+        # mutate their own copy, so shifted solves are thread-safe.
+        self._work = threading.local()
 
     def _shifted_t(self, alpha):
-        np.fill_diagonal(self._work, self.eigenvalues + alpha)
-        return self._work
+        work = getattr(self._work, "mat", None)
+        if work is None:
+            work = self.t.copy()
+            self._work.mat = work
+        np.fill_diagonal(work, self.eigenvalues + alpha)
+        return work
 
     def _check_shift(self, alpha):
         """Raise when ``A + alpha I`` is (numerically) singular."""

@@ -30,6 +30,7 @@ import time
 import numpy as np
 
 from .._validation import check_nonnegative_int
+from ..engine import SolvePlan
 from ..errors import ValidationError
 from ..linalg.arnoldi import merge_bases
 from ..volterra.associated import (
@@ -123,6 +124,13 @@ class AssociatedTransformMOR:
         H2/H3 chains need the dense Schur machinery and densify ``G1``
         through the workspace (size-guarded) — request
         ``orders=(q1, 0, 0)`` to stay fully sparse at circuit scale.
+
+        All Krylov chains — per transfer function, per expansion point,
+        per retained input column, and (for the decoupled strategy) per
+        eq.-(18) subsystem — are independent, so the whole build is
+        emitted as **one** engine plan and dispatched across the
+        configured backend's workers; the serial default reproduces the
+        historical inline loops exactly.
         """
         system = system.to_explicit()
         # Memoized per system: multiple expansion points, repeated
@@ -131,8 +139,6 @@ class AssociatedTransformMOR:
         # operator when present).
         workspace = workspace or AssociatedWorkspace.for_system(system)
         q1, q2, q3 = self.orders
-        blocks = []
-        details = {"blocks": []}
 
         r1 = associated_h1(system, workspace) if q1 > 0 else None
         r2 = None
@@ -144,33 +150,65 @@ class AssociatedTransformMOR:
                 r2 = associated_h2(system, workspace)
         r3 = associated_h3(system, workspace) if q3 > 0 else None
 
+        # Emit every independent chain into one plan, remembering how to
+        # regroup the ordered results into the per-block layout the
+        # details dict has always reported.
+        plan = SolvePlan("assoc-mor.build_basis")
+        groups = []  # (label, s0, start, end, subsystem tags or None)
         for s0 in self.expansion_points:
             if r1 is not None:
-                block = r1.moment_vectors(
+                start = len(plan)
+                for fn in r1.chain_tasks(
                     q1, s0=s0, deduplicate=self.deduplicate
-                )
-                blocks.append(block)
-                details["blocks"].append(("H1", s0, block.shape[1]))
-            if dec2 is not None:
-                for idx, block in enumerate(
-                    dec2.basis_blocks(q2, s0=s0, deduplicate=self.deduplicate)
                 ):
+                    plan.add(fn, tag=("H1", s0))
+                groups.append(("H1", s0, start, len(plan), None))
+            if dec2 is not None:
+                start = len(plan)
+                tasks = dec2.chain_tasks(
+                    q2, s0=s0, deduplicate=self.deduplicate
+                )
+                for subsystem, fn in tasks:
+                    plan.add(fn, tag=(f"H2-sub{subsystem}", s0))
+                subsystems = [subsystem for subsystem, _ in tasks]
+                groups.append(("H2-dec", s0, start, len(plan), subsystems))
+            elif r2 is not None:
+                start = len(plan)
+                for fn in r2.chain_tasks(
+                    q2, s0=s0, deduplicate=self.deduplicate
+                ):
+                    plan.add(fn, tag=("H2", s0))
+                groups.append(("H2", s0, start, len(plan), None))
+            if r3 is not None:
+                start = len(plan)
+                for fn in r3.chain_tasks(
+                    q3, s0=s0, deduplicate=self.deduplicate
+                ):
+                    plan.add(fn, tag=("H3", s0))
+                groups.append(("H3", s0, start, len(plan), None))
+
+        results = plan.execute()
+
+        blocks = []
+        details = {"blocks": []}
+        for label, s0, start, end, subsystems in groups:
+            chains = results[start:end]
+            if label == "H2-dec":
+                per_sub = {0: [], 1: []}
+                for subsystem, chain in zip(subsystems, chains):
+                    per_sub[subsystem].extend(chain)
+                for idx in (0, 1):
+                    block = np.column_stack(per_sub[idx])
                     blocks.append(block)
                     details["blocks"].append(
                         (f"H2-sub{idx}", s0, block.shape[1])
                     )
-            elif r2 is not None:
-                block = r2.moment_vectors(
-                    q2, s0=s0, deduplicate=self.deduplicate
+            else:
+                block = np.column_stack(
+                    [vec for chain in chains for vec in chain]
                 )
                 blocks.append(block)
-                details["blocks"].append(("H2", s0, block.shape[1]))
-            if r3 is not None:
-                block = r3.moment_vectors(
-                    q3, s0=s0, deduplicate=self.deduplicate
-                )
-                blocks.append(block)
-                details["blocks"].append(("H3", s0, block.shape[1]))
+                details["blocks"].append((label, s0, block.shape[1]))
 
         if not blocks:
             raise ValidationError(

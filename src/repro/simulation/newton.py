@@ -17,6 +17,8 @@ chord-Newton transient costs ``O(nnz)`` per factorization instead of
 ``O(n³)``.  Dense matrices take the LAPACK ``lu_factor`` path unchanged.
 """
 
+import threading
+
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
@@ -103,16 +105,28 @@ class JacobianCache:
         self.lu = None
         self.factorizations = 0
         self.reuses = 0
+        # A cache shared across concurrently integrated trajectories
+        # (engine-dispatched transient batches) must not interleave a
+        # factor with another thread's invalidate and count updates.
+        self._lock = threading.Lock()
 
     def invalidate(self):
         """Drop the cached factorization (forces a refresh next use)."""
-        self.lu = None
+        with self._lock:
+            self.lu = None
 
     def factor(self, jac):
         """Factor *jac* and make it the cached iteration matrix."""
-        self.lu = _factorize(jac)
-        self.factorizations += 1
-        return self.lu
+        lu = _factorize(jac)
+        with self._lock:
+            self.lu = lu
+            self.factorizations += 1
+        return lu
+
+    def note_reuse(self):
+        """Count one Newton iteration served from the cached LU."""
+        with self._lock:
+            self.reuses += 1
 
 
 def _backtrack(residual, x, step, norm, damping_steps):
@@ -175,7 +189,11 @@ def newton_solve(
     if norm <= floor:
         return x, 0
     for iteration in range(1, max_iterations + 1):
-        fresh = jac_cache is None or jac_cache.lu is None
+        # Snapshot the cached LU exactly once per iteration: with a
+        # cache shared across threads, re-reading jac_cache.lu after
+        # another thread's invalidate() would hand a None to factor().
+        cached_lu = jac_cache.lu if jac_cache is not None else None
+        fresh = jac_cache is None or cached_lu is None
         # Evaluate the Jacobian outside the try: errors raised by the
         # user callable must propagate untouched, not be misreported as
         # a singular iteration matrix.
@@ -183,11 +201,11 @@ def newton_solve(
         try:
             if jac_cache is None:
                 lu = _factorize(jac)
-            elif jac_cache.lu is None:
+            elif cached_lu is None:
                 lu = jac_cache.factor(jac)
             else:
-                lu = jac_cache.lu
-                jac_cache.reuses += 1
+                lu = cached_lu
+                jac_cache.note_reuse()
             step = lu.solve(res)
         except _FACTOR_ERRORS as exc:
             raise ConvergenceError(

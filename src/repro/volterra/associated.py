@@ -34,12 +34,15 @@ accuracy are unaffected; only literal impulse responses of systems with
 """
 
 import itertools
+import threading
+from functools import partial
 
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
 
 from .._validation import check_positive_int
+from ..engine import SolvePlan
 from ..errors import SystemStructureError, ValidationError
 from ..linalg.kronecker import kron_sum_power_matvec
 from ..linalg.operators import (
@@ -83,6 +86,10 @@ def _require_explicit(system):
 #: densify (they run on the factory's sparse LU).
 _SPARSE_SCHUR_LIMIT = 2048
 
+#: Serializes :meth:`AssociatedWorkspace.for_system` so concurrent
+#: callers observe exactly one workspace per system object.
+_WORKSPACE_LOCK = threading.Lock()
+
 
 class AssociatedWorkspace:
     """Shared factorizations for one system's associated realizations.
@@ -111,6 +118,11 @@ class AssociatedWorkspace:
         self._kron_solver = None
         self._a2_op = None
         self._pi = None
+        # Guards the lazy factorizations above: engine-dispatched chain
+        # tasks sharing one workspace must not build Π / the lifted
+        # operator twice (reentrant — the Π build walks kron_solver,
+        # which walks schur).
+        self._lazy_lock = threading.RLock()
         # Everything the lazily cached Π / lifted operator / input
         # matrices depend on; compared by identity for invalidation.
         self._key = (system.g1, system.g2, system.g3, system.d1, system.b)
@@ -132,15 +144,30 @@ class AssociatedWorkspace:
         cache invalidates when any system matrix the workspace depends
         on (``g1``, ``g2``, ``g3``, ``d1``, ``b``) is rebound.
         """
-        cached = getattr(system, "_associated_workspace", None)
-        if cached is not None and cached.matches(system):
-            return cached
+        def _lookup():
+            cached = getattr(system, "_associated_workspace", None)
+            if cached is not None and cached.matches(system):
+                return cached
+            return None
+
+        # Compute-outside-lock, first-insert-wins: workspace
+        # construction may build the system's resolvent factory (an
+        # O(n³) Schur factorization on dense systems), which must not
+        # run under the global memoizer lock.
+        with _WORKSPACE_LOCK:
+            cached = _lookup()
+            if cached is not None:
+                return cached
         workspace = cls(system)
-        try:
-            system._associated_workspace = workspace
-        except AttributeError:
-            pass
-        return workspace
+        with _WORKSPACE_LOCK:
+            cached = _lookup()
+            if cached is not None:
+                return cached
+            try:
+                system._associated_workspace = workspace
+            except AttributeError:
+                pass
+            return workspace
 
     @property
     def n(self):
@@ -163,18 +190,19 @@ class AssociatedWorkspace:
         and refuse beyond ``_SPARSE_SCHUR_LIMIT`` states, where the
         Kronecker-sum machinery is intractable anyway.
         """
-        if self._schur is None:
-            n = self.system.n_states
-            if n > _SPARSE_SCHUR_LIMIT:
-                raise SystemStructureError(
-                    f"the lifted H2/H3 realizations need a dense Schur "
-                    f"form of G1, which would densify a sparse "
-                    f"{n}-state system; restrict sparse systems of this "
-                    f"size to H1 moments (orders=(q1, 0, 0)) or compile "
-                    f"the circuit dense"
-                )
-            self._schur = SchurForm(self._g1_dense())
-        return self._schur
+        with self._lazy_lock:
+            if self._schur is None:
+                n = self.system.n_states
+                if n > _SPARSE_SCHUR_LIMIT:
+                    raise SystemStructureError(
+                        f"the lifted H2/H3 realizations need a dense "
+                        f"Schur form of G1, which would densify a sparse "
+                        f"{n}-state system; restrict sparse systems of "
+                        f"this size to H1 moments (orders=(q1, 0, 0)) or "
+                        f"compile the circuit dense"
+                    )
+                self._schur = SchurForm(self._g1_dense())
+            return self._schur
 
     def solve_shifted(self, shift, rhs):
         """Solve ``(G1 + shift·I) x = rhs`` without densifying.
@@ -192,44 +220,47 @@ class AssociatedWorkspace:
     @property
     def kron_solver(self):
         """Kronecker-sum solver on the shared Schur form (lazy)."""
-        if self._kron_solver is None:
-            self._kron_solver = KronSumSolver(
-                self._g1_dense(), schur=self.schur
-            )
-        return self._kron_solver
+        with self._lazy_lock:
+            if self._kron_solver is None:
+                self._kron_solver = KronSumSolver(
+                    self._g1_dense(), schur=self.schur
+                )
+            return self._kron_solver
 
     @property
     def a2_operator(self):
         """The eq.-(17) lifted state matrix as a structured operator."""
-        if self._a2_op is None:
-            system = self.system
-            if system.g2 is None:
-                raise SystemStructureError(
-                    "system has no quadratic term; Ã2 is undefined"
+        with self._lazy_lock:
+            if self._a2_op is None:
+                system = self.system
+                if system.g2 is None:
+                    raise SystemStructureError(
+                        "system has no quadratic term; Ã2 is undefined"
+                    )
+                self._a2_op = QuadraticLiftedOperator(
+                    self._g1_dense(),
+                    system.g2,
+                    kron_solver=self.kron_solver,
+                    schur=self.schur,
                 )
-            self._a2_op = QuadraticLiftedOperator(
-                self._g1_dense(),
-                system.g2,
-                kron_solver=self.kron_solver,
-                schur=self.schur,
-            )
-        return self._a2_op
+            return self._a2_op
 
     @property
     def pi(self):
         """Solution of ``G1 Π + G2 = Π (G1 ⊕ G1)`` (lazy, cached)."""
-        if self._pi is None:
-            system = self.system
-            if system.g2 is None:
-                raise SystemStructureError(
-                    "system has no quadratic term; Π is undefined"
+        with self._lazy_lock:
+            if self._pi is None:
+                system = self.system
+                if system.g2 is None:
+                    raise SystemStructureError(
+                        "system has no quadratic term; Π is undefined"
+                    )
+                self._pi = solve_pi_sylvester(
+                    self._g1_dense(),
+                    system.g2.toarray(),
+                    solver=self.kron_solver,
                 )
-            self._pi = solve_pi_sylvester(
-                self._g1_dense(),
-                system.g2.toarray(),
-                solver=self.kron_solver,
-            )
-        return self._pi
+            return self._pi
 
     # -- associated input matrices -------------------------------------------
 
@@ -338,26 +369,46 @@ class AssociatedRealization:
             out[:, col] = -self.project_top(x)
         return out
 
-    def moment_vectors(self, count, s0=0.0, deduplicate=True):
-        """Projected shift-invert chains for Krylov moment matching.
+    def _moment_chain(self, col, count, s0):
+        """One column's shift-invert chain (sequential by construction)."""
+        current = self.b[:, col]
+        vectors = []
+        for _ in range(count):
+            current = self.operator.solve_shifted(-s0, current)
+            vectors.append(self.project_top(current))
+        return vectors
 
-        Returns an ``(n_top, count * n_unique_cols)`` real/complex matrix
-        whose columns span the space matching *count* moments of ``H(s)``
-        about ``s0`` (per retained input column).  With ``deduplicate``
-        only one column per symmetric input multiset is chained.
+    def chain_tasks(self, count, s0=0.0, deduplicate=True):
+        """Independent per-column chain callables for the engine.
+
+        Each retained input column's moment chain has no data
+        dependency on the others; callers (or
+        :meth:`moment_vectors`) schedule them through a
+        :class:`~repro.engine.SolvePlan`.  Each callable returns the
+        chain's projected vectors in moment order.
         """
         count = check_positive_int(count, "count")
         if deduplicate:
             cols = _unique_symmetric_columns(self.n_inputs, self.input_arity)
         else:
             cols = list(range(self.n_cols))
-        blocks = []
-        for col in cols:
-            current = self.b[:, col]
-            for _ in range(count):
-                current = self.operator.solve_shifted(-s0, current)
-                blocks.append(self.project_top(current))
-        return np.column_stack(blocks)
+        return [partial(self._moment_chain, col, count, s0) for col in cols]
+
+    def moment_vectors(self, count, s0=0.0, deduplicate=True):
+        """Projected shift-invert chains for Krylov moment matching.
+
+        Returns an ``(n_top, count * n_unique_cols)`` real/complex matrix
+        whose columns span the space matching *count* moments of ``H(s)``
+        about ``s0`` (per retained input column).  With ``deduplicate``
+        only one column per symmetric input multiset is chained.  The
+        per-column chains run as one engine plan (independent tasks;
+        serial backend by default).
+        """
+        plan = SolvePlan("associated.moment_vectors")
+        for fn in self.chain_tasks(count, s0=s0, deduplicate=deduplicate):
+            plan.add(fn)
+        chains = plan.execute()
+        return np.column_stack([v for chain in chains for v in chain])
 
     def impulse_response(self, times):
         """Diagonal kernel ``h(t) = hn(t, ..., t)`` via dense ``expm``.
@@ -496,11 +547,38 @@ class DecoupledH2Realization:
             out[:, col] = -(self.pi @ x)
         return term1 + out
 
-    def basis_blocks(self, count, s0=0.0, deduplicate=True):
-        """Per-subsystem moment-vector blocks (each ``n × ...``).
+    def _linear_chain(self, col, count, s0):
+        """Chain on subsystem 1: ``(sI − G1)^{-1}`` with the Π-corrected
+        linear seed."""
+        ws = self.workspace
+        current = self.seed_linear[:, col].astype(complex)
+        vectors = []
+        for _ in range(count):
+            current = ws.solve_shifted(-s0, current)
+            vectors.append(current.copy())
+        return vectors
 
-        Returns a list of two blocks; their union spans the same moment
-        space as the coupled realization's chains.
+    def _kron_chain(self, col, count, s0):
+        """Chain on subsystem 2: ``(sI − G1 ⊕ G1)^{-1}`` projected back
+        through Π."""
+        ws = self.workspace
+        current = self.bbs[:, col].astype(complex)
+        vectors = []
+        for _ in range(count):
+            current = ws.kron_solver.solve(current, k=2, shift=-s0)
+            vectors.append(self.pi @ current)
+        return vectors
+
+    def chain_tasks(self, count, s0=0.0, deduplicate=True):
+        """Independent Krylov-chain callables, tagged by subsystem.
+
+        Returns ``[(subsystem, callable), ...]`` where *subsystem* is 0
+        for the linear ``(sI − G1)`` chains and 1 for the Kronecker-sum
+        chains — the paper's two eq.-(18) decoupled LTI subsystems, whose
+        chains have no data dependencies and can be generated in
+        parallel.  Shared lazy factorizations (Π, the Kronecker-sum
+        solver) are forced *here*, before any task runs, so tasks never
+        contend on building them.
         """
         ws = self.workspace
         count = check_positive_int(count, "count")
@@ -508,18 +586,30 @@ class DecoupledH2Realization:
             cols = _unique_symmetric_columns(ws.m, 2)
         else:
             cols = list(range(self.n_cols))
-        block1 = []
-        block2 = []
+        ws.kron_solver  # force the shared lazy factorization
+        tasks = []
         for col in cols:
-            current = self.seed_linear[:, col].astype(complex)
-            for _ in range(count):
-                current = ws.solve_shifted(-s0, current)
-                block1.append(current.copy())
-            current = self.bbs[:, col].astype(complex)
-            for _ in range(count):
-                current = ws.kron_solver.solve(current, k=2, shift=-s0)
-                block2.append(self.pi @ current)
-        return [np.column_stack(block1), np.column_stack(block2)]
+            tasks.append((0, partial(self._linear_chain, col, count, s0)))
+            tasks.append((1, partial(self._kron_chain, col, count, s0)))
+        return tasks
+
+    def basis_blocks(self, count, s0=0.0, deduplicate=True):
+        """Per-subsystem moment-vector blocks (each ``n × ...``).
+
+        Returns a list of two blocks; their union spans the same moment
+        space as the coupled realization's chains.  The underlying
+        chains run as one engine plan (one task per subsystem per
+        retained input column).
+        """
+        tasks = self.chain_tasks(count, s0=s0, deduplicate=deduplicate)
+        plan = SolvePlan("decoupled-h2.basis_blocks")
+        for subsystem, fn in tasks:
+            plan.add(fn, tag=subsystem)
+        chains = plan.execute()
+        blocks = {0: [], 1: []}
+        for (subsystem, _), chain in zip(tasks, chains):
+            blocks[subsystem].extend(chain)
+        return [np.column_stack(blocks[0]), np.column_stack(blocks[1])]
 
 
 def associated_h2_decoupled(system, workspace=None):

@@ -24,10 +24,12 @@ so results match the direct formulas to rounding (asserted in
 """
 
 import itertools
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
+from ..engine import SolvePlan
 from ..linalg.resolvent import ResolventFactory
 from .transfer import _require_explicit, permutation_indices
 
@@ -35,6 +37,10 @@ __all__ = ["VolterraEvaluator", "volterra_evaluator"]
 
 #: Default bound on memoized H1/H2 entries (oldest-used evicted first).
 _DEFAULT_MAX_ENTRIES = 4096
+
+#: Serializes :func:`volterra_evaluator` so concurrent callers observe
+#: exactly one evaluator per system object.
+_EVALUATOR_LOCK = threading.Lock()
 
 
 def _system_key(system):
@@ -72,6 +78,12 @@ class VolterraEvaluator:
         self._factory = factory
         self._h1_cache = OrderedDict()
         self._h2_cache = OrderedDict()
+        # One lock guards both memo tables and the stats counters, so
+        # engine-dispatched sweep tasks can share one evaluator.  Kernel
+        # *computation* happens outside the lock: two threads racing on
+        # the same cold key duplicate the (deterministic) solve and the
+        # first insert wins — never a torn or partial cache entry.
+        self._cache_lock = threading.Lock()
         self._key = _system_key(system)
         self.stats = {
             "h1_solves": 0,
@@ -96,52 +108,63 @@ class VolterraEvaluator:
 
     def clear_cache(self):
         """Drop all memoized kernel blocks (the factorization stays)."""
-        self._h1_cache.clear()
-        self._h2_cache.clear()
+        with self._cache_lock:
+            self._h1_cache.clear()
+            self._h2_cache.clear()
 
-    def _cache_get(self, cache, key):
-        value = cache.get(key)
-        if value is not None:
-            cache.move_to_end(key)
+    def _cache_get(self, cache, key, hit_counter):
+        """Locked lookup; a hit bumps *hit_counter* and LRU recency."""
+        with self._cache_lock:
+            value = cache.get(key)
+            if value is not None:
+                cache.move_to_end(key)
+                self.stats[hit_counter] += 1
         return value
 
-    def _cache_put(self, cache, key, value):
-        cache[key] = value
-        if len(cache) > self.max_entries:
-            cache.popitem(last=False)
+    def _cache_put(self, cache, key, value, solve_counter):
+        """Locked insert; returns the winning entry on a concurrent race."""
+        with self._cache_lock:
+            existing = cache.get(key)
+            if existing is not None:
+                cache.move_to_end(key)
+                return existing
+            cache[key] = value
+            self.stats[solve_counter] += 1
+            if len(cache) > self.max_entries:
+                cache.popitem(last=False)
+        return value
 
     # -- H1 ------------------------------------------------------------------
 
     def h1(self, s):
         """``H1(s) = (sI − G1)^{-1} B`` (memoized)."""
         key = complex(s)
-        cached = self._cache_get(self._h1_cache, key)
+        cached = self._cache_get(self._h1_cache, key, "h1_hits")
         if cached is not None:
-            self.stats["h1_hits"] += 1
             return cached.copy()
         value = self.factory.solve(key, self.system.b)
-        self.stats["h1_solves"] += 1
-        self._cache_put(self._h1_cache, key, value)
+        value = self._cache_put(self._h1_cache, key, value, "h1_solves")
         return value.copy()
 
     def prime_h1(self, shifts):
         """Batch-solve ``H1`` at all uncached *shifts* in one pass.
 
         Uses :meth:`ResolventFactory.solve_many`, which hoists the basis
-        rotations out of the shift loop — the fast way to seed a whole
-        frequency grid before a sweep.
+        rotations out of the shift loop and dispatches the per-shift
+        substitutions through the engine backend — the fast way to seed
+        a whole frequency grid before a sweep.
         """
-        wanted = []
-        for s in np.atleast_1d(np.asarray(shifts, dtype=complex)):
-            key = complex(s)
-            if key not in self._h1_cache and key not in wanted:
-                wanted.append(key)
+        with self._cache_lock:
+            wanted = []
+            for s in np.atleast_1d(np.asarray(shifts, dtype=complex)):
+                key = complex(s)
+                if key not in self._h1_cache and key not in wanted:
+                    wanted.append(key)
         if not wanted:
             return
         blocks = self.factory.solve_many(wanted, self.system.b)
-        self.stats["h1_solves"] += len(wanted)
         for key, block in zip(wanted, blocks):
-            self._cache_put(self._h1_cache, key, block)
+            self._cache_put(self._h1_cache, key, block, "h1_solves")
 
     # -- H2 ------------------------------------------------------------------
 
@@ -170,8 +193,14 @@ class VolterraEvaluator:
             swap = permutation_indices(m, (1, 0))
             pair = np.kron(h1_a, h1_b) + np.kron(h1_b, h1_a)[:, swap]
             terms = terms + system.g2 @ pair
-        self.stats["h2_solves"] += 1
         return 0.5 * self.factory.solve(s1 + s2, terms)
+
+    @staticmethod
+    def _h2_key(s1, s2):
+        """Canonical (unordered) cache key; ``swapped`` marks reordering."""
+        a, b = complex(s1), complex(s2)
+        swapped = (a.real, a.imag) > (b.real, b.imag)
+        return ((b, a), True) if swapped else ((a, b), False)
 
     def h2(self, s1, s2):
         """Symmetric ``H2(s1, s2)`` — an ``(n, m²)`` matrix (memoized).
@@ -184,20 +213,43 @@ class VolterraEvaluator:
         if system.g2 is None and system.d1 is None:
             n, m = system.n_states, system.n_inputs
             return np.zeros((n, m * m), dtype=complex)
-        a, b = complex(s1), complex(s2)
-        key = (a, b)
-        swapped = (a.real, a.imag) > (b.real, b.imag)
-        if swapped:
-            key = (b, a)
-        cached = self._cache_get(self._h2_cache, key)
+        key, swapped = self._h2_key(s1, s2)
+        cached = self._cache_get(self._h2_cache, key, "h2_hits")
         if cached is None:
             cached = self._h2_compute(*key)
-            self._cache_put(self._h2_cache, key, cached)
-        else:
-            self.stats["h2_hits"] += 1
+            cached = self._cache_put(
+                self._h2_cache, key, cached, "h2_solves"
+            )
         if swapped and system.n_inputs > 1:
             return cached[:, permutation_indices(system.n_inputs, (1, 0))]
         return cached.copy()
+
+    def prime_h2(self, pairs):
+        """Batch-solve ``H2`` at all uncached frequency *pairs*.
+
+        *pairs* is an iterable of ``(s1, s2)`` tuples.  Keys are
+        canonicalized to the unordered pair (the symmetric-pair cache),
+        deduplicated against the memo table, and the missing kernels are
+        emitted as one :class:`~repro.engine.SolvePlan` — the
+        embarrassingly parallel H2 grid behind a distortion sweep.  The
+        required ``H1`` seeds should be primed first
+        (:meth:`prime_h1`); they are resolved through the shared memo
+        either way.
+        """
+        with self._cache_lock:
+            wanted = []
+            for s1, s2 in pairs:
+                key, _ = self._h2_key(s1, s2)
+                if key not in self._h2_cache and key not in wanted:
+                    wanted.append(key)
+        if not wanted:
+            return
+        plan = SolvePlan("evaluator.prime_h2")
+        for key in wanted:
+            plan.add(self._h2_compute, key[0], key[1], tag=key)
+        blocks = plan.execute()
+        for key, block in zip(wanted, blocks):
+            self._cache_put(self._h2_cache, key, block, "h2_solves")
 
     # -- H3 ------------------------------------------------------------------
 
@@ -237,7 +289,8 @@ class VolterraEvaluator:
         n, m = system.n_states, system.n_inputs
         s_list = (s1, s2, s3)
         terms = np.zeros((n, m**3), dtype=complex)
-        self.stats["h3_evals"] += 1
+        with self._cache_lock:
+            self.stats["h3_evals"] += 1
 
         if system.g2 is not None:
             # Six H1 ⊗ H2 pairings: variable i carries H1, the pair
@@ -275,12 +328,26 @@ def volterra_evaluator(system):
     defining matrices (``g1``, ``g2``, ``g3``, ``d1``, ``b``) is rebound
     to a different object.
     """
-    cached = getattr(system, "_volterra_evaluator", None)
-    if cached is not None and cached.matches(system):
-        return cached
+    def _lookup():
+        cached = getattr(system, "_volterra_evaluator", None)
+        if cached is not None and cached.matches(system):
+            return cached
+        return None
+
+    # Compute-outside-lock, first-insert-wins (construction is cheap —
+    # the factorization itself is lazy — but the pattern keeps the
+    # global lock contention-free by principle).
+    with _EVALUATOR_LOCK:
+        cached = _lookup()
+        if cached is not None:
+            return cached
     evaluator = VolterraEvaluator(system)
-    try:
-        system._volterra_evaluator = evaluator
-    except AttributeError:
-        pass
-    return evaluator
+    with _EVALUATOR_LOCK:
+        cached = _lookup()
+        if cached is not None:
+            return cached
+        try:
+            system._volterra_evaluator = evaluator
+        except AttributeError:
+            pass
+        return evaluator

@@ -1,0 +1,414 @@
+"""Solve-plan engine: backends, parity serial↔parallel, cache races.
+
+The engine's contract is that the thread backend changes *wall-clock
+interleaving only*: every plan-emitting layer must return results that
+match the serial backend to rounding (the acceptance bound is 1e-10;
+most paths agree bitwise because each task performs identical
+floating-point operations on identical data).  The cache-race tests
+hammer the shared memo layers from many threads and assert that exactly
+one factorization/evaluator survives and every caller gets correct
+values.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.engine as engine
+from repro.analysis.distortion import (
+    distortion_sweep,
+    single_tone_distortion,
+    two_tone_intermodulation,
+)
+from repro.engine import SolvePlan, chunk_bounds, parallel_map
+from repro.engine.executor import SerialExecutor, ThreadPoolExecutor
+from repro.errors import NumericalError, ValidationError
+from repro.linalg.resolvent import ResolventFactory
+from repro.mor import AssociatedTransformMOR
+from repro.systems import PolynomialODE, StateSpace
+from repro.volterra.evaluator import VolterraEvaluator, volterra_evaluator
+from repro.volterra.response import frequency_sweep
+
+from conftest import make_stable_matrix
+
+WORKERS = 4
+
+
+@pytest.fixture(autouse=True)
+def _serial_default():
+    """Each test starts (and the suite ends) on the serial backend."""
+    engine.configure(workers=1)
+    yield
+    engine.configure(workers=1)
+
+
+def _sparse_ladder(n, rng):
+    """A stable sparse tridiagonal system (CSR g1) with quadratic term."""
+    main = -2.0 - 0.1 * rng.random(n)
+    off = 0.5 * np.ones(n - 1)
+    g1 = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    rows = rng.integers(0, n, size=3 * n)
+    cols = rng.integers(0, n * n, size=3 * n)
+    vals = 0.05 * rng.standard_normal(3 * n)
+    g2 = sp.csr_matrix((vals, (rows, cols)), shape=(n, n * n))
+    b = rng.standard_normal(n)
+    return PolynomialODE(g1, b, g2=g2, output=np.eye(n)[0])
+
+
+# ---------------------------------------------------------------------------
+# engine primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_chunk_bounds_cover_range(self):
+        for count in (1, 2, 5, 17):
+            for parts in (1, 2, 4, 30):
+                bounds = chunk_bounds(count, parts)
+                assert bounds[0][0] == 0 and bounds[-1][1] == count
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(count))
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_plan_preserves_submission_order(self):
+        plan = SolvePlan("test")
+        for idx in range(20):
+            plan.add(lambda i=idx: i * i, tag=idx)
+        with engine.using(workers=WORKERS):
+            results = plan.execute()
+        assert results == [i * i for i in range(20)]
+        assert plan.tags == list(range(20))
+
+    def test_plan_raises_first_error_by_submission_order(self):
+        def boom(i):
+            if i % 2:
+                raise RuntimeError(f"task {i}")
+            return i
+
+        plan = SolvePlan("test")
+        for idx in range(6):
+            plan.add(boom, idx)
+        with engine.using(workers=WORKERS):
+            with pytest.raises(RuntimeError, match="task 1"):
+                plan.execute()
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(13))
+        serial = parallel_map(lambda x: x + 1, items)
+        with engine.using(workers=WORKERS):
+            threaded = parallel_map(lambda x: x + 1, items)
+        assert serial == threaded == [x + 1 for x in items]
+
+    def test_nested_plan_runs_inline_without_deadlock(self):
+        pool = ThreadPoolExecutor(2)
+
+        def inner():
+            plan = SolvePlan("inner")
+            for idx in range(4):
+                plan.add(lambda i=idx: i)
+            return plan.execute(pool)
+
+        outer = SolvePlan("outer")
+        for _ in range(8):  # more tasks than workers
+            outer.add(inner)
+        results = outer.execute(pool)
+        pool.shutdown()
+        assert results == [[0, 1, 2, 3]] * 8
+
+    def test_configure_and_env(self, monkeypatch):
+        assert isinstance(engine.configure(workers=1), SerialExecutor)
+        ex = engine.configure(workers=3)
+        assert isinstance(ex, ThreadPoolExecutor)
+        assert engine.current_workers() == 3
+        engine.configure(workers=None)
+        assert engine.current_workers() == 1
+        with pytest.raises(ValidationError):
+            ThreadPoolExecutor(1)
+        # env var is a default for the first lazy resolution
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        engine.executor._set_executor(None)
+        assert engine.current_workers() == 2
+        engine.configure(workers=1)
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        engine.executor._set_executor(None)
+        with pytest.raises(ValidationError):
+            engine.get_executor()
+        engine.configure(workers=1)
+
+
+# ---------------------------------------------------------------------------
+# serial <-> parallel parity (acceptance bound 1e-10)
+# ---------------------------------------------------------------------------
+
+
+class TestParity:
+    def test_solve_many_dense(self, rng):
+        a = make_stable_matrix(rng, 40)
+        rhs = rng.standard_normal((40, 3))
+        shifts = 1j * np.linspace(0.1, 5.0, 23)
+        serial = ResolventFactory(a).solve_many(shifts, rhs)
+        with engine.using(workers=WORKERS):
+            threaded = ResolventFactory(a).solve_many(shifts, rhs)
+        assert np.abs(serial - threaded).max() <= 1e-10
+
+    def test_solve_many_sparse(self, rng):
+        system = _sparse_ladder(60, rng)
+        rhs = rng.standard_normal(60)
+        shifts = 1j * np.linspace(0.1, 3.0, 17)
+        serial = ResolventFactory(system.g1).solve_many(shifts, rhs)
+        with engine.using(workers=WORKERS):
+            threaded = ResolventFactory(system.g1).solve_many(shifts, rhs)
+        assert np.abs(serial - threaded).max() <= 1e-10
+
+    def test_distortion_sweep(self, small_qldae):
+        omegas = np.linspace(0.2, 2.0, 11)
+        _, hd2_s, hd3_s = distortion_sweep(small_qldae, omegas, 0.2)
+        small_qldae._volterra_evaluator = None  # force a cold rebuild
+        small_qldae._resolvent_factory = None
+        with engine.using(workers=WORKERS):
+            _, hd2_p, hd3_p = distortion_sweep(small_qldae, omegas, 0.2)
+        assert np.abs(hd2_s - hd2_p).max() <= 1e-10
+        assert np.abs(hd3_s - hd3_p).max() <= 1e-10
+
+    def test_distortion_sweep_sparse(self, rng):
+        system = _sparse_ladder(80, rng)
+        omegas = np.linspace(0.3, 1.5, 7)
+        _, hd2_s, hd3_s = distortion_sweep(system, omegas, 0.3)
+        system._volterra_evaluator = None
+        system._resolvent_factory = None
+        with engine.using(workers=WORKERS):
+            _, hd2_p, hd3_p = distortion_sweep(system, omegas, 0.3)
+        assert np.abs(hd2_s - hd2_p).max() <= 1e-10
+        assert np.abs(hd3_s - hd3_p).max() <= 1e-10
+
+    @pytest.mark.parametrize("strategy", ["coupled", "decoupled"])
+    def test_build_basis(self, small_qldae, strategy):
+        reducer = AssociatedTransformMOR(
+            orders=(3, 2, 0),
+            expansion_points=(0.0, 1.0j, 2.0j),
+            strategy=strategy,
+        )
+        explicit = small_qldae.to_explicit()
+        basis_s, details_s = reducer.build_basis(explicit)
+        explicit._associated_workspace = None
+        with engine.using(workers=WORKERS):
+            basis_p, details_p = reducer.build_basis(explicit)
+        assert details_s["blocks"] == details_p["blocks"]
+        assert basis_s.shape == basis_p.shape
+        assert np.abs(basis_s - basis_p).max() <= 1e-10
+
+    def test_frequency_sweep_and_response(self, rng, small_qldae):
+        omegas = np.linspace(0.1, 4.0, 19)
+        explicit = small_qldae.to_explicit()
+        serial_sweep = frequency_sweep(explicit, omegas)
+        ss = StateSpace(
+            make_stable_matrix(rng, 12),
+            rng.standard_normal((12, 2)),
+            rng.standard_normal((2, 12)),
+        )
+        serial_resp = ss.frequency_response(omegas)
+        explicit._resolvent_factory = None
+        ss._resolvent_factory = None
+        with engine.using(workers=WORKERS):
+            threaded_sweep = frequency_sweep(explicit, omegas)
+            threaded_resp = ss.frequency_response(omegas)
+        assert np.abs(serial_sweep - threaded_sweep).max() <= 1e-10
+        assert np.abs(serial_resp - threaded_resp).max() <= 1e-10
+
+    def test_two_tone_parity(self, small_qldae):
+        serial = two_tone_intermodulation(small_qldae, 0.9, 1.3)
+        small_qldae._volterra_evaluator = None
+        small_qldae._resolvent_factory = None
+        with engine.using(workers=WORKERS):
+            threaded = two_tone_intermodulation(small_qldae, 0.9, 1.3)
+        for key, value in serial.items():
+            assert abs(value - threaded[key]) <= 1e-10
+
+
+# ---------------------------------------------------------------------------
+# cache races
+# ---------------------------------------------------------------------------
+
+
+def _hammer(fn, n_threads=8, repeats=5):
+    """Run *fn* concurrently from many threads; re-raise any failure."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait()
+            for _ in range(repeats):
+                fn()
+        except BaseException as exc:  # noqa: BLE001 - test harness
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestCacheRaces:
+    def test_for_system_single_factory(self, rng):
+        a = make_stable_matrix(rng, 12)
+
+        class Holder:
+            g1 = a
+
+        holder = Holder()
+        seen = []
+
+        def grab():
+            seen.append(ResolventFactory.for_system(holder))
+
+        _hammer(grab)
+        assert len({id(f) for f in seen}) == 1
+        assert seen[0].matrix is a
+
+    def test_volterra_evaluator_memo_single_instance(self, small_qldae):
+        explicit = small_qldae.to_explicit()
+        seen = []
+
+        def grab():
+            seen.append(volterra_evaluator(explicit))
+
+        _hammer(grab)
+        assert len({id(e) for e in seen}) == 1
+
+    def test_evaluator_h1_h2_race_correctness(self, small_qldae):
+        explicit = small_qldae.to_explicit()
+        evaluator = VolterraEvaluator(explicit)
+        shifts = 1j * np.linspace(0.2, 1.4, 6)
+        expected_h1 = {complex(s): evaluator.h1(s) for s in shifts}
+        expected_h2 = {
+            complex(s): evaluator.h2(s, s) for s in shifts
+        }
+        fresh = VolterraEvaluator(explicit)
+
+        def worker_pass():
+            for s in shifts:
+                assert np.abs(fresh.h1(s) - expected_h1[complex(s)]).max() \
+                    <= 1e-12
+                assert np.abs(
+                    fresh.h2(s, s) - expected_h2[complex(s)]
+                ).max() <= 1e-12
+
+        _hammer(worker_pass)
+        # Despite 8 threads x 5 repeats, the memo served every repeat
+        # after (at most one duplicated) cold solve per shift.
+        assert len(fresh._h1_cache) == len(shifts)
+        assert len(fresh._h2_cache) == len(shifts)
+
+    def test_sparse_lu_cache_race(self, rng):
+        system = _sparse_ladder(50, rng)
+        factory = ResolventFactory(system.g1)
+        rhs = rng.standard_normal(50)
+        shifts = [0.5 + 0.1 * k + 1j * (k % 3) for k in range(6)]
+        expected = {s: factory.solve(s, rhs) for s in shifts}
+        fresh = ResolventFactory(system.g1)
+
+        def worker_pass():
+            for s in shifts:
+                assert np.abs(fresh.solve(s, rhs) - expected[s]).max() \
+                    <= 1e-12
+
+        _hammer(worker_pass)
+        assert len(fresh._lu_cache) == len(set(complex(s) for s in shifts))
+
+
+# ---------------------------------------------------------------------------
+# real-dtype sparse fast path
+# ---------------------------------------------------------------------------
+
+
+class TestRealShiftFastPath:
+    def test_real_shift_uses_real_lu(self, rng):
+        system = _sparse_ladder(40, rng)
+        factory = ResolventFactory(system.g1)
+        rhs = rng.standard_normal(40)
+        x_real = factory.solve(0.0, rhs)
+        assert factory.sparse_lu_stats == {"real": 1, "complex": 0}
+        x_cplx = factory.solve(0.3 + 0.7j, rhs)
+        assert factory.sparse_lu_stats == {"real": 1, "complex": 1}
+        # parity with a from-scratch complex-cast factory
+        reference = ResolventFactory(system.g1.astype(complex))
+        assert reference.sparse_lu_stats == {"real": 0, "complex": 0}
+        assert np.abs(x_real - reference.solve(0.0, rhs)).max() <= 1e-12
+        assert reference.sparse_lu_stats["complex"] == 1
+        assert np.abs(
+            x_cplx - reference.solve(0.3 + 0.7j, rhs)
+        ).max() <= 1e-12
+
+    def test_real_lu_serves_complex_rhs(self, rng):
+        system = _sparse_ladder(40, rng)
+        factory = ResolventFactory(system.g1)
+        rhs = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        x = factory.solve(-0.25, rhs)
+        assert factory.sparse_lu_stats["real"] == 1
+        reference = ResolventFactory(system.g1.astype(complex))
+        assert np.abs(x - reference.solve(-0.25, rhs)).max() <= 1e-12
+
+    def test_real_chain_results_stay_real_valued(self, rng):
+        system = _sparse_ladder(40, rng)
+        factory = ResolventFactory(system.g1)
+        x = factory.solve(1.5, np.ones(40))
+        assert np.abs(x.imag).max() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# difference-type distortion terms (small-offset limit)
+# ---------------------------------------------------------------------------
+
+
+class TestDifferenceTerms:
+    def test_lifted_qldae_dc_shift_is_finite(self):
+        from repro.circuits.examples import nonlinear_transmission_line
+
+        system = nonlinear_transmission_line(8).quadratic_linearize()
+        system = system.to_explicit()
+        metrics = single_tone_distortion(system, 0.8, amplitude=0.2)
+        assert np.isfinite(metrics["dc_shift"])
+        assert metrics["dc_shift"] > 0.0
+        # equal two-tone IM products hit the same DC shift and must be
+        # finite too (previously NaN)
+        products = two_tone_intermodulation(system, 0.8, 0.8)
+        for key in ("im2_diff", "im3_2f1_f2", "im3_2f2_f1"):
+            assert np.isfinite(products[key]), key
+
+    def test_limit_matches_direct_value_when_offset_manually(self):
+        from repro.circuits.examples import nonlinear_transmission_line
+
+        system = nonlinear_transmission_line(8).quadratic_linearize()
+        system = system.to_explicit()
+        evaluator = volterra_evaluator(system)
+        metrics = single_tone_distortion(system, 0.8, amplitude=0.2)
+        w = 0.8
+        direct = abs(
+            complex(
+                (system.output @ evaluator.h2(1j * w, 1j * (1e-7 - w)))[0, 0]
+            )
+        )
+        dc_kernel = metrics["dc_shift"] / (0.5 * 0.2**2)
+        assert np.isclose(dc_kernel, direct, rtol=1e-6)
+
+    def test_genuine_pole_raises_named_error(self):
+        # G1 = [[0]] puts an *observable, controllable* eigenvalue at
+        # DC: H2(jw, -jw) has a true pole there and the limit must
+        # refuse with a message naming the term.
+        system = PolynomialODE(
+            np.array([[0.0]]),
+            np.array([1.0]),
+            g2=np.array([[1.0]]),
+            output=np.array([1.0]),
+        )
+        with pytest.raises(NumericalError, match="dc_shift"):
+            single_tone_distortion(system, 0.7)
