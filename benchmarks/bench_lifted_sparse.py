@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Circuit-scale lifted H2/H3: low-rank Π + matrix-free chains vs dense.
+
+Exercises the sparse lifted machinery end-to-end and records:
+
+* low-rank Π (right-Galerkin on the sparse LU) vs the dense Schur
+  Bartels–Stewart sweep at moderate n — residuals and wall-clock,
+* full ``orders=(q1, q2, q3)`` decoupled NMOR on a sparse-compiled
+  circuit at n ≫ 2000, which the dense Schur machinery cannot attempt
+  (Π alone would be ``n × n²``),
+* the streamed ``H3`` evaluator on a cubic (varistor) circuit at
+  n ≥ 1000 — tracemalloc peak of a ``single_tone_distortion``, formerly
+  a dense ``(n³, m³)`` accumulator (84 MB at n = 120, OOM by n ≈ 500).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lifted_sparse.py [n_states]
+
+Each invocation **appends** one run entry to the keyed list in
+``benchmarks/BENCH_sweep.json`` (see ``perf_log.py``).  Set
+``REPRO_BENCH_QUICK=1`` to shrink the large-n cases for CI smoke.
+"""
+
+import os
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf_log import append_run  # noqa: E402
+from repro.analysis.distortion import single_tone_distortion  # noqa: E402
+from repro.circuits.examples import (  # noqa: E402
+    quadratic_rc_ladder_netlist,
+    varistor_surge_protector,
+)
+from repro.linalg.resolvent import ResolventFactory  # noqa: E402
+from repro.linalg.sylvester import (  # noqa: E402
+    LowRankKronSolver,
+    pi_sylvester_residual,
+    solve_pi_sylvester,
+)
+from repro.mor.assoc import AssociatedTransformMOR  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+DEFAULT_N = 2048
+
+
+def _quick():
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def make_system(n_nodes, sparse):
+    """Sep-healthy low-rank-G2 ladder (see the netlist docstring)."""
+    net = quadratic_rc_ladder_netlist(
+        n_nodes, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=8
+    )
+    return net.compile(sparse=sparse).to_explicit()
+
+
+def run_pi_parity_case(n_nodes=200):
+    """Dense Schur Π vs low-rank factored Π on the same circuit."""
+    ssys = make_system(n_nodes, sparse=True)
+    dsys = make_system(n_nodes, sparse=False)
+
+    t0 = time.perf_counter()
+    pi_dense = solve_pi_sylvester(dsys.g1, dsys.g2.toarray())
+    dense_s = time.perf_counter() - t0
+
+    factory = ResolventFactory.for_system(ssys)
+    solver = LowRankKronSolver(
+        ssys.g1,
+        lambda s, r: -factory.solve(-s, np.asarray(r, complex)),
+        lambda s, r: -factory.solve_transpose(-s, np.asarray(r, complex)),
+    )
+    t0 = time.perf_counter()
+    fpi = solver.solve_pi(ssys.g2, tol=1e-9)
+    lowrank_s = time.perf_counter() - t0
+
+    g2_norm = fpi.rhs_norm
+    return {
+        "n": n_nodes,
+        "dense_s": dense_s,
+        "lowrank_s": lowrank_s,
+        "speedup": dense_s / lowrank_s,
+        "pi_rank": fpi.rank,
+        "lowrank_rel_residual": fpi.residual / g2_norm,
+        "dense_rel_residual": pi_sylvester_residual(
+            dsys.g1, dsys.g2.toarray(), pi_dense
+        ) / g2_norm,
+        "max_entry_disagreement": float(
+            np.abs(fpi.to_dense() - pi_dense).max() / np.abs(pi_dense).max()
+        ),
+    }
+
+
+def run_full_order_mor_case(n_nodes=DEFAULT_N):
+    """orders=(3, 2, 1) decoupled NMOR on the sparse-compiled circuit."""
+    net = quadratic_rc_ladder_netlist(
+        n_nodes, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=8
+    )
+    system = net.compile(sparse=True)
+    mor = AssociatedTransformMOR(orders=(3, 2, 1), strategy="decoupled")
+    t0 = time.perf_counter()
+    rom = mor.reduce(system)
+    total_s = time.perf_counter() - t0
+    return {
+        "n": n_nodes,
+        "orders": [3, 2, 1],
+        "strategy": "decoupled",
+        "rom_order": rom.system.n_states,
+        "build_s": rom.build_time,
+        "total_s": total_s,
+        "rom_linear_stable": rom.details["rom_linear_stable"],
+    }
+
+
+def run_h3_memory_case(n_states=1024):
+    """Streamed H3 distortion on the cubic varistor circuit."""
+    circ = varistor_surge_protector(n_states=n_states)
+    system = circ.to_explicit()
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    res = single_tone_distortion(system, omega=0.7, amplitude=2.0)
+    elapsed = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "n": n_states,
+        "sparse": bool(circ.is_sparse),
+        "hd3": float(res["hd3"]),
+        "time_s": elapsed,
+        "peak_mb": peak / 1e6,
+    }
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_N
+    if _quick():
+        n = min(n, 512)
+    results = {
+        "benchmark": "lifted_sparse",
+        "meta": {
+            "generated_unix": time.time(),
+            "quick_scale": _quick(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+    parity_n = 128 if _quick() else 200
+    print(f"low-rank vs dense Pi (n = {parity_n}) ...")
+    results["pi_parity"] = run_pi_parity_case(parity_n)
+    print(
+        "  dense {dense_s:.2f}s -> low-rank {lowrank_s:.2f}s "
+        "({speedup:.1f}x, rank {pi_rank}, rel residual "
+        "{lowrank_rel_residual:.2e}, max disagreement "
+        "{max_entry_disagreement:.2e})".format(**results["pi_parity"])
+    )
+
+    print(f"full-order decoupled NMOR, sparse (n = {n}) ...")
+    results["full_order_mor"] = run_full_order_mor_case(n)
+    print(
+        "  orders (3,2,1) -> ROM order {rom_order} in {total_s:.2f}s "
+        "(basis build {build_s:.2f}s)".format(**results["full_order_mor"])
+    )
+
+    mem_n = 512 if _quick() else 1024
+    print(f"streamed H3 distortion on the varistor circuit (n = {mem_n}) ...")
+    results["h3_memory"] = run_h3_memory_case(mem_n)
+    print(
+        "  hd3 = {hd3:.3e} in {time_s:.2f}s, tracemalloc peak "
+        "{peak_mb:.1f} MB".format(**results["h3_memory"])
+    )
+
+    count = append_run(OUT_PATH, results)
+    print(f"appended run {count} to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,13 @@ two baselines:
 Run:  python examples/harmonic_distortion.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import (
     distortion_sweep,
@@ -30,7 +36,7 @@ from repro.mor import AssociatedTransformMOR, NORMReducer
 
 
 def main():
-    system = quadratic_rc_ladder(n_nodes=50)
+    system = quadratic_rc_ladder(n_nodes=20 if QUICK else 50)
     explicit = system.to_explicit()
     print(f"system: {system}")
 

@@ -10,7 +10,13 @@ strengths and shows the selected orders adapting.
 Run:  python examples/order_selection.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import format_table, max_relative_error
 from repro.circuits import quadratic_rc_ladder
@@ -19,7 +25,7 @@ from repro.simulation import simulate, step_source
 
 
 def demo(g_quad, label):
-    system = quadratic_rc_ladder(n_nodes=40, g_quad=g_quad)
+    system = quadratic_rc_ladder(n_nodes=16 if QUICK else 40, g_quad=g_quad)
     orders, hsvs = suggest_orders(system, probe=6, tol=1e-5)
     print(f"\n--- {label} (g_quad = {g_quad}) ---")
     rows = []
@@ -38,8 +44,9 @@ def demo(g_quad, label):
 
     rom = AssociatedTransformMOR(orders=orders).reduce(system)
     u = step_source(0.2)
-    full = simulate(system.to_explicit(), u, 8.0, 0.02)
-    red = simulate(rom.system, u, 8.0, 0.02)
+    t_end = 2.0 if QUICK else 8.0
+    full = simulate(system.to_explicit(), u, t_end, 0.02)
+    red = simulate(rom.system, u, t_end, 0.02)
     err = max_relative_error(full.output(0), red.output(0))
     print(f"ROM order {rom.order}, transient max rel err {err:.2e}")
     return orders

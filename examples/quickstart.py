@@ -7,7 +7,13 @@ step-response transient of the full model against the ROM.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import max_relative_error, series_summary
 from repro.circuits import quadratic_rc_ladder
@@ -17,7 +23,7 @@ from repro.simulation import simulate, step_source
 
 def main():
     # 1. A nonlinear system: 70 states, quadratic nonlinearities.
-    system = quadratic_rc_ladder(n_nodes=70)
+    system = quadratic_rc_ladder(n_nodes=24 if QUICK else 70)
     print(f"full system : {system}")
 
     # 2. Reduce: match 6 moments of H1(s), 3 of A2(H2)(s) — the
@@ -30,8 +36,9 @@ def main():
 
     # 3. Simulate both under a step input.
     u = step_source(0.25)
-    full = simulate(system.to_explicit(), u, t_end=10.0, dt=0.02)
-    red = simulate(rom.system, u, t_end=10.0, dt=0.02)
+    t_end = 2.0 if QUICK else 10.0
+    full = simulate(system.to_explicit(), u, t_end=t_end, dt=0.02)
+    red = simulate(rom.system, u, t_end=t_end, dt=0.02)
 
     # 4. Compare.
     err = max_relative_error(full.output(0), red.output(0))

@@ -13,7 +13,13 @@ lines at f1±f2 that a *linear* ROM cannot reproduce.
 Run:  python examples/rf_receiver_miso.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import format_table, max_relative_error
 from repro.circuits import rf_receiver_chain
@@ -32,7 +38,7 @@ def spectrum_peak(times, trace, freq):
 
 
 def main():
-    rf = rf_receiver_chain(n_nodes=173).to_explicit()
+    rf = rf_receiver_chain(n_nodes=40 if QUICK else 173).to_explicit()
     print(f"receiver model: {rf}  "
           f"({rf.n_states} states, {rf.n_inputs} inputs — paper: 173)")
 
@@ -48,7 +54,7 @@ def main():
     u = stack_sources(
         [sine_source(0.25, F_SIGNAL), sine_source(0.10, F_INTERF)]
     )
-    t_end, dt = 60.0, 0.05
+    t_end, dt = (10.0, 0.05) if QUICK else (60.0, 0.05)
     full = simulate(rf, u, t_end, dt)
     red_a = simulate(rom_a.system, u, t_end, dt)
     red_n = simulate(rom_n.system, u, t_end, dt)

@@ -12,7 +12,13 @@ Demonstrates the full pipeline on the diode transmission line:
 Run:  python examples/transmission_line_mor.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import format_table, max_relative_error, series_summary
 from repro.circuits import nonlinear_transmission_line
@@ -30,7 +36,7 @@ def voltage_driven_case():
     print("Voltage-driven line (paper §3.1): lifted QLDAE WITH D1 term")
     print("=" * 68)
     ntl = nonlinear_transmission_line(
-        n_nodes=40, source="voltage", diode_at_input=True
+        n_nodes=12 if QUICK else 40, source="voltage", diode_at_input=True
     )
     qldae = ntl.quadratic_linearize()
     print(f"lifted QLDAE: {qldae}  (D1 present: {qldae.d1 is not None})")
@@ -42,8 +48,9 @@ def voltage_driven_case():
           f"(stable: {rom.details['rom_linear_stable']})")
 
     u = sine_source(amplitude=0.08, frequency=0.08)
-    full = simulate(qldae, u, t_end=30.0, dt=0.02)
-    red = simulate(rom.system, u, t_end=30.0, dt=0.02)
+    t_end = 6.0 if QUICK else 30.0
+    full = simulate(qldae, u, t_end=t_end, dt=0.02)
+    red = simulate(rom.system, u, t_end=t_end, dt=0.02)
     err = max_relative_error(full.output(0), red.output(0))
     print(series_summary("full v1(t)", full.times, full.output(0)))
     print(series_summary("ROM  v1(t)", red.times, red.output(0)))
@@ -56,7 +63,7 @@ def current_driven_case():
           "proposed vs NORM")
     print("=" * 68)
     ntl = nonlinear_transmission_line(
-        n_nodes=36, source="current", diode_at_input=False, diode_start=2
+        n_nodes=20 if QUICK else 36, source="current", diode_at_input=False, diode_start=2
     )
     qldae = ntl.quadratic_linearize()
     print(f"lifted QLDAE: {qldae}  -> x in R^{qldae.n_states} "
@@ -69,9 +76,10 @@ def current_driven_case():
     rom_n = NORMReducer(orders=orders, s0=EXPANSION).reduce(qldae)
 
     u = step_source(0.25)
-    full = simulate(qldae, u, t_end=30.0, dt=0.05)
-    red_a = simulate(rom_a.system, u, t_end=30.0, dt=0.05)
-    red_n = simulate(rom_n.system, u, t_end=30.0, dt=0.05)
+    t_end = 6.0 if QUICK else 30.0
+    full = simulate(qldae, u, t_end=t_end, dt=0.05)
+    red_a = simulate(rom_a.system, u, t_end=t_end, dt=0.05)
+    red_n = simulate(rom_n.system, u, t_end=t_end, dt=0.05)
 
     rows = [
         ["original", qldae.n_states, "-", full.wall_time],

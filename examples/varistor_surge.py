@@ -9,7 +9,13 @@ cubic system, A3(H3)(s) = (sI−G1)^{-1} G3 (sI − G1⊕G1⊕G1)^{-1} b⊗b⊗b
 Run:  python examples/varistor_surge.py
 """
 
+import os
+
 import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
 from repro.analysis import max_relative_error, series_summary
 from repro.circuits import varistor_surge_protector
@@ -20,7 +26,7 @@ from repro.systems import CubicODE
 
 def main():
     # Keep the mass form: congruence projection preserves passivity.
-    circuit = varistor_surge_protector(n_states=102)
+    circuit = varistor_surge_protector(n_states=40 if QUICK else 102)
     print(f"surge circuit: {circuit}  "
           f"({circuit.n_states} states — paper: 102)")
 
@@ -32,7 +38,7 @@ def main():
     print(f"cubic ROM order: {rom.order}  (paper: 8)")
 
     surge = surge_source(amplitude=9.8e3, tau_rise=0.5, tau_fall=5.0)
-    t_end, dt = 30.0, 0.02
+    t_end, dt = (6.0, 0.02) if QUICK else (30.0, 0.02)
     full = simulate(circuit, surge, t_end, dt)
     red = simulate(rom.system, surge, t_end, dt)
 

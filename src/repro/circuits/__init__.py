@@ -12,6 +12,7 @@ from .devices import (
 from .examples import (
     nonlinear_transmission_line,
     quadratic_rc_ladder,
+    quadratic_rc_ladder_netlist,
     rf_receiver_chain,
     varistor_surge_protector,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "Resistor",
     "nonlinear_transmission_line",
     "quadratic_rc_ladder",
+    "quadratic_rc_ladder_netlist",
     "rf_receiver_chain",
     "varistor_surge_protector",
     "assemble",

@@ -19,8 +19,12 @@ The compiled class depends on the devices present:
 
 Stamps are accumulated as COO entry lists and materialized once at the
 end — either into CSR ``g1``/``mass`` (the sparse fast path, default for
-``n ≥ 256`` states) or into dense ndarrays (default below that, where the
-dense Schur-based MOR machinery is the better tool).  Pass
+``n ≥ 256`` states) or into dense ndarrays (default below that, where
+the dense Schur machinery has less overhead).  Sparse-compiled circuits
+run the *entire* associated-transform stack matrix-free — transient,
+distortion sweeps, H1 chains, and (via the factored-Π decoupled
+strategy and compressed lifted H3 vectors) full ``(q1, q2, q3)`` NMOR —
+so there is no upper state count beyond memory for the CSR data.  Pass
 ``assemble(netlist, sparse=True/False)`` to force either form; the two
 compile to numerically identical systems.  Exponential-diode netlists
 always compile dense (the diode Jacobian is a dense rank-one update per
@@ -45,7 +49,9 @@ from .devices import (
 __all__ = ["assemble"]
 
 #: Auto mode (``sparse=None``) stamps CSR matrices at and above this
-#: state count; below it the dense Schur/MOR machinery is the better fit.
+#: state count; below it the dense Schur machinery's lower constant
+#: factors win.  (Sparse compilation is no longer feature-limited: the
+#: lifted H2/H3 NMOR machinery runs matrix-free on CSR systems.)
 _SPARSE_THRESHOLD = 256
 
 

@@ -22,15 +22,17 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 
 from .._validation import as_square_matrix, as_sparse
-from ..errors import ValidationError
+from ..errors import SystemStructureError, ValidationError
 from .kronecker import kron_sum_power, kron_sum_power_matvec
 from .schur import SchurForm
-from .sylvester import KronSumSolver
+from .sylvester import FactoredTensor, KronSumSolver, _g2_coo_parts
 
 __all__ = [
     "DenseOperator",
     "KronSumOperator",
     "QuadraticLiftedOperator",
+    "LiftedH3Vector",
+    "FactoredH3Operator",
     "solve_left_kron_sum",
     "solve_right_kron_sum",
 ]
@@ -244,3 +246,227 @@ def solve_right_kron_sum(b_op, schur_a, v, shift=0.0):
         x[:, j] = b_op.solve_shifted(shift + t[j, j], rhs)
     x_mat = x @ q.T
     return x_mat.reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# matrix-free lifted H3 operator (sparse circuit scale)
+# ---------------------------------------------------------------------------
+
+
+class LiftedH3Vector:
+    """Compressed state vector of the ``A3(H3)`` realization.
+
+    The lifted state splits into blocks ``[x_a | x_b | x_c | x_d]`` of
+    sizes ``n``, ``n·N``, ``N·n`` and ``n³`` (``N = n + n²``).  At
+    circuit scale even *one* dense lifted vector is out of reach
+    (``n³ = 8.6·10⁹`` entries at n = 2048), so everything but the top
+    block is held Tucker-factored:
+
+    * ``a``  — the top (original state) block, dense ``(n,)``,
+    * ``b1``/``b2`` — the ``x_b`` block split by ``Ã2``'s column blocks
+      into an ``(n, n)`` 2-mode and an ``(n, n, n)`` 3-mode tensor,
+    * ``c1``/``c2`` — the same split of ``x_c`` by ``Ã2``'s row blocks,
+    * ``d``  — the cubic ``(n, n, n)`` block.
+
+    Blocks that are absent from the realization (no quadratic / no cubic
+    term) are ``None``.
+    """
+
+    __slots__ = ("a", "b1", "b2", "c1", "c2", "d")
+
+    def __init__(self, a, b1=None, b2=None, c1=None, c2=None, d=None):
+        self.a = np.asarray(a)
+        self.b1 = b1
+        self.b2 = b2
+        self.c1 = c1
+        self.c2 = c2
+        self.d = d
+
+    @property
+    def n(self):
+        return self.a.shape[0]
+
+    def to_vector(self):
+        """Densify to the block layout of ``AssociatedH3Operator``
+        (small systems / tests only)."""
+        n = self.n
+        parts = [np.asarray(self.a, dtype=complex)]
+        if self.b1 is not None:
+            x1 = self.b1.to_vector().reshape(n, n)
+            x2 = self.b2.to_vector().reshape(n, n * n)
+            parts.append(np.hstack([x1, x2]).reshape(-1))
+        if self.c1 is not None:
+            x1 = self.c1.to_vector().reshape(n, n)
+            x2 = self.c2.to_vector().reshape(n * n, n)
+            parts.append(np.vstack([x1, x2]).reshape(-1))
+        if self.d is not None:
+            parts.append(self.d.to_vector())
+        return np.concatenate(parts)
+
+
+class FactoredH3Operator:
+    """Matrix-free shifted solves with the ``A3(H3)`` state matrix.
+
+    The sparse-path counterpart of ``AssociatedH3Operator`` (see
+    :mod:`repro.volterra.associated`): same block back-substitution,
+    same ``solve_shifted`` contract, but every inner Kronecker-sum solve
+    routes through a :class:`~repro.linalg.sylvester.LowRankKronSolver`
+    on ``G1``'s sparse LU, and the lifted blocks travel as
+    :class:`LiftedH3Vector` Tucker factors.  The block reduction:
+
+    * ``x_d`` and the ``x_b``/``x_c`` tails are ``(3© G1 + sI)`` solves
+      with low-multilinear-rank right-hand sides,
+    * the ``x_b``/``x_c`` heads are ``(2© G1 + sI)`` solves whose
+      right-hand sides pick up the sparse ``G2`` contracted against the
+      tail's Tucker factors (``O(nnz·r²)``, never ``n²``-sided),
+    * the top row is one sparse shifted ``G1`` solve after contracting
+      ``G2``/``G3`` with the factored blocks.
+
+    Parameters
+    ----------
+    g1 : (n, n) sparse/dense matrix
+    g2 : (n, n²) sparse or None
+    g3 : (n, n³) sparse or None
+    kron_solver : LowRankKronSolver
+        Shared low-rank Kronecker-sum solver (typically the workspace's).
+    solve_shifted : callable ``(shift, rhs) -> (G1 + shift·I)^{-1} rhs``
+    """
+
+    def __init__(self, g1, g2, g3, kron_solver, solve_shifted):
+        self.g1 = g1
+        self.n = g1.shape[0]
+        self.has_quad = g2 is not None
+        self.has_cubic = g3 is not None
+        if not (self.has_quad or self.has_cubic):
+            raise SystemStructureError(
+                "system has neither quadratic nor cubic terms; H3 ≡ 0"
+            )
+        self.kron = kron_solver
+        self._solve_g1 = solve_shifted
+        n = self.n
+        self._g2_parts = (
+            _g2_coo_parts(g2, n) if self.has_quad else None
+        )
+        self._g3_parts = None
+        if self.has_cubic:
+            csr = sp.csr_matrix(g3)
+            csr.sum_duplicates()
+            coo = csr.tocoo()
+            self._g3_parts = (
+                coo.row,
+                coo.col // (n * n),
+                (coo.col // n) % n,
+                coo.col % n,
+                coo.data,
+            )
+        self.n2 = n + n * n
+        dim = n
+        if self.has_quad:
+            dim += 2 * n * self.n2
+        if self.has_cubic:
+            dim += n ** 3
+        self.shape = (dim, dim)
+
+    @property
+    def dim(self):
+        return self.shape[0]
+
+    # -- sparse contractions --------------------------------------------------
+
+    def _g2_vec(self, tensor):
+        """``G2 @ vec(X)`` for a 2-mode Tucker ``X`` — dense ``(n,)``."""
+        rows, ii, jj, vals = self._g2_parts
+        out = np.zeros(self.n, dtype=complex)
+        if min(tensor.core.shape, default=0) == 0 or rows.size == 0:
+            return out
+        p, q = tensor.factors
+        t_vals = np.einsum(
+            "ab,ea,eb->e", tensor.core, p[ii], q[jj], optimize=True
+        )
+        np.add.at(out, rows, vals * t_vals)
+        return out
+
+    def _g3_vec(self, tensor):
+        """``G3 @ vec(X)`` for a 3-mode Tucker ``X`` — dense ``(n,)``."""
+        rows, ii, jj, kk, vals = self._g3_parts
+        out = np.zeros(self.n, dtype=complex)
+        if min(tensor.core.shape, default=0) == 0 or rows.size == 0:
+            return out
+        p, q, s = tensor.factors
+        t_vals = np.einsum(
+            "abc,ea,eb,ec->e", tensor.core, p[ii], q[jj], s[kk],
+            optimize=True,
+        )
+        np.add.at(out, rows, vals * t_vals)
+        return out
+
+    def solve_shifted(self, shift, vec):
+        """Solve ``(A3 + shift·I) x = rhs`` by block back-substitution
+        on a :class:`LiftedH3Vector`."""
+        if not isinstance(vec, LiftedH3Vector):
+            raise ValidationError(
+                "the factored H3 operator solves LiftedH3Vector "
+                "right-hand sides; use AssociatedH3Operator for dense "
+                "lifted vectors"
+            )
+        kron = self.kron
+        out_b1 = out_b2 = out_c1 = out_c2 = out_d = None
+        coupling = np.zeros(self.n, dtype=complex)
+        if self.has_quad:
+            out_b2 = kron.solve(vec.b2, k=3, shift=shift)
+            rb1 = vec.b1.add(self._xb_g2_coupling(out_b2).scaled(-1.0))
+            out_b1 = kron.solve(rb1, k=2, shift=shift)
+            out_c2 = kron.solve(vec.c2, k=3, shift=shift)
+            rc1 = vec.c1.add(self._xc_g2_coupling(out_c2).scaled(-1.0))
+            out_c1 = kron.solve(rc1, k=2, shift=shift)
+            coupling += self._g2_vec(out_b1)
+            coupling += self._g2_vec(out_c1)
+        if self.has_cubic:
+            out_d = kron.solve(vec.d, k=3, shift=shift)
+            coupling += self._g3_vec(out_d)
+        x_a = self._solve_g1(shift, np.asarray(vec.a, dtype=complex)
+                             - coupling)
+        return LiftedH3Vector(
+            x_a, b1=out_b1, b2=out_b2, c1=out_c1, c2=out_c2, d=out_d
+        )
+
+    def _xb_g2_coupling(self, x2):
+        """``X2 G2ᵀ``: the quadratic coupling feeding the b-block head.
+
+        ``[X2 G2ᵀ][i, r] = Σ_{jk} X2[i, jk] G2[r, jk]`` contracted
+        against the Tucker factors of ``X2`` — returns a 2-mode Tucker
+        with left factor ``P`` and a dense accumulated right factor.
+        """
+        rows, ii, jj, vals = self._g2_parts
+        if min(x2.core.shape, default=0) == 0 or rows.size == 0:
+            return FactoredTensor.zeros((self.n, self.n))
+        p, q, s = x2.factors
+        # t[e, a] = Σ_bc C[a,b,c] Q[j_e, b] S[k_e, c]  with (j, k) the
+        # decomposed pair index of G2's flat n² column.
+        t = np.einsum(
+            "abc,eb,ec->ea", x2.core, q[ii], s[jj], optimize=True
+        )
+        right = np.zeros((self.n, t.shape[1]), dtype=t.dtype)
+        np.add.at(right, rows, vals[:, None] * t)
+        core = np.eye(t.shape[1], dtype=t.dtype)
+        return FactoredTensor(core, [p, right])
+
+    def _xc_g2_coupling(self, x2):
+        """``G2 X2``: the quadratic coupling feeding the c-block head.
+
+        ``[G2 X2][r, c] = Σ_{ij} G2[r, ij] X2[ij, c]`` — returns a
+        2-mode Tucker with a dense accumulated left factor and right
+        factor ``S``.
+        """
+        rows, ii, jj, vals = self._g2_parts
+        if min(x2.core.shape, default=0) == 0 or rows.size == 0:
+            return FactoredTensor.zeros((self.n, self.n))
+        p, q, s = x2.factors
+        # t[e, c] = Σ_ab C[a,b,c] P[i_e, a] Q[j_e, b]
+        t = np.einsum(
+            "abc,ea,eb->ec", x2.core, p[ii], q[jj], optimize=True
+        )
+        left = np.zeros((self.n, t.shape[1]), dtype=t.dtype)
+        np.add.at(left, rows, vals[:, None] * t)
+        core = np.eye(t.shape[1], dtype=t.dtype)
+        return FactoredTensor(core, [left, s])

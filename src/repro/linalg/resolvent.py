@@ -65,14 +65,16 @@ class _RealSparseLU:
     def __init__(self, lu):
         self._lu = lu
 
-    def solve(self, rhs):
+    def solve(self, rhs, trans="N"):
         if np.iscomplexobj(rhs):
-            real = self._lu.solve(np.ascontiguousarray(rhs.real))
+            real = self._lu.solve(np.ascontiguousarray(rhs.real), trans=trans)
             if np.any(rhs.imag):
-                imag = self._lu.solve(np.ascontiguousarray(rhs.imag))
+                imag = self._lu.solve(
+                    np.ascontiguousarray(rhs.imag), trans=trans
+                )
                 return real + 1j * imag
             return real.astype(complex)
-        return self._lu.solve(np.ascontiguousarray(rhs))
+        return self._lu.solve(np.ascontiguousarray(rhs), trans=trans)
 
 
 class ResolventFactory:
@@ -284,6 +286,35 @@ class ResolventFactory:
         else:
             w = self.schur.q.conj().T @ mat
             x = self.schur.q @ self._triangular(s, w)
+        return x[:, 0] if squeeze else x
+
+    def solve_transpose(self, s, rhs):
+        """Solve ``(s I − Aᵀ) x = rhs`` for one shift.
+
+        Reuses the same factorization as :meth:`solve`: the dense path
+        runs the transposed triangular substitution on the shared Schur
+        form; the sparse path serves ``(s I − A)ᵀ x = rhs`` from the
+        cached per-shift sparse LU via a transposed backsolve — no second
+        factorization.  This is what lets the low-rank Π Sylvester
+        iteration (:mod:`repro.linalg.sylvester`) generate its
+        ``G1ᵀ``-sided Krylov directions at circuit scale.
+        """
+        rhs = np.asarray(rhs, dtype=complex)
+        squeeze = rhs.ndim == 1
+        mat = rhs[:, None] if squeeze else rhs
+        if mat.shape[0] != self.n:
+            raise ValidationError(
+                f"rhs has {mat.shape[0]} rows, expected {self.n}"
+            )
+        with self._lock:
+            self.solve_count += mat.shape[1]
+        if self.schur is None:
+            x = self._sparse_lu(s).solve(
+                np.ascontiguousarray(mat), trans="T"
+            )
+        else:
+            # (s I − Aᵀ) x = rhs  ⇔  (Aᵀ + (−s) I) x = −rhs.
+            x = -self.schur.solve_shifted_transpose(-s, mat)
         return x[:, 0] if squeeze else x
 
     def solve_many(self, shifts, rhs):

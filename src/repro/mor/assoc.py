@@ -19,7 +19,9 @@ Two subspace strategies are provided:
   directly (paper eq. 17),
 * ``"decoupled"`` — the eq.-(18) Sylvester similarity transform, which
   splits ``A2(H2)`` into independent subsystems whose chains could be
-  generated in parallel.
+  generated in parallel.  On sparse circuit-compiled systems this is
+  also the scale path: Π is solved in factored form and every chain is
+  a sparse-``G1`` solve, so the full method runs at ``n ≫ 2000``.
 
 Multipoint (rational Krylov) expansion is supported by passing several
 ``expansion_points`` (paper §4, third bullet).
@@ -119,11 +121,14 @@ class AssociatedTransformMOR:
         Returns ``(V, details)`` where *details* records per-block vector
         counts and which transfer functions were present.
 
-        Sparse systems (CSR ``g1``) run the H1 chains through the
-        resolvent factory's sparse LU without densifying; the lifted
-        H2/H3 chains need the dense Schur machinery and densify ``G1``
-        through the workspace (size-guarded) — request
-        ``orders=(q1, 0, 0)`` to stay fully sparse at circuit scale.
+        Sparse systems (CSR ``g1``) run fully matrix-free on the
+        resolvent factory's sparse LU: the H1 chains, the eq.-(18)
+        factored-Π decoupled H2 chains and the compressed lifted H3
+        chains never densify ``G1``, so full ``orders=(q1, q2, q3)``
+        bases build at ``n ≫ 2000`` with ``strategy="decoupled"``.
+        Only ``strategy="coupled"`` still needs the dense Schur form
+        (size-guarded through the workspace) — it remains the small-n
+        reference the sparse path is tested against.
 
         All Krylov chains — per transfer function, per expansion point,
         per retained input column, and (for the decoupled strategy) per

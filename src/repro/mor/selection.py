@@ -23,6 +23,7 @@ from ..linalg.arnoldi import merge_bases
 from ..systems.lti import StateSpace
 from ..volterra.associated import (
     AssociatedWorkspace,
+    FactoredH3Realization,
     associated_h1,
     associated_h2,
     associated_h3,
@@ -40,9 +41,17 @@ def realization_hankel_values(realization, probe=8, s0=0.0):
 
     Falls back to the singular values of the projected moment matrix when
     the Krylov-compressed surrogate is not Hurwitz (rare; the projection
-    is one-sided).
+    is one-sided), and for the sparse-path
+    :class:`~repro.volterra.associated.FactoredH3Realization` — whose
+    lifted vectors exist only in compressed form, so the surrogate is
+    read off the projected chains directly.
     """
     probe = check_positive_int(probe, "probe")
+    if isinstance(realization, FactoredH3Realization):
+        moments = realization.moment_vectors(
+            probe, s0=s0, deduplicate=False
+        )
+        return np.linalg.svd(np.real(moments), compute_uv=False)
     op = realization.operator
     chains = []
     current = realization.b.astype(complex)

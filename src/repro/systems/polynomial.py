@@ -25,8 +25,9 @@ Sparsity contract (the circuit-scale fast path):
   matrix via a sparse LU without densifying ``g1``/``g2``/``g3``.
 * Densification happens only at documented seams: Galerkin projection
   (:meth:`PolynomialODE.project` — the ROM is small and dense by
-  construction), the associated-transform lifted operators
-  (:mod:`repro.volterra.associated`, which need a dense Schur form), and
+  construction), the *coupled*-strategy lifted operators
+  (:mod:`repro.volterra.associated`; the decoupled H2 / factored-Π / H3
+  machinery runs matrix-free on the sparse LU), and
   :class:`~repro.systems.descriptor.DescriptorPencil` (dense QZ).
 """
 

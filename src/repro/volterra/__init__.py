@@ -7,6 +7,7 @@ from .associated import (
     AssociatedRealization,
     AssociatedWorkspace,
     DecoupledH2Realization,
+    FactoredH3Realization,
     associated_h1,
     associated_h2,
     associated_h2_decoupled,
@@ -40,6 +41,7 @@ __all__ = [
     "AssociatedRealization",
     "AssociatedWorkspace",
     "DecoupledH2Realization",
+    "FactoredH3Realization",
     "associated_h1",
     "associated_h2",
     "associated_h2_decoupled",

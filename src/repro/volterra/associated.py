@@ -22,6 +22,15 @@ by structured operators from :mod:`repro.linalg.operators`, so the cost
 of a Krylov step is ``O(n³)``–``O(n⁴)`` time and ``O(n²)``–``O(n³)``
 memory instead of the ``O(n⁴)``/``O(n⁶)`` of naive realizations.
 
+Sparse (circuit-compiled) systems go one level further: the Π equation
+is solved in factored form (:class:`~repro.linalg.sylvester.FactoredPi`)
+on the resolvent factory's sparse LU, the decoupled-H2 chains become
+pure sparse-``G1`` solves, and the lifted H3 realization runs on
+compressed Tucker vectors (:class:`FactoredH3Realization`), so full
+``orders=(q1, q2, q3)`` NMOR reaches ``n ≫ 2000`` without ever
+densifying ``G1`` — a Krylov step then costs ``O(nnz·r + n·r²)``.  Only
+the *coupled* H2 strategy still needs the dense Schur form.
+
 A note on the ``D1`` convention: the bilinear-input kernel has support on
 the diagonal ``t1 = t2`` of the time hyperplane.  The paper's Theorem 2
 uses the delta-sieving convention, which assigns the boundary full weight
@@ -43,16 +52,24 @@ import scipy.sparse as sp
 
 from .._validation import check_positive_int
 from ..engine import SolvePlan
-from ..errors import SystemStructureError, ValidationError
+from ..errors import NumericalError, SystemStructureError, ValidationError
 from ..linalg.kronecker import kron_sum_power_matvec
 from ..linalg.operators import (
+    FactoredH3Operator,
+    LiftedH3Vector,
     QuadraticLiftedOperator,
     solve_left_kron_sum,
     solve_right_kron_sum,
 )
 from ..linalg.resolvent import ResolventFactory
 from ..linalg.schur import SchurForm
-from ..linalg.sylvester import KronSumSolver, solve_pi_sylvester
+from ..linalg.sylvester import (
+    FactoredPi,
+    FactoredTensor,
+    KronSumSolver,
+    LowRankKronSolver,
+    solve_pi_sylvester,
+)
 from ..systems.lti import StateSpace
 from .transfer import permutation_indices
 
@@ -61,6 +78,7 @@ __all__ = [
     "AssociatedRealization",
     "DecoupledH2Realization",
     "AssociatedH3Operator",
+    "FactoredH3Realization",
     "associated_h1",
     "associated_h2",
     "associated_h2_decoupled",
@@ -81,10 +99,18 @@ def _require_explicit(system):
 # ---------------------------------------------------------------------------
 
 
-#: Largest sparse system the lifted H2/H3 machinery will transparently
-#: densify for its one-time Schur factorization; the H1 chains never
-#: densify (they run on the factory's sparse LU).
+#: Largest sparse system the *dense-Schur* lifted machinery (the coupled
+#: H2 strategy, and the dense fallback when the low-rank Π iteration
+#: refuses) will transparently densify for its one-time factorization.
+#: The decoupled H2 chains, the Π solve and the lifted H3 realization no
+#: longer hit this guard on sparse systems: they run matrix-free on the
+#: factory's sparse LU (:class:`~repro.linalg.sylvester.LowRankKronSolver`,
+#: :class:`~repro.linalg.operators.FactoredH3Operator`) at any ``n``.
 _SPARSE_SCHUR_LIMIT = 2048
+
+#: Relative residual target for the low-rank Π solve (the acceptance
+#: threshold is 1e-8·‖G2‖; one order of margin).
+_PI_LOWRANK_TOL = 1e-9
 
 #: Serializes :meth:`AssociatedWorkspace.for_system` so concurrent
 #: callers observe exactly one workspace per system object.
@@ -102,10 +128,12 @@ class AssociatedWorkspace:
     distortion sweeps on that system.
 
     Sparse systems (CSR ``g1``) carry no Schur form; shifted ``G1``
-    solves (the H1 / decoupled-H2 linear chains) then route through the
-    factory's per-shift sparse LU cache via :meth:`solve_shifted` and
-    never densify.  Only the lifted Kronecker-sum machinery (coupled H2,
-    H3, the Π Sylvester solve) inherently needs the dense Schur form —
+    solves route through the factory's per-shift sparse LU cache via
+    :meth:`solve_shifted` / :meth:`solve_shifted_transpose` and never
+    densify.  The lifted machinery then runs matrix-free: :attr:`pi`
+    returns a factored Π, :attr:`lowrank_kron` serves the
+    Kronecker-sum solves behind the decoupled-H2 and H3 chains.  Only
+    the *coupled* H2 strategy still needs the dense Schur form —
     :attr:`schur` builds one lazily for moderate sizes and refuses at
     circuit scale.
     """
@@ -116,6 +144,7 @@ class AssociatedWorkspace:
         self.resolvent = ResolventFactory.for_system(system)
         self._schur = self.resolvent.schur  # None on the sparse branch
         self._kron_solver = None
+        self._lowrank = None
         self._a2_op = None
         self._pi = None
         # Guards the lazy factorizations above: engine-dispatched chain
@@ -181,25 +210,42 @@ class AssociatedWorkspace:
         g1 = self.system.g1
         return g1.toarray() if sp.issparse(g1) else g1
 
+    def _g2_dense(self):
+        g2 = self.system.g2
+        return g2.toarray() if sp.issparse(g2) else g2
+
+    @property
+    def is_sparse(self):
+        """True when the system rides the factory's sparse-LU branch.
+
+        Deliberately *not* sensitive to whether a dense Schur form was
+        lazily built later (e.g. by a coupled-strategy build): sparse
+        systems take the factored Π / compressed-H3 path consistently,
+        never by construction-order accident.
+        """
+        return self.resolvent.schur is None
+
     @property
     def schur(self):
         """The dense Schur form of ``G1`` (lazy for sparse systems).
 
-        Sparse systems build it on first access — a documented
-        densification seam needed only by the lifted H2/H3 operators —
-        and refuse beyond ``_SPARSE_SCHUR_LIMIT`` states, where the
-        Kronecker-sum machinery is intractable anyway.
+        Only the *coupled* lifted strategy still needs this on sparse
+        systems (the decoupled H2 / Π / lifted H3 machinery runs
+        matrix-free on the sparse LU); building it is a documented
+        densification seam, refused beyond ``_SPARSE_SCHUR_LIMIT``
+        states where ``strategy="decoupled"`` is the supported path.
         """
         with self._lazy_lock:
             if self._schur is None:
                 n = self.system.n_states
                 if n > _SPARSE_SCHUR_LIMIT:
                     raise SystemStructureError(
-                        f"the lifted H2/H3 realizations need a dense "
-                        f"Schur form of G1, which would densify a sparse "
-                        f"{n}-state system; restrict sparse systems of "
-                        f"this size to H1 moments (orders=(q1, 0, 0)) or "
-                        f"compile the circuit dense"
+                        f"the coupled lifted H2/H3 realization needs a "
+                        f"dense Schur form of G1, which would densify a "
+                        f"sparse {n}-state system; use the decoupled "
+                        f"strategy (low-rank Pi + matrix-free chains), "
+                        f"restrict to H1 moments (orders=(q1, 0, 0)), "
+                        f"or compile the circuit dense"
                     )
                 self._schur = SchurForm(self._g1_dense())
             return self._schur
@@ -216,6 +262,37 @@ class AssociatedWorkspace:
         return -self.resolvent.solve(
             -shift, np.asarray(rhs, dtype=complex)
         )
+
+    def solve_shifted_transpose(self, shift, rhs):
+        """Solve ``(G1ᵀ + shift·I) x = rhs`` without densifying.
+
+        The sparse branch reuses the factory's per-shift LU through a
+        transposed backsolve (no second factorization) — the primitive
+        behind the Π iteration's ``G1ᵀ``-sided Krylov directions.
+        """
+        if self._schur is not None:
+            return self._schur.solve_shifted_transpose(shift, rhs)
+        return -self.resolvent.solve_transpose(
+            -shift, np.asarray(rhs, dtype=complex)
+        )
+
+    @property
+    def lowrank_kron(self):
+        """Shared low-rank Kronecker-sum solver (lazy; sparse path).
+
+        One growing extended-Krylov basis serves every decoupled-H2 and
+        lifted-H3 chain of this workspace, so consecutive moment steps
+        (whose right-hand sides live in the previous step's basis)
+        converge in a single projection.
+        """
+        with self._lazy_lock:
+            if self._lowrank is None:
+                self._lowrank = LowRankKronSolver(
+                    self.system.g1,
+                    self.solve_shifted,
+                    self.solve_shifted_transpose,
+                )
+            return self._lowrank
 
     @property
     def kron_solver(self):
@@ -247,7 +324,18 @@ class AssociatedWorkspace:
 
     @property
     def pi(self):
-        """Solution of ``G1 Π + G2 = Π (G1 ⊕ G1)`` (lazy, cached)."""
+        """Solution of ``G1 Π + G2 = Π (G1 ⊕ G1)`` (lazy, cached).
+
+        Dense systems get the dense ``(n, n²)`` matrix from the shared
+        Schur sweep.  Sparse systems get a
+        :class:`~repro.linalg.sylvester.FactoredPi` from the low-rank
+        right-Galerkin iteration on the factory's sparse LU — ``G1`` is
+        never densified.  When that iteration refuses (a ``G2`` whose
+        lifted-side fibers are not low-rank, or a Π equation without
+        spectral separation) the dense path is used as a fallback up to
+        ``_SPARSE_SCHUR_LIMIT`` states, beyond which the failure is
+        reported as-is.
+        """
         with self._lazy_lock:
             if self._pi is None:
                 system = self.system
@@ -255,9 +343,27 @@ class AssociatedWorkspace:
                     raise SystemStructureError(
                         "system has no quadratic term; Π is undefined"
                     )
+                if self.is_sparse:
+                    try:
+                        self._pi = self.lowrank_kron.solve_pi(
+                            system.g2, tol=_PI_LOWRANK_TOL
+                        )
+                        return self._pi
+                    except NumericalError as exc:
+                        n = system.n_states
+                        if n > _SPARSE_SCHUR_LIMIT:
+                            raise SystemStructureError(
+                                f"the low-rank Pi solve failed for this "
+                                f"sparse {n}-state system ({exc}) and "
+                                f"the dense Schur fallback would "
+                                f"densify it; the eq.-(18) decoupling "
+                                f"needs either a low-rank G2 with a "
+                                f"spectrally separated G1, or a dense "
+                                f"compile"
+                            ) from exc
                 self._pi = solve_pi_sylvester(
                     self._g1_dense(),
-                    system.g2.toarray(),
+                    self._g2_dense(),
                     solver=self.kron_solver,
                 )
             return self._pi
@@ -468,10 +574,10 @@ class _G1Operator:
         return self.workspace.solve_shifted(shift, rhs)
 
     def solve_shifted_transpose(self, shift, rhs):
-        # Transpose solves are only used by the dense lifted machinery;
-        # for sparse systems this lazily builds the (size-guarded) Schur
-        # form.
-        return self.workspace.schur.solve_shifted_transpose(shift, rhs)
+        # Routed through the workspace: shared Schur form when dense, a
+        # transposed backsolve on the factory's sparse LU when sparse —
+        # no densification either way.
+        return self.workspace.solve_shifted_transpose(shift, rhs)
 
     def dense(self):
         return self.g1.toarray() if sp.issparse(self.g1) else self.g1.copy()
@@ -524,18 +630,47 @@ class DecoupledH2Realization:
 
     whose Krylov chains can be generated separately (the paper notes this
     enables parallel subspace construction).
+
+    Dense workspaces run the Kronecker-sum chains through the shared
+    Schur form; sparse workspaces hold a factored Π and run them through
+    the low-rank solver — every large-``n`` operation is then a sparse
+    ``G1`` solve, and nothing ``n²``-sided is ever materialized densely.
     """
 
     def __init__(self, workspace):
         self.workspace = workspace
         self.pi = workspace.pi
-        self.bbs = workspace.b_kron_sym()
+        self.factored = isinstance(self.pi, FactoredPi)
         self.md = workspace.d1_coupling()
-        self.seed_linear = self.md - self.pi @ self.bbs
+        if self.factored:
+            # Column-wise Π application on the rank-≤2 factored columns
+            # of sym(B⊗B): the dense (n², m²) Kronecker product is never
+            # formed on the sparse path.
+            self.bbs = None
+            seed = np.empty_like(self.md)
+            for col in range(self.n_cols):
+                seed[:, col] = self.pi.apply_factored(
+                    self._bbs_tensor(col)
+                )
+            self.seed_linear = self.md - seed
+        else:
+            self.bbs = workspace.b_kron_sym()
+            self.seed_linear = self.md - self.pi @ self.bbs
 
     @property
     def n_cols(self):
-        return self.bbs.shape[1]
+        return self.workspace.m ** 2
+
+    def _bbs_tensor(self, col):
+        """Column *col* of ``sym(B ⊗ B)`` as a rank-≤2 2-mode tensor."""
+        ws = self.workspace
+        b = ws.system.b
+        p, q = divmod(col, ws.m)
+        if p == q:
+            return FactoredTensor.rank_one([b[:, p], b[:, p]])
+        f = b[:, [p, q]]
+        core = np.array([[0.0, 0.5], [0.5, 0.0]])
+        return FactoredTensor(core, [f, f])
 
     def eval(self, s):
         """Evaluate ``H2(s)`` by summing the two subsystem responses."""
@@ -543,7 +678,12 @@ class DecoupledH2Realization:
         term1 = -ws.solve_shifted(-s, self.seed_linear.astype(complex))
         out = np.empty_like(term1)
         for col in range(self.n_cols):
-            x = ws.kron_solver.solve(self.bbs[:, col], k=2, shift=-s)
+            if self.factored:
+                x = ws.lowrank_kron.solve(
+                    self._bbs_tensor(col), k=2, shift=-s
+                )
+            else:
+                x = ws.kron_solver.solve(self.bbs[:, col], k=2, shift=-s)
             out[:, col] = -(self.pi @ x)
         return term1 + out
 
@@ -562,6 +702,13 @@ class DecoupledH2Realization:
         """Chain on subsystem 2: ``(sI − G1 ⊕ G1)^{-1}`` projected back
         through Π."""
         ws = self.workspace
+        if self.factored:
+            current = self._bbs_tensor(col)
+            vectors = []
+            for _ in range(count):
+                current = ws.lowrank_kron.solve(current, k=2, shift=-s0)
+                vectors.append(self.pi @ current)
+            return vectors
         current = self.bbs[:, col].astype(complex)
         vectors = []
         for _ in range(count):
@@ -586,7 +733,10 @@ class DecoupledH2Realization:
             cols = _unique_symmetric_columns(ws.m, 2)
         else:
             cols = list(range(self.n_cols))
-        ws.kron_solver  # force the shared lazy factorization
+        if self.factored:
+            ws.lowrank_kron  # force the shared lazy solver
+        else:
+            ws.kron_solver  # force the shared lazy factorization
         tasks = []
         for col in cols:
             tasks.append((0, partial(self._linear_chain, col, count, s0)))
@@ -783,15 +933,11 @@ class AssociatedH3Operator:
         return out
 
 
-def _h3_input_matrix(workspace, op):
-    """Assemble the ``B3`` input matrix of the ``A3(H3)`` realization."""
+def _h3_top_block(workspace):
+    """Top (state-space) block of ``B3``: the associated D1 contribution
+    ``(1/3) Σ_k D1_{p_k} · h2bar(0)[:, pair]`` with ``h2bar(0) = MD``."""
     system = workspace.system
     n, m = workspace.n, workspace.m
-    b = system.b
-    pieces = []
-
-    # Top block: the associated D1 contribution (constant in s):
-    # (1/3) Σ_k D1_{p_k} · h2bar(0)[:, pair], with h2bar(0) = MD.
     top = np.zeros((n, m**3))
     if system.d1 is not None:
         md = workspace.d1_coupling()
@@ -806,7 +952,15 @@ def _h3_input_matrix(workspace, op):
                     system.d1[u_idx] @ md[:, a_idx * m + b_idx]
                 )
         top /= 3.0
-    pieces.append(top)
+    return top
+
+
+def _h3_input_matrix(workspace, op):
+    """Assemble the ``B3`` input matrix of the ``A3(H3)`` realization."""
+    system = workspace.system
+    m = workspace.m
+    b = system.b
+    pieces = [_h3_top_block(workspace)]
 
     def _perm_sum(mat, perms):
         """``mat @ Σ_perms P`` via column indexing, no dense matmuls."""
@@ -837,16 +991,170 @@ def _h3_input_matrix(workspace, op):
     return np.vstack(pieces)
 
 
+def _sym_pair_tensor(lead_vec, u, v, lead, weight):
+    """``weight · lead_vec ⊗ sym(u ⊗ v)`` as a 3-mode Tucker tensor.
+
+    The symmetrized pair sits on the two non-*lead* modes; *lead* is 0
+    (b-block layout, pair trailing) or 2 (c-block layout, pair leading).
+    """
+    fuv = np.column_stack([u, v])
+    core2 = np.array([[0.0, 0.5], [0.5, 0.0]]) * weight
+    lv = np.asarray(lead_vec).reshape(-1, 1)
+    if lead == 0:
+        return FactoredTensor(core2[None, :, :], [lv, fuv, fuv])
+    return FactoredTensor(core2[:, :, None], [fuv, fuv, lv])
+
+
+class FactoredH3Realization:
+    """Sparse-path realization of ``A3(H3)`` on compressed vectors.
+
+    The circuit-scale counterpart of wrapping
+    :class:`AssociatedH3Operator` in an :class:`AssociatedRealization`:
+    same moment-chain / evaluation semantics, but the lifted state
+    travels as :class:`~repro.linalg.operators.LiftedH3Vector` Tucker
+    factors and every solve goes through
+    :class:`~repro.linalg.operators.FactoredH3Operator` on ``G1``'s
+    sparse LU — a lifted dimension of ``n + 2nN + n³ ≈ 2·10¹⁰`` at
+    ``n = 2048`` is never instantiated.  The ``B3`` input columns are
+    assembled directly in factored form from their Kronecker structure
+    (``B ⊗ b̃2`` columns are rank-≤2 per block).
+    """
+
+    input_arity = 3
+
+    def __init__(self, workspace):
+        system = workspace.system
+        self.workspace = workspace
+        self.operator = FactoredH3Operator(
+            system.g1,
+            system.g2,
+            system.g3,
+            workspace.lowrank_kron,
+            workspace.solve_shifted,
+        )
+        self.n_top = workspace.n
+        self.n_inputs = workspace.m
+        self.columns = self._build_columns()
+
+    @property
+    def dim(self):
+        return self.operator.dim
+
+    @property
+    def n_cols(self):
+        return len(self.columns)
+
+    def _build_columns(self):
+        ws = self.workspace
+        system = ws.system
+        n, m = ws.n, ws.m
+        b = system.b
+        op = self.operator
+        top = _h3_top_block(ws)
+        md = ws.d1_coupling() if op.has_quad else None
+        columns = []
+        for col in range(m**3):
+            t = ((col // (m * m)) % m, (col // m) % m, col % m)
+            b1 = b2 = c1 = c2 = d = None
+            if op.has_quad:
+                b1 = FactoredTensor.zeros((n, n))
+                b2 = FactoredTensor.zeros((n, n, n))
+                c1 = FactoredTensor.zeros((n, n))
+                c2 = FactoredTensor.zeros((n, n, n))
+                # Left block: (1/3)(B ⊗ b̃2) Σᵢ P — source column
+                # (p, (q, r)) = permuted input triple.
+                for perm in ((0, 1, 2), (1, 0, 2), (2, 0, 1)):
+                    p_, q_, r_ = (t[perm[0]], t[perm[1]], t[perm[2]])
+                    b1 = b1.add(FactoredTensor.rank_one(
+                        [b[:, p_], md[:, q_ * m + r_]], weight=1.0 / 3.0
+                    ))
+                    b2 = b2.add(_sym_pair_tensor(
+                        b[:, p_], b[:, q_], b[:, r_], lead=0,
+                        weight=1.0 / 3.0,
+                    ))
+                # Right block: (1/3)(b̃2 ⊗ B) Σᵢ P — source column
+                # ((u0, u1), u2).
+                for perm in ((1, 2, 0), (0, 2, 1), (0, 1, 2)):
+                    u0, u1, u2 = (t[perm[0]], t[perm[1]], t[perm[2]])
+                    c1 = c1.add(FactoredTensor.rank_one(
+                        [md[:, u0 * m + u1], b[:, u2]], weight=1.0 / 3.0
+                    ))
+                    c2 = c2.add(_sym_pair_tensor(
+                        b[:, u2], b[:, u0], b[:, u1], lead=2,
+                        weight=1.0 / 3.0,
+                    ))
+                b1, b2 = b1.compress(), b2.compress()
+                c1, c2 = c1.compress(), c2.compress()
+            if op.has_cubic:
+                d = FactoredTensor.zeros((n, n, n))
+                for perm in itertools.permutations(range(3)):
+                    d = d.add(FactoredTensor.rank_one(
+                        [b[:, t[perm[0]]], b[:, t[perm[1]]],
+                         b[:, t[perm[2]]]],
+                        weight=1.0 / 6.0,
+                    ))
+                d = d.compress()
+            columns.append(
+                LiftedH3Vector(top[:, col], b1=b1, b2=b2, c1=c1, c2=c2,
+                               d=d)
+            )
+        return columns
+
+    def project_top(self, vec):
+        """Output map ``c̃ = [I_n, 0, ...]``: the dense top block."""
+        return np.asarray(vec.a).reshape(-1)[: self.n_top]
+
+    def eval(self, s):
+        """Evaluate ``A3(H3)(s)`` — an ``(n, m³)`` complex matrix."""
+        out = np.empty((self.n_top, self.n_cols), dtype=complex)
+        for col in range(self.n_cols):
+            x = self.operator.solve_shifted(-s, self.columns[col])
+            out[:, col] = -self.project_top(x)
+        return out
+
+    def _moment_chain(self, col, count, s0):
+        """One column's shift-invert chain on compressed vectors."""
+        current = self.columns[col]
+        vectors = []
+        for _ in range(count):
+            current = self.operator.solve_shifted(-s0, current)
+            vectors.append(self.project_top(current).copy())
+        return vectors
+
+    def chain_tasks(self, count, s0=0.0, deduplicate=True):
+        """Independent per-column chain callables (engine contract)."""
+        count = check_positive_int(count, "count")
+        if deduplicate:
+            cols = _unique_symmetric_columns(self.n_inputs, 3)
+        else:
+            cols = list(range(self.n_cols))
+        return [partial(self._moment_chain, col, count, s0) for col in cols]
+
+    def moment_vectors(self, count, s0=0.0, deduplicate=True):
+        """Projected shift-invert chains (see
+        :meth:`AssociatedRealization.moment_vectors`)."""
+        plan = SolvePlan("associated.moment_vectors[factored-h3]")
+        for fn in self.chain_tasks(count, s0=s0, deduplicate=deduplicate):
+            plan.add(fn)
+        chains = plan.execute()
+        return np.column_stack([v for chain in chains for v in chain])
+
+
 def associated_h3(system, workspace=None):
     """Realization of ``A3(H3)`` (paper §2.2 plus the cubic extension).
 
     Returns ``None`` when ``H3 ≡ 0`` (no quadratic, bilinear or cubic
-    terms).
+    terms).  Sparse systems get the matrix-free
+    :class:`FactoredH3Realization` (compressed lifted vectors on the
+    resolvent factory's sparse LU — ``G1`` is never densified); dense
+    systems keep the Schur-based block operator.
     """
     workspace = workspace or AssociatedWorkspace.for_system(system)
     system = workspace.system
     if system.g2 is None and system.g3 is None:
         return None
+    if workspace.is_sparse:
+        return FactoredH3Realization(workspace)
     op = AssociatedH3Operator(workspace)
     b3 = _h3_input_matrix(workspace, op)
     return AssociatedRealization(
