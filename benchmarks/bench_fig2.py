@@ -7,22 +7,19 @@ the D1 term), reduced to a ~13th-order ROM by matching 6 moments of H1,
 * Fig. 2(b): transient response of the full model vs the proposed ROM,
 * Fig. 2(c): the peak-normalized relative error trace.
 
-The benchmark-timed kernel is the projection-basis construction (the
-paper's "Arnoldi" phase).
+The reduce → simulate → compare orchestration runs through
+:func:`repro.pipeline.run_pipeline` (one declarative call, the same
+path the CLI uses); the benchmark-timed kernel is that whole pipeline,
+with the projection-basis construction (the paper's "Arnoldi" phase)
+reported separately from ``rom.build_time``.
 """
 
 import numpy as np
 import pytest
 
-from repro.analysis import (
-    format_table,
-    max_relative_error,
-    relative_error_trace,
-    series_summary,
-)
+from repro.analysis import format_table, relative_error_trace, series_summary
 from repro.circuits import nonlinear_transmission_line
-from repro.mor import AssociatedTransformMOR
-from repro.simulation import simulate, sine_source
+from repro.pipeline import run_pipeline
 
 from .conftest import paper_scale
 
@@ -47,31 +44,44 @@ def system():
 
 
 def test_fig2_transient_and_error(system, benchmark):
-    reducer = AssociatedTransformMOR(
-        orders=ORDERS, expansion_points=(EXPANSION,)
-    )
-    rom = benchmark.pedantic(
-        lambda: reducer.reduce(system), rounds=1, iterations=1
-    )
-    assert rom.order <= 16
-
     # Drive level chosen so node voltages stay in the paper's Fig-2
     # range (|v| < 0.08 V): with i_D = e^{40 v}, a 0.15 V swing is deep
     # saturation and outside any Volterra model's validity.
-    u = sine_source(amplitude=0.08, frequency=0.08)
-    full = simulate(system, u, T_END, DT)
-    red = simulate(rom.system, u, T_END, DT)
-    err_trace = relative_error_trace(full.output(0), red.output(0))
+    result = benchmark.pedantic(
+        lambda: run_pipeline(
+            system,
+            reduce={"orders": ORDERS, "expansion_points": (EXPANSION,)},
+            transient={
+                "source": {
+                    "kind": "sine", "amplitude": 0.08, "frequency": 0.08,
+                },
+                "t_end": T_END,
+                "dt": DT,
+                "compare_full": True,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rom = result.rom
+    assert rom.order <= 16
+
+    transient = result.transient
+    err_trace = relative_error_trace(
+        transient["full_output"], transient["output"]
+    )
     err = float(err_trace.max())
+    times = transient["times"]
 
     print()
     print("=" * 70)
     print(f"FIG 2 | NTL + voltage source | lifted dim {system.n_states} "
           f"(paper: 100 stages), D1 present: {system.d1 is not None}")
     print("=" * 70)
-    print(series_summary("Fig2(b) original ", full.times, full.output(0)))
-    print(series_summary("Fig2(b) ROM      ", red.times, red.output(0)))
-    print(series_summary("Fig2(c) rel error", full.times, err_trace))
+    print(series_summary("Fig2(b) original ", times,
+                         transient["full_output"]))
+    print(series_summary("Fig2(b) ROM      ", times, transient["output"]))
+    print(series_summary("Fig2(c) rel error", times, err_trace))
     print(format_table(
         ["quantity", "paper", "measured"],
         [
@@ -83,4 +93,4 @@ def test_fig2_transient_and_error(system, benchmark):
         title="Fig. 2 summary",
     ))
     assert err < 0.02, "Fig-2 ROM accuracy regressed"
-    assert np.isfinite(red.states).all()
+    assert np.isfinite(transient["output"]).all()

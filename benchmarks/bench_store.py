@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Serving benchmark: warm ModelStore query vs cold reduce-and-sweep.
+
+The whole point of the artifact layer is the paper's offline/online
+split across *processes*: pay for the reduction once, then serve every
+later distortion query from disk.  This bench measures exactly that on
+the circuit-scale sparse ladder:
+
+* **cold** — empty store: ``run_pipeline`` compiles the netlist, runs
+  the full ``orders=(3, 2, 1)`` decoupled NMOR (low-rank Π, matrix-free
+  chains), writes the artifact, then answers the HD2/HD3 sweep on the
+  ROM;
+* **warm** — a fresh :class:`~repro.store.ModelStore` handle on the
+  same directory (as a new serving process would open): the reduction
+  is a content-addressed disk hit and only the small-ROM sweep runs.
+
+Warm and cold answers must agree to 1e-12 — the artifact round-trip is
+bit-faithful on the kernel-defining matrices.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py [n_states]
+
+Appends one run entry to ``benchmarks/BENCH_sweep.json`` (see
+``perf_log.py``).  ``REPRO_BENCH_QUICK=1`` shrinks the circuit for CI
+smoke.
+"""
+
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf_log import append_run  # noqa: E402
+from repro.circuits.examples import quadratic_rc_ladder_netlist  # noqa: E402
+from repro.pipeline import run_pipeline  # noqa: E402
+from repro.store import ModelStore  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+DEFAULT_N = 1024
+SWEEP = {"start": 0.05, "stop": 0.5, "points": 8, "amplitude": 0.05}
+REDUCE = {"orders": (3, 2, 1), "strategy": "decoupled"}
+
+
+def _quick():
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def make_netlist(n_nodes):
+    """Sep-healthy low-rank-G2 ladder (the lifted-sparse bench circuit)."""
+    return quadratic_rc_ladder_netlist(
+        n_nodes, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=8
+    )
+
+
+def run_store_case(n_nodes=DEFAULT_N, store_root=None):
+    """Cold reduce-and-sweep vs warm-store query on one circuit.
+
+    Returns the timing/fidelity record appended to the perf log.  Each
+    phase opens its *own* ``ModelStore`` handle on the shared directory,
+    mimicking separate serving processes.
+    """
+    net = make_netlist(n_nodes)
+    owns_root = store_root is None
+    root = store_root or tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        t0 = time.perf_counter()
+        cold = run_pipeline(
+            net, reduce=REDUCE, sweep=SWEEP,
+            store=ModelStore(root), sparse=True,
+        )
+        cold_s = time.perf_counter() - t0
+        assert cold.store_hit is False
+
+        t0 = time.perf_counter()
+        warm = run_pipeline(
+            net, reduce=REDUCE, sweep=SWEEP,
+            store=ModelStore(root), sparse=True,
+        )
+        warm_s = time.perf_counter() - t0
+        assert warm.store_hit is True
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+    agreement = float(
+        max(
+            np.abs(warm.sweep["hd2"] - cold.sweep["hd2"]).max(),
+            np.abs(warm.sweep["hd3"] - cold.sweep["hd3"]).max(),
+        )
+    )
+    return {
+        "n_states": int(cold.system_info["n_states"]),
+        "sparse": bool(cold.system_info["sparse"]),
+        "orders": list(REDUCE["orders"]),
+        "strategy": REDUCE["strategy"],
+        "sweep_points": int(SWEEP["points"]),
+        "rom_order": int(cold.rom.order),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "cold_reduce_s": cold.reduce_time,
+        "warm_reduce_s": warm.reduce_time,
+        "max_abs_disagreement": agreement,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+
+def test_warm_store_speedup():
+    from repro.analysis import format_table
+
+    n = 256 if _quick() else DEFAULT_N
+    result = run_store_case(n_nodes=n)
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [[k, v] for k, v in result.items()],
+        title=f"BENCH store | sparse ladder n={result['n_states']}",
+    ))
+    assert result["max_abs_disagreement"] < 1e-12
+    assert result["speedup"] > 5.0, (
+        f"warm store query only {result['speedup']:.2f}x faster"
+    )
+
+
+def main():
+    n = DEFAULT_N
+    if len(sys.argv) > 1:
+        n = int(sys.argv[1])
+    if _quick() and n == DEFAULT_N:
+        n = 256
+    print(f"cold vs warm store serving on the sparse ladder (n={n}) ...")
+    result = run_store_case(n_nodes=n)
+    print(
+        "  cold {cold_s:.3f}s -> warm {warm_s:.3f}s ({speedup:.1f}x, "
+        "max |Δ| {max_abs_disagreement:.2e})".format(**result)
+    )
+    run = {
+        "meta": {
+            "bench": "bench_store",
+            "generated_unix": time.time(),
+            "quick_scale": _quick(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "warm_store_serving": result,
+    }
+    count = append_run(OUT_PATH, run)
+    print(f"appended run {count} to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

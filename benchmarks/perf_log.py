@@ -5,11 +5,91 @@ one entry per benchmark invocation, so the perf trajectory accumulates
 across PRs instead of each run overwriting the last — regressions stay
 visible by diffing consecutive entries.  Files written by the original
 single-run format are wrapped into the list on first append.
+
+Appends are crash- and concurrency-safe: the read-modify-write runs
+under an exclusive ``.lock`` file (``fcntl.flock`` where available,
+``O_CREAT | O_EXCL`` spin elsewhere) and the new content lands via a
+temp file + ``os.replace``, so two benchmark runs can no longer
+interleave and corrupt the trajectory, and a crash mid-write leaves
+the previous file intact.
 """
 
+import contextlib
 import json
+import os
+import tempfile
+import time
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to O_EXCL spinning
+    fcntl = None
 
 __all__ = ["append_run", "load_runs"]
+
+#: Give up waiting for a concurrent appender after this many seconds —
+#: a run entry is a few KB of JSON, so a healthy holder is gone in
+#: milliseconds; a stale lock means a crashed O_EXCL holder.
+_LOCK_TIMEOUT_S = 30.0
+
+
+@contextlib.contextmanager
+def _exclusive_lock(path):
+    """Hold ``<path>.lock`` exclusively for the duration of the block."""
+    lock_path = f"{path}.lock"
+    if fcntl is not None:
+        # flock: kernel-owned, so the lock dies with the process — a
+        # crashed holder can never wedge later benchmark runs.
+        handle = open(lock_path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+        return
+    # Portable fallback: atomically create the lock file, spin while a
+    # competitor holds it, break stale locks.  Staleness is judged by
+    # the lock file's own age (its mtime is set at acquisition), never
+    # by how long *this* waiter has waited, and breaking goes through
+    # an atomic rename-claim: at most one waiter wins the rename of any
+    # given lock file, and the claim is re-verified (and restored if a
+    # fresh lock was swept up in the stat→rename window) before it is
+    # discarded.  Best effort — unlike flock, O_EXCL cannot tie the
+    # lock's lifetime to the holder process.
+    claim_path = f"{lock_path}.stale.{os.getpid()}"
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - os.stat(lock_path).st_mtime
+            except OSError:
+                age = 0.0  # holder released between open and stat
+            if age > _LOCK_TIMEOUT_S:
+                try:
+                    os.replace(lock_path, claim_path)
+                    if (
+                        time.time() - os.stat(claim_path).st_mtime
+                        > _LOCK_TIMEOUT_S
+                    ):
+                        os.unlink(claim_path)  # confirmed stale: break it
+                    else:
+                        # A fresh lock slipped into the stat→rename
+                        # window: hand it back.
+                        os.replace(claim_path, lock_path)
+                except OSError:
+                    pass  # another waiter won the claim
+            time.sleep(0.05)
+    try:
+        yield
+    finally:
+        os.close(fd)
+        try:
+            os.unlink(lock_path)
+        except OSError:
+            pass
 
 
 def load_runs(path):
@@ -51,8 +131,31 @@ def load_runs(path):
 
 
 def append_run(path, run):
-    """Append *run* to the keyed run list in *path*; returns the count."""
-    runs = load_runs(path)
-    runs.append(run)
-    path.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
-    return len(runs)
+    """Append *run* to the keyed run list in *path*; returns the count.
+
+    The whole read-modify-write cycle holds the trajectory's exclusive
+    lock, and the updated document is written to a temp file in the
+    same directory and moved into place with ``os.replace`` — two
+    concurrent bench runs serialize (both entries land) and a crash at
+    any point leaves either the old or the new complete file.
+    """
+    with _exclusive_lock(path):
+        runs = load_runs(path)
+        runs.append(run)
+        text = json.dumps({"runs": runs}, indent=2) + "\n"
+        directory = os.path.dirname(os.fspath(path)) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(os.fspath(path)) + ".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return len(runs)

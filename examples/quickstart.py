@@ -1,53 +1,60 @@
-"""Quickstart: reduce a weakly nonlinear circuit in five lines.
+"""Quickstart: reduce a weakly nonlinear circuit in one pipeline call.
 
-Builds a 70-node RC ladder with quadratic shunt conductances (a QLDAE),
-reduces it with the paper's associated-transform method, and compares a
-step-response transient of the full model against the ROM.
+Builds a 70-node RC ladder with quadratic shunt conductances (a QLDAE)
+and hands it to :func:`repro.pipeline.run_pipeline`, which runs the
+paper's associated-transform reduction and a step-response transient of
+ROM vs full model in one declarative call — the same orchestration the
+``python -m repro`` CLI exposes (try it on the shipped spec:
+``python -m repro sweep examples/specs/rc_ladder.json``).
 
 Run:  python examples/quickstart.py
 """
 
 import os
 
-import numpy as np
-
 #: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
 #: every example runs headless in seconds without changing its story.
 QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
 
-from repro.analysis import max_relative_error, series_summary
-from repro.circuits import quadratic_rc_ladder
-from repro.mor import AssociatedTransformMOR
-from repro.simulation import simulate, step_source
+from repro.analysis import series_summary
+from repro.circuits import quadratic_rc_ladder_netlist
+from repro.pipeline import run_pipeline
 
 
 def main():
     # 1. A nonlinear system: 70 states, quadratic nonlinearities.
-    system = quadratic_rc_ladder(n_nodes=24 if QUICK else 70)
-    print(f"full system : {system}")
+    netlist = quadratic_rc_ladder_netlist(n_nodes=24 if QUICK else 70)
 
-    # 2. Reduce: match 6 moments of H1(s), 3 of A2(H2)(s) — the
-    #    associated transform makes H2 a *single-s* linear system, so
-    #    this costs 9 Krylov vectors instead of NORM's O(6 + 3^3).
-    reducer = AssociatedTransformMOR(orders=(6, 3, 0))
-    rom = reducer.reduce(system)
+    # 2. One declarative call: compile -> reduce (6 moments of H1,
+    #    3 of A2(H2) — the associated transform makes H2 a *single-s*
+    #    linear system, so this costs 9 Krylov vectors instead of
+    #    NORM's O(6 + 3^3)) -> step transient of ROM vs full model.
+    result = run_pipeline(
+        netlist,
+        reduce=(6, 3, 0),
+        transient={
+            "source": {"kind": "step", "amplitude": 0.25},
+            "t_end": 2.0 if QUICK else 10.0,
+            "dt": 0.02,
+            "compare_full": True,
+        },
+    )
+
+    rom = result.rom
+    print(f"full system : {result.system}")
     print(f"reduced     : order {rom.order} (from {rom.full_order}), "
           f"built in {rom.build_time:.3f}s")
 
-    # 3. Simulate both under a step input.
-    u = step_source(0.25)
-    t_end = 2.0 if QUICK else 10.0
-    full = simulate(system.to_explicit(), u, t_end=t_end, dt=0.02)
-    red = simulate(rom.system, u, t_end=t_end, dt=0.02)
-
-    # 4. Compare.
-    err = max_relative_error(full.output(0), red.output(0))
+    # 3. Compare (the pipeline already integrated both).
+    transient = result.transient
+    err = transient["max_rel_error"]
+    times = transient["times"]
     print()
-    print(series_summary("full  v1(t)", full.times, full.output(0)))
-    print(series_summary("ROM   v1(t)", red.times, red.output(0)))
+    print(series_summary("full  v1(t)", times, transient["full_output"]))
+    print(series_summary("ROM   v1(t)", times, transient["output"]))
     print(f"\nmax relative error (peak-normalized): {err:.2e}")
-    print(f"full-model ODE solve: {full.wall_time:.3f}s, "
-          f"ROM: {red.wall_time:.3f}s")
+    print(f"full-model ODE solve: {transient['full']['wall_time_s']:.3f}s, "
+          f"ROM: {transient['wall_time_s']:.3f}s")
     assert err < 1e-2, "quickstart accuracy regression"
 
 

@@ -1,0 +1,88 @@
+"""Served sweep: cold reduce vs warm-store query.
+
+The paper's offline/online split, made persistent: the first
+``run_pipeline`` call on a circuit pays for the full circuit-scale NMOR
+(sparse MNA, low-rank Π, matrix-free lifted chains) and records the
+resulting :class:`~repro.store.ReductionArtifact` in a content-addressed
+:class:`~repro.store.ModelStore`.  Every later call — here simulated by
+a *fresh* store handle, as a new serving process would open — fingerprints
+the system, hits the store, reloads the ROM from disk and answers the
+distortion sweep on it in milliseconds.  Change one device value and the
+fingerprint (hence the key) changes: the store can never serve a stale
+reduction.
+
+Run:  python examples/served_sweep.py
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
+
+from repro.circuits import quadratic_rc_ladder_netlist
+from repro.pipeline import run_pipeline
+from repro.store import ModelStore
+
+N_NODES = 256 if QUICK else 1024
+REDUCE = {"orders": (3, 2, 1), "strategy": "decoupled"}
+SWEEP = {"start": 0.05, "stop": 0.5, "points": 8, "amplitude": 0.05}
+
+
+def main():
+    # Sep-healthy low-rank-G2 ladder: the circuit-scale regime the
+    # factored-Π machinery is built for (see the netlist docstring).
+    netlist = quadratic_rc_ladder_netlist(
+        N_NODES, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=8
+    )
+    root = tempfile.mkdtemp(prefix="repro-served-sweep-")
+    try:
+        t0 = time.perf_counter()
+        cold = run_pipeline(
+            netlist, reduce=REDUCE, sweep=SWEEP,
+            store=ModelStore(root), sparse=True,
+        )
+        cold_s = time.perf_counter() - t0
+        print(f"cold: compile + reduce n={cold.system_info['n_states']} "
+              f"-> ROM order {cold.rom.order}, sweep "
+              f"{len(cold.sweep['omegas'])} points: {cold_s:.3f}s "
+              f"(store hit: {cold.store_hit})")
+
+        # A fresh ModelStore handle on the same directory — the
+        # "second process" serving the same circuit.
+        t0 = time.perf_counter()
+        warm = run_pipeline(
+            netlist, reduce=REDUCE, sweep=SWEEP,
+            store=ModelStore(root), sparse=True,
+        )
+        warm_s = time.perf_counter() - t0
+        print(f"warm: same query from the store:                  "
+              f"{warm_s:.3f}s (store hit: {warm.store_hit})")
+
+        drift = max(
+            np.abs(warm.sweep["hd2"] - cold.sweep["hd2"]).max(),
+            np.abs(warm.sweep["hd3"] - cold.sweep["hd3"]).max(),
+        )
+        print(f"\nspeedup {cold_s / warm_s:.1f}x, max |Δ(HD)| {drift:.2e}")
+        provenance = warm.artifact.provenance
+        print(f"artifact: schema {provenance['schema']}, basis "
+              f"{provenance['basis_hash'][:12]}…, built by repro "
+              f"{provenance['library_version']}")
+        assert warm.store_hit is True
+        assert drift < 1e-12, "warm store answer drifted"
+        # Wall-clock ratios are asserted only at full scale: the CI
+        # smoke run (QUICK, shared runners) checks correctness, the
+        # timing bar lives in benchmarks/bench_store.py.
+        if not QUICK:
+            assert cold_s / warm_s > 5.0, "store serving speedup regressed"
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

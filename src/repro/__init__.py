@@ -7,13 +7,17 @@ Functions", DAC 2012, pp. 289-294.
 
 Quickstart
 ----------
->>> from repro.circuits import nonlinear_transmission_line
->>> from repro.mor import AssociatedTransformMOR
->>> from repro.simulation import simulate, step_source
->>> system = nonlinear_transmission_line(20).quadratic_linearize()
->>> rom = AssociatedTransformMOR(orders=(4, 2, 0)).reduce(system)
->>> result = simulate(rom.system, step_source(0.1), t_end=5.0, dt=0.01)
+>>> from repro.circuits import quadratic_rc_ladder_netlist
+>>> from repro.pipeline import run_pipeline
+>>> result = run_pipeline(
+...     quadratic_rc_ladder_netlist(70),
+...     reduce=(6, 3, 0),
+...     sweep={"start": 0.02, "stop": 0.5, "points": 25},
+...     store="./models",          # reuse the reduction across runs
+... )
+>>> result.report()["sweep"]["hd2"]
 
+or, without importing anything:  ``python -m repro sweep spec.json``.
 See README.md for the full tour and DESIGN.md for the system inventory.
 """
 
@@ -34,7 +38,14 @@ from .mor import (  # noqa: F401
     balanced_truncation,
     suggest_orders,
 )
+from .pipeline import (  # noqa: F401
+    ReductionJob,
+    SweepJob,
+    TransientJob,
+    run_pipeline,
+)
 from .simulation import simulate  # noqa: F401
+from .store import ModelStore, ReductionArtifact  # noqa: F401
 from .systems import (  # noqa: F401
     CubicODE,
     ExponentialODE,
@@ -53,6 +64,12 @@ __all__ = [
     "AssociatedTransformMOR",
     "NORMReducer",
     "ReducedOrderModel",
+    "ReductionJob",
+    "SweepJob",
+    "TransientJob",
+    "run_pipeline",
+    "ModelStore",
+    "ReductionArtifact",
     "balanced_truncation",
     "suggest_orders",
     "simulate",

@@ -11,7 +11,13 @@ from .metrics import (
     rms_error,
     speedup,
 )
-from .reporting import format_table, series_summary, sparkline
+from .reporting import (
+    format_table,
+    series_summary,
+    sparkline,
+    write_csv_report,
+    write_json_report,
+)
 
 __all__ = [
     "distortion_sweep",
@@ -24,4 +30,6 @@ __all__ = [
     "format_table",
     "series_summary",
     "sparkline",
+    "write_csv_report",
+    "write_json_report",
 ]

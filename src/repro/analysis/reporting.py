@@ -1,15 +1,29 @@
-"""Plain-text reporting helpers for the benchmark harness.
+"""Plain-text and machine-readable reporting helpers.
 
 The benches print paper-shaped artifacts: Table 1's runtime rows and the
 time-series that back Figs. 2-5 (as ASCII sparklines plus summary
 numbers), so the reproduction can be eyeballed without a plotting stack.
+The JSON/CSV writers serve the pipeline/CLI layer
+(:mod:`repro.pipeline`, ``python -m repro``), which must emit reports
+other tools can parse.
 """
+
+import csv
+import json
+import os
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..serialize import json_safe
 
-__all__ = ["format_table", "sparkline", "series_summary"]
+__all__ = [
+    "format_table",
+    "sparkline",
+    "series_summary",
+    "write_json_report",
+    "write_csv_report",
+]
 
 _SPARK_CHARS = " .:-=+*#%@"
 
@@ -17,11 +31,18 @@ _SPARK_CHARS = " .:-=+*#%@"
 def format_table(headers, rows, title=None):
     """Render a list-of-rows table with aligned columns.
 
-    Cells are stringified; floats get 4 significant digits.
+    Cells are stringified; floats and complex numbers get 4 significant
+    digits per component (a bare ``str()`` of a complex kernel value is
+    a 17-digit-per-part blob that destroys column alignment in the
+    distortion tables).
     """
     headers = [str(h) for h in headers]
 
     def render(cell):
+        if isinstance(cell, complex) and not isinstance(cell, float):
+            if cell == 0.0:
+                return "0"
+            return f"{cell.real:.4g}{cell.imag:+.4g}j"
         if isinstance(cell, float):
             if cell == 0.0:
                 return "0"
@@ -49,6 +70,55 @@ def format_table(headers, rows, title=None):
     for row in str_rows:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def write_json_report(path, report):
+    """Write a JSON report atomically (temp file + ``os.replace``).
+
+    *report* is passed through :func:`repro.serialize.json_safe` first
+    (numpy scalars unwrap, non-finite floats become strings, complex
+    values render as ``"(re+imj)"`` strings via ``repr``), so pipeline
+    results serialize without the caller hand-sanitizing every
+    diagnostic — and the output is strict RFC-8259 JSON
+    (``allow_nan=False``): no bare ``Infinity``/``NaN`` tokens that
+    choke ``jq`` and other conforming parsers.
+    """
+    path = os.fspath(path)
+    text = json.dumps(json_safe(report), indent=2, default=repr,
+                      sort_keys=False, allow_nan=False)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def write_csv_report(path, headers, rows):
+    """Write a rows-and-headers table as CSV (full float precision).
+
+    Unlike :func:`format_table` (eyeball output, 4 significant digits),
+    CSV is machine-interchange: floats keep their shortest round-trip
+    repr.
+    """
+    path = os.fspath(path)
+    headers = [str(h) for h in headers]
+    for idx, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {idx} has {len(row)} cells, expected {len(headers)}"
+            )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([
+                repr(cell) if isinstance(cell, complex)
+                and not isinstance(cell, float) else cell
+                for cell in row
+            ])
+    os.replace(tmp, path)
+    return path
 
 
 def sparkline(values, width=72):

@@ -1,5 +1,7 @@
 """Netlist container: a typed list of devices plus output selection."""
 
+import dataclasses
+
 import numpy as np
 
 from ..errors import ValidationError
@@ -13,6 +15,18 @@ from .devices import (
 )
 
 __all__ = ["Netlist"]
+
+#: JSON device-type tags ↔ device classes (the spec format of
+#: ``Netlist.to_dict``/``from_dict`` and the ``python -m repro`` CLI).
+_DEVICE_TYPES = {
+    "resistor": Resistor,
+    "capacitor": Capacitor,
+    "inductor": Inductor,
+    "current_source": CurrentSource,
+    "conductance": PolynomialConductance,
+    "diode": ExponentialDiode,
+}
+_DEVICE_TAGS = {cls: tag for tag, cls in _DEVICE_TYPES.items()}
 
 
 class Netlist:
@@ -116,6 +130,75 @@ class Netlist:
             f"Netlist(name={self.name!r}, nodes={self.n_nodes}, "
             f"devices={len(self.devices)})"
         )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-able spec: name, typed device list, output nodes.
+
+        The exact format the ``python -m repro`` CLI consumes — every
+        device becomes ``{"type": <tag>, **parameters}`` with the tags
+        of ``_DEVICE_TYPES`` (``resistor``, ``capacitor``, ``inductor``,
+        ``current_source``, ``conductance``, ``diode``).
+        """
+        devices = []
+        for device in self.devices:
+            tag = _DEVICE_TAGS.get(type(device))
+            if tag is None:
+                raise ValidationError(
+                    f"device type {type(device).__name__} has no JSON tag"
+                )
+            devices.append({"type": tag, **dataclasses.asdict(device)})
+        return {
+            "name": self.name,
+            "devices": devices,
+            "output_nodes": (
+                None
+                if self._output_nodes is None
+                else list(self._output_nodes)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a netlist from a :meth:`to_dict`-shaped spec.
+
+        Every device is validated through its dataclass constructor, so
+        a malformed spec fails with a :class:`~repro.errors.
+        ValidationError` naming the offending device rather than
+        compiling a wrong circuit.
+        """
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"netlist spec must be a dict, got {type(data).__name__}"
+            )
+        net = cls(name=data.get("name", ""))
+        for idx, spec in enumerate(data.get("devices", [])):
+            if not isinstance(spec, dict):
+                raise ValidationError(
+                    f"devices[{idx}] must be a dict, got "
+                    f"{type(spec).__name__}"
+                )
+            spec = dict(spec)
+            kind = spec.pop("type", None)
+            device_cls = _DEVICE_TYPES.get(kind)
+            if device_cls is None:
+                raise ValidationError(
+                    f"devices[{idx}] has unknown type {kind!r}; expected "
+                    f"one of {sorted(_DEVICE_TYPES)}"
+                )
+            try:
+                device = device_cls(**spec)
+            except TypeError as exc:
+                raise ValidationError(
+                    f"devices[{idx}] ({kind}): bad parameters ({exc})"
+                ) from exc
+            if isinstance(device, CurrentSource):
+                net._n_inputs = max(net._n_inputs, device.input_index + 1)
+            net._register(device)
+        if data.get("output_nodes") is not None:
+            net.set_output_nodes(data["output_nodes"])
+        return net
 
     def compile(self, sparse=None):
         """Assemble the MNA system (delegates to

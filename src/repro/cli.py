@@ -1,0 +1,399 @@
+"""``python -m repro`` — reduce, sweep, simulate and inspect from specs.
+
+The CLI is the zero-import entry point to the pipeline: every command
+takes a JSON netlist spec (the :meth:`repro.circuits.Netlist.to_dict`
+format, or a ``{"generator": ...}`` reference to a named example
+circuit), runs the declarative pipeline of :mod:`repro.pipeline`, and
+prints a parseable JSON report to stdout.
+
+Commands::
+
+    python -m repro info     spec.json
+    python -m repro reduce   spec.json --orders 6,3,0 --store ./models
+    python -m repro sweep    spec.json --omega-start 0.02 --omega-stop 0.5
+    python -m repro simulate spec.json --source sine:amplitude=0.1 \
+        --t-end 10 --dt 0.02
+
+A spec file may embed default job sections (``"reduce"``, ``"sweep"``,
+``"transient"`` — the dict forms the job classes coerce from); command
+line flags override them.  ``--store DIR`` routes reductions through a
+content-addressed :class:`~repro.store.ModelStore`, so re-running a
+command on an unchanged spec serves the reduction from disk.
+
+Exit codes: 0 on success, 2 on a usage/spec error, 1 on an internal
+numerical failure.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis.reporting import write_csv_report, write_json_report
+from .errors import ReproError, ValidationError
+from .pipeline import run_pipeline
+from .serialize import json_safe
+from .store import ModelStore
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_orders(text):
+    try:
+        parts = tuple(int(p) for p in str(text).split(","))
+    except ValueError as exc:
+        raise ValidationError(
+            f"--orders must be comma-separated integers, got {text!r}"
+        ) from exc
+    if len(parts) != 3:
+        raise ValidationError(
+            f"--orders must be a q1,q2,q3 triple, got {text!r}"
+        )
+    return parts
+
+
+def _parse_points(text):
+    points = []
+    for part in str(text).split(","):
+        part = part.strip()
+        try:
+            value = complex(part)
+        except ValueError as exc:
+            raise ValidationError(
+                f"bad expansion point {part!r} in {text!r}"
+            ) from exc
+        points.append(value.real if value.imag == 0.0 else value)
+    return tuple(points)
+
+
+def _parse_source(text):
+    """``kind:key=value,key=value`` → a source-spec dict."""
+    kind, _, params = str(text).partition(":")
+    spec = {"kind": kind.strip()}
+    if params.strip():
+        for pair in params.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ValidationError(
+                    f"source parameter {pair!r} is not key=value "
+                    f"(in {text!r})"
+                )
+            try:
+                spec[key.strip()] = float(value)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"source parameter {key.strip()!r} must be numeric, "
+                    f"got {value!r}"
+                ) from exc
+    return spec
+
+
+def _load_spec(path):
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"cannot read spec {path} ({exc})") from exc
+    try:
+        spec = json.loads(text)
+    except ValueError as exc:
+        raise ValidationError(
+            f"spec {path} is not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(spec, dict):
+        raise ValidationError(f"spec {path} must hold a JSON object")
+    return spec
+
+
+def _sparse_flag(args):
+    if getattr(args, "sparse", False):
+        return True
+    if getattr(args, "dense", False):
+        return False
+    return None
+
+
+def _reduce_job(args, spec, required):
+    """Merge the spec's ``reduce`` section with CLI flags."""
+    section = spec.get("reduce")
+    job = dict(section) if isinstance(section, dict) else {}
+    if getattr(args, "orders", None):
+        job["orders"] = _parse_orders(args.orders)
+    if getattr(args, "expansion_points", None):
+        job["expansion_points"] = _parse_points(args.expansion_points)
+    if getattr(args, "strategy", None):
+        job["strategy"] = args.strategy
+    if not job:
+        if required:
+            raise ValidationError(
+                "no reduction configured: pass --orders q1,q2,q3 or add "
+                "a 'reduce' section to the spec"
+            )
+        return None
+    return job
+
+
+def _add_spec_argument(parser):
+    parser.add_argument("spec", help="JSON netlist spec file")
+    form = parser.add_mutually_exclusive_group()
+    form.add_argument(
+        "--sparse", action="store_true",
+        help="force CSR (sparse fast path) MNA assembly",
+    )
+    form.add_argument(
+        "--dense", action="store_true", help="force dense MNA assembly"
+    )
+
+
+def _add_reduce_arguments(parser):
+    parser.add_argument(
+        "--orders", help="moment orders q1,q2,q3 (e.g. 6,3,0)"
+    )
+    parser.add_argument(
+        "--expansion-points",
+        help="comma-separated expansion points (default 0.0)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("coupled", "decoupled"),
+        help="H2 subspace strategy",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="serve/record reductions through a ModelStore directory",
+    )
+
+
+def _add_output_arguments(parser):
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
+    parser.add_argument(
+        "--csv", metavar="FILE",
+        help="write the tabular result (sweep grid / transient trace) "
+        "as CSV",
+    )
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Associated-transform NMOR pipeline (DAC'12 repro): "
+        "reduce circuits, sweep distortion, simulate transients — from "
+        "JSON netlist specs, through a content-addressed model store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser(
+        "info", help="compile the spec and report system structure"
+    )
+    _add_spec_argument(p_info)
+    p_info.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
+
+    p_reduce = sub.add_parser(
+        "reduce", help="build (or fetch) a ROM and report it"
+    )
+    _add_spec_argument(p_reduce)
+    _add_reduce_arguments(p_reduce)
+    p_reduce.add_argument(
+        "--artifact", metavar="FILE",
+        help="save the reduction artifact to this .npz path",
+    )
+    p_reduce.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="distortion sweep (on the ROM when orders given)"
+    )
+    _add_spec_argument(p_sweep)
+    _add_reduce_arguments(p_sweep)
+    p_sweep.add_argument("--omega-start", type=float)
+    p_sweep.add_argument("--omega-stop", type=float)
+    p_sweep.add_argument("--points", type=int)
+    p_sweep.add_argument("--amplitude", type=float)
+    p_sweep.add_argument(
+        "--compare-full", action="store_true",
+        help="also sweep the full model and report ROM deviation",
+    )
+    _add_output_arguments(p_sweep)
+
+    p_sim = sub.add_parser(
+        "simulate", help="transient simulation (ROM when orders given)"
+    )
+    _add_spec_argument(p_sim)
+    _add_reduce_arguments(p_sim)
+    p_sim.add_argument(
+        "--source",
+        help="input signal, kind:key=value,... "
+        "(e.g. sine:amplitude=0.08,frequency=0.08)",
+    )
+    p_sim.add_argument("--t-end", type=float)
+    p_sim.add_argument("--dt", type=float)
+    p_sim.add_argument(
+        "--compare-full", action="store_true",
+        help="also integrate the full model and report ROM error",
+    )
+    _add_output_arguments(p_sim)
+    return parser
+
+
+def _sweep_job(args, spec):
+    section = spec.get("sweep")
+    job = dict(section) if isinstance(section, dict) else {}
+    grid_flags = (args.omega_start, args.omega_stop, args.points)
+    if any(flag is not None for flag in grid_flags):
+        # CLI flags override the spec grid wholesale: an explicit
+        # "omegas" list in the spec would otherwise shadow start/stop/
+        # points inside SweepJob and the flags would silently no-op.
+        job.pop("omegas", None)
+        if args.omega_start is None or args.omega_stop is None:
+            if "omegas" in (section or {}):
+                raise ValidationError(
+                    "the spec's sweep grid is an explicit omegas list; "
+                    "overriding it needs both --omega-start and "
+                    "--omega-stop"
+                )
+    if args.omega_start is not None:
+        job["start"] = args.omega_start
+    if args.omega_stop is not None:
+        job["stop"] = args.omega_stop
+    if args.points is not None:
+        job["points"] = args.points
+    if args.amplitude is not None:
+        job["amplitude"] = args.amplitude
+    if args.compare_full:
+        job["compare_full"] = True
+    if not job:
+        raise ValidationError(
+            "no sweep configured: pass --omega-start/--omega-stop or add "
+            "a 'sweep' section to the spec"
+        )
+    return job
+
+
+def _transient_job(args, spec):
+    section = spec.get("transient")
+    job = dict(section) if isinstance(section, dict) else {}
+    if args.source is not None:
+        job["source"] = _parse_source(args.source)
+    if args.t_end is not None:
+        job["t_end"] = args.t_end
+    if args.dt is not None:
+        job["dt"] = args.dt
+    if args.compare_full:
+        job["compare_full"] = True
+    if not job:
+        raise ValidationError(
+            "no transient configured: pass --source/--t-end/--dt or add "
+            "a 'transient' section to the spec"
+        )
+    return job
+
+
+def _emit(args, report, csv_table=None):
+    # json_safe + allow_nan=False: the stdout report is strict RFC-8259
+    # JSON (non-finite floats become strings), as the module promises.
+    report = json_safe(report)
+    print(json.dumps(report, indent=2, default=repr, allow_nan=False))
+    if getattr(args, "out", None):
+        write_json_report(args.out, report)
+    if getattr(args, "csv", None) and csv_table is not None:
+        headers, rows = csv_table
+        write_csv_report(args.csv, headers, rows)
+
+
+def _run(args):
+    spec = _load_spec(args.spec)
+    sparse = _sparse_flag(args)
+    store = getattr(args, "store", None)
+    store = ModelStore(store) if store else None
+
+    if args.command == "info":
+        result = run_pipeline(spec, sparse=sparse)
+        report = result.report()
+        report["command"] = "info"
+        _emit(args, report)
+        return 0
+
+    if args.command == "reduce":
+        reduce_job = _reduce_job(args, spec, required=True)
+        result = run_pipeline(spec, reduce=reduce_job, store=store,
+                              sparse=sparse)
+        report = result.report()
+        report["command"] = "reduce"
+        if store is not None:
+            report["store"] = store.stats()
+            report["store"]["root"] = str(store.root)
+        if args.artifact:
+            report["artifact_path"] = str(
+                result.artifact.save(args.artifact)
+            )
+        _emit(args, report)
+        return 0
+
+    if args.command == "sweep":
+        reduce_job = _reduce_job(args, spec, required=False)
+        result = run_pipeline(
+            spec, reduce=reduce_job, sweep=_sweep_job(args, spec),
+            store=store, sparse=sparse,
+        )
+        report = result.report()
+        report["command"] = "sweep"
+        if store is not None:
+            report["store"] = store.stats()
+            report["store"]["root"] = str(store.root)
+        sweep = result.sweep
+        headers = ["omega", "hd2", "hd3"]
+        columns = [sweep["omegas"], sweep["hd2"], sweep["hd3"]]
+        if "hd2_full" in sweep:
+            headers += ["hd2_full", "hd3_full"]
+            columns += [sweep["hd2_full"], sweep["hd3_full"]]
+        rows = [list(row) for row in zip(*columns)]
+        _emit(args, report, csv_table=(headers, rows))
+        return 0
+
+    if args.command == "simulate":
+        reduce_job = _reduce_job(args, spec, required=False)
+        result = run_pipeline(
+            spec, reduce=reduce_job,
+            transient=_transient_job(args, spec),
+            store=store, sparse=sparse,
+        )
+        transient = result.transient
+        times = transient.pop("times")
+        outputs = transient.pop("output")
+        full_outputs = transient.pop("full_output", None)
+        report = result.report()
+        report["command"] = "simulate"
+        if store is not None:
+            report["store"] = store.stats()
+            report["store"]["root"] = str(store.root)
+        headers = ["t", "output"]
+        columns = [times, outputs]
+        if full_outputs is not None:
+            headers.append("full_output")
+            columns.append(full_outputs)
+        rows = [list(row) for row in zip(*columns)]
+        _emit(args, report, csv_table=(headers, rows))
+        return 0
+
+    raise ValidationError(f"unknown command {args.command!r}")
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"numerical failure: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

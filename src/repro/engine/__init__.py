@@ -44,6 +44,7 @@ The backend is global and serial by default::
 
     import repro.engine as engine
     engine.configure(workers=4)        # threads
+    engine.configure(workers="auto")   # max(1, cpu_count - 1) threads
     engine.configure(workers=1)        # back to serial
     with engine.using(workers=4):      # scoped (tests, benchmarks)
         ...
@@ -51,6 +52,11 @@ The backend is global and serial by default::
 or, without touching code, via the environment::
 
     REPRO_WORKERS=4 python my_analysis.py
+    REPRO_WORKERS=auto python my_analysis.py
+
+``engine.worker_stats()`` reports the resolved backend
+(``{"backend", "workers", "requested", "cpu_count"}``) so scripts can
+log what ``"auto"`` actually resolved to on the host.
 
 Parallel and serial backends agree to rounding (each task performs the
 same floating-point operations on the same data; only the wall-clock
@@ -67,7 +73,9 @@ from .executor import (  # noqa: F401
     configure,
     current_workers,
     get_executor,
+    resolve_workers,
     using,
+    worker_stats,
 )
 from .plan import SolvePlan, SolveTask, chunk_bounds, parallel_map  # noqa: F401
 
@@ -78,7 +86,9 @@ __all__ = [
     "configure",
     "current_workers",
     "get_executor",
+    "resolve_workers",
     "using",
+    "worker_stats",
     "SolvePlan",
     "SolveTask",
     "chunk_bounds",

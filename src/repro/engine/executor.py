@@ -26,7 +26,9 @@ __all__ = [
     "configure",
     "current_workers",
     "get_executor",
+    "resolve_workers",
     "using",
+    "worker_stats",
 ]
 
 #: Set (per thread) while a task is running on a pool worker; nested
@@ -147,51 +149,88 @@ class ThreadPoolExecutor(Executor):
 _config_lock = threading.Lock()
 _serial = SerialExecutor()
 _executor = None  # resolved lazily from REPRO_WORKERS on first use
+#: How the active backend's worker count was requested — "auto" when
+#: resolved from os.cpu_count(), the literal number otherwise; exposed
+#: through worker_stats() (sparse_lu_stats-style introspection).
+_requested = None
+
+
+def resolve_workers(workers):
+    """Resolve a worker request to a concrete count.
+
+    ``"auto"`` (case-insensitive) resolves to ``max(1, cpu_count − 1)``
+    — all cores but one, so the process stays responsive and a
+    single-core host degrades to the serial backend.  ``None`` and
+    counts ``<= 1`` mean serial; anything else must be a positive
+    integer.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == "auto":
+            return max(1, (os.cpu_count() or 1) - 1)
+        try:
+            workers = int(text)
+        except ValueError as exc:
+            raise ValidationError(
+                f"workers must be an integer or 'auto', got {workers!r}"
+            ) from exc
+    return int(workers)
+
+
+def _build(workers):
+    """(executor, requested-label) for one worker request."""
+    count = resolve_workers(workers)
+    label = (
+        "auto"
+        if isinstance(workers, str) and workers.strip().lower() == "auto"
+        else count
+    )
+    if count <= 1:
+        return _serial, label
+    return ThreadPoolExecutor(count), label
 
 
 def _from_env():
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     if not raw:
-        return _serial
+        return _serial, None
     try:
-        workers = int(raw)
-    except ValueError as exc:
+        return _build(raw)
+    except ValidationError as exc:
         raise ValidationError(
-            f"REPRO_WORKERS must be an integer, got {raw!r}"
+            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
         ) from exc
-    if workers <= 1:
-        return _serial
-    return ThreadPoolExecutor(workers)
 
 
 def get_executor():
     """The globally configured backend (serial unless told otherwise)."""
-    global _executor
+    global _executor, _requested
     with _config_lock:
         if _executor is None:
-            _executor = _from_env()
+            _executor, _requested = _from_env()
         return _executor
 
 
-def _set_executor(executor):
-    global _executor
+def _set_executor(executor, requested=None):
+    global _executor, _requested
     with _config_lock:
-        previous, _executor = _executor, executor
+        previous = (_executor, _requested)
+        _executor, _requested = executor, requested
     return previous
 
 
 def configure(workers=None):
     """Select the global backend: ``workers <= 1`` (or None) is serial,
-    anything larger a thread pool of that size.  Returns the executor.
+    ``"auto"`` is ``max(1, cpu_count − 1)``, anything larger a thread
+    pool of that size.  Returns the executor.
 
     Overrides any ``REPRO_WORKERS`` environment setting for the rest of
     the process (the env var is only a default for the first use).
     """
-    if workers is None or int(workers) <= 1:
-        executor = _serial
-    else:
-        executor = ThreadPoolExecutor(int(workers))
-    previous = _set_executor(executor)
+    executor, requested = _build(workers)
+    previous, _ = _set_executor(executor, requested)
     # Unlike `using` (which restores — and then tears down — its scoped
     # pool on exit), configure permanently replaces the backend: reap
     # the displaced pool's worker threads instead of leaking them.
@@ -203,6 +242,28 @@ def configure(workers=None):
 def current_workers():
     """Worker count of the active backend (1 for serial)."""
     return get_executor().workers
+
+
+def worker_stats():
+    """Introspection of the resolved backend, ``sparse_lu_stats``-style.
+
+    Returns ``{"backend", "workers", "requested", "cpu_count"}`` —
+    *requested* is ``"auto"`` when the count was resolved from the host
+    CPU count (via ``configure(workers="auto")`` or
+    ``REPRO_WORKERS=auto``), the literal request otherwise (``None``
+    for the untouched default).
+    """
+    executor = get_executor()
+    with _config_lock:
+        requested = _requested
+    return {
+        "backend": (
+            "serial" if isinstance(executor, SerialExecutor) else "threads"
+        ),
+        "workers": int(executor.workers),
+        "requested": requested,
+        "cpu_count": os.cpu_count(),
+    }
 
 
 class using:
@@ -217,16 +278,12 @@ class using:
         self._previous = None
 
     def __enter__(self):
-        target = (
-            _serial
-            if self._workers is None or int(self._workers) <= 1
-            else ThreadPoolExecutor(int(self._workers))
-        )
-        self._previous = _set_executor(target)
+        target, requested = _build(self._workers)
+        self._previous = _set_executor(target, requested)
         return target
 
     def __exit__(self, exc_type, exc, tb):
-        current = _set_executor(self._previous)
+        current, _ = _set_executor(*self._previous)
         if isinstance(current, ThreadPoolExecutor):
             current.shutdown()
         return False

@@ -4,6 +4,7 @@ import numpy as np
 
 from .._validation import as_matrix
 from ..errors import ValidationError
+from ..serialize import json_safe, load_payload, save_payload
 
 __all__ = ["ReducedOrderModel"]
 
@@ -82,3 +83,60 @@ class ReducedOrderModel:
             f"ReducedOrderModel(method={self.method!r}, "
             f"order={self.order}, full_order={self.full_order})"
         )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        """Payload-tree form (see :mod:`repro.serialize`).
+
+        The reduced system serializes through its own ``to_dict`` (so a
+        ROM of any serializable system family round-trips), expansion
+        points as a complex array, and the free-form ``details`` dict
+        through :func:`repro.serialize.json_safe` — diagnostics degrade
+        to strings rather than make a ROM unsaveable.
+        """
+        return {
+            "__class__": "ReducedOrderModel",
+            "system": self.system.to_dict(),
+            "basis": self.basis,
+            "method": self.method,
+            "orders": None if self.orders is None else list(self.orders),
+            "expansion_points": np.asarray(
+                self.expansion_points, dtype=complex
+            ),
+            "build_time": (
+                None if self.build_time is None else float(self.build_time)
+            ),
+            "details": json_safe(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`ReducedOrderModel` from :meth:`to_dict`."""
+        from ..systems import system_from_dict
+
+        kind = data.get("__class__", "ReducedOrderModel")
+        if kind != "ReducedOrderModel":
+            raise ValidationError(
+                f"payload describes a {kind!r}, not a ReducedOrderModel"
+            )
+        points = np.asarray(data["expansion_points"])
+        orders = data["orders"]
+        return cls(
+            system_from_dict(data["system"]),
+            data["basis"],
+            method=data["method"],
+            orders=None if orders is None else tuple(orders),
+            expansion_points=tuple(points.tolist()),
+            build_time=data["build_time"],
+            details=data["details"],
+        )
+
+    def save(self, path):
+        """Write the ROM to *path* as one ``.npz`` archive (atomic)."""
+        return save_payload(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path):
+        """Load a ROM written by :meth:`save`."""
+        return cls.from_dict(load_payload(path))

@@ -1,0 +1,601 @@
+"""One-call pipeline: netlist/system → MNA → MOR → Volterra queries.
+
+Before this module, every consumer of the library (examples, benches,
+ad-hoc scripts) hand-wired the same five layers: compile the netlist,
+lift exponential systems, build the reducer, run the reduction, then
+drive ``distortion_sweep`` / ``simulate`` on full model and ROM.  The
+pipeline makes that orchestration declarative —
+
+>>> from repro.pipeline import run_pipeline
+>>> result = run_pipeline(netlist, reduce=(6, 3, 0),
+...                       sweep={"start": 0.02, "stop": 0.5, "points": 25})
+>>> result.report()["sweep"]["hd2"]
+
+— and routes it through the persistence layer: pass ``store=`` (a
+:class:`~repro.store.ModelStore` or a directory path) and repeated runs
+on an already-seen (system, reducer) pair serve the reduction from disk
+instead of recomputing it.  This is the layer the CLI
+(``python -m repro``) and any future multi-process serving front-end
+call into.
+
+Job objects (:class:`ReductionJob`, :class:`SweepJob`,
+:class:`TransientJob`) are plain declarative configs: each coerces from
+a dict (the JSON spec format), validates eagerly, and — for sources —
+maps spec tags onto :mod:`repro.simulation.sources` factories.
+"""
+
+import time
+
+import numpy as np
+
+from ._validation import check_positive_int
+from .analysis.distortion import distortion_sweep
+from .analysis.metrics import max_relative_error
+from .circuits.netlist import Netlist
+from .errors import ValidationError
+from .mor.assoc import AssociatedTransformMOR
+from .serialize import json_safe
+from .simulation import sources as _sources
+from .simulation.transient import simulate
+from .store import ModelStore, ReductionArtifact, fingerprint_system
+from .systems.exponential import ExponentialODE
+from .systems.polynomial import PolynomialODE
+
+__all__ = [
+    "ReductionJob",
+    "SweepJob",
+    "TransientJob",
+    "PipelineResult",
+    "run_pipeline",
+    "system_from_spec",
+]
+
+#: Spec tags accepted in ``TransientJob.source`` dicts.
+_SOURCE_FACTORIES = {
+    "zero": _sources.zero_source,
+    "step": _sources.step_source,
+    "pulse": _sources.pulse_source,
+    "sine": _sources.sine_source,
+    "cosine": _sources.cosine_source,
+    "multitone": _sources.multitone_source,
+    "exponential_pulse": _sources.exponential_pulse_source,
+    "surge": _sources.surge_source,
+}
+
+#: Named circuit generators a spec may reference instead of a device
+#: list (each returns a Netlist or a compiled system).
+_GENERATORS = {}
+
+
+def _load_generators():
+    if not _GENERATORS:
+        from .circuits import examples as _examples
+
+        for name in _examples.__all__:
+            _GENERATORS[name] = getattr(_examples, name)
+    return _GENERATORS
+
+
+class ReductionJob:
+    """Declarative reducer configuration (associated-transform NMOR).
+
+    Parameters mirror :class:`~repro.mor.AssociatedTransformMOR`; the
+    job exists so pipelines and JSON specs can describe a reduction
+    without constructing the reducer eagerly.
+    """
+
+    def __init__(self, orders=(6, 3, 0), expansion_points=(0.0,),
+                 strategy="coupled", deduplicate=True, tol=1e-10):
+        self.orders = tuple(int(q) for q in orders)
+        self.expansion_points = tuple(
+            complex(p) if isinstance(p, complex) else float(p)
+            for p in expansion_points
+        )
+        self.strategy = str(strategy)
+        self.deduplicate = bool(deduplicate)
+        self.tol = float(tol)
+        self.reducer()  # validate eagerly: a bad job fails at build time
+
+    @classmethod
+    def coerce(cls, value):
+        """Accept a job, a dict of its fields, or a bare orders tuple."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {
+                "orders", "expansion_points", "strategy", "deduplicate",
+                "tol",
+            }
+            if unknown:
+                raise ValidationError(
+                    f"unknown ReductionJob fields: {sorted(unknown)}"
+                )
+            return cls(**value)
+        if isinstance(value, (list, tuple)):
+            return cls(orders=value)
+        raise ValidationError(
+            "reduce must be a ReductionJob, a dict, or an orders tuple; "
+            f"got {type(value).__name__}"
+        )
+
+    def reducer(self):
+        """The configured :class:`~repro.mor.AssociatedTransformMOR`."""
+        return AssociatedTransformMOR(
+            orders=self.orders,
+            expansion_points=self.expansion_points,
+            strategy=self.strategy,
+            deduplicate=self.deduplicate,
+            tol=self.tol,
+        )
+
+    def to_dict(self):
+        return {
+            "orders": list(self.orders),
+            "expansion_points": json_safe(self.expansion_points),
+            "strategy": self.strategy,
+            "deduplicate": self.deduplicate,
+            "tol": self.tol,
+        }
+
+
+class SweepJob:
+    """Declarative distortion sweep: an ω-grid plus a tone amplitude.
+
+    ``compare_full`` additionally runs the sweep on the full model and
+    records the worst relative HD2/HD3 deviation of the ROM — the
+    frequency-domain accuracy check the paper's experiments use.
+    """
+
+    def __init__(self, start=None, stop=None, points=25, omegas=None,
+                 amplitude=1.0, compare_full=False):
+        if omegas is not None:
+            self._omegas = np.asarray(omegas, dtype=float).reshape(-1)
+            if self._omegas.size == 0:
+                raise ValidationError("sweep omegas must be non-empty")
+        else:
+            if start is None or stop is None:
+                raise ValidationError(
+                    "sweep needs either explicit omegas or start+stop"
+                )
+            points = check_positive_int(points, "points")
+            self._omegas = np.linspace(float(start), float(stop), points)
+        if np.any(self._omegas <= 0.0):
+            raise ValidationError("sweep frequencies must be positive")
+        self.amplitude = float(amplitude)
+        self.compare_full = bool(compare_full)
+
+    @classmethod
+    def coerce(cls, value):
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {
+                "start", "stop", "points", "omegas", "amplitude",
+                "compare_full",
+            }
+            if unknown:
+                raise ValidationError(
+                    f"unknown SweepJob fields: {sorted(unknown)}"
+                )
+            return cls(**value)
+        if isinstance(value, (list, tuple, np.ndarray)):
+            return cls(omegas=value)
+        raise ValidationError(
+            "sweep must be a SweepJob, a dict, or an omega array; got "
+            f"{type(value).__name__}"
+        )
+
+    @property
+    def omegas(self):
+        return self._omegas
+
+    def to_dict(self):
+        return {
+            "omegas": self._omegas.tolist(),
+            "amplitude": self.amplitude,
+            "compare_full": self.compare_full,
+        }
+
+
+class TransientJob:
+    """Declarative transient: a source, a horizon and a step size.
+
+    ``source`` is either a callable ``u(t)`` or a JSON-able spec
+    ``{"kind": "sine", "amplitude": 0.08, "frequency": 0.08}`` with the
+    kinds of :mod:`repro.simulation.sources`.  ``compare_full`` also
+    integrates the full model and records the peak-normalized relative
+    error of the ROM trace.
+    """
+
+    def __init__(self, source, t_end, dt, compare_full=False):
+        self._source_spec = None
+        if callable(source):
+            self._source = source
+        elif isinstance(source, dict):
+            spec = dict(source)
+            kind = spec.pop("kind", None)
+            factory = _SOURCE_FACTORIES.get(kind)
+            if factory is None:
+                raise ValidationError(
+                    f"unknown source kind {kind!r}; expected one of "
+                    f"{sorted(_SOURCE_FACTORIES)}"
+                )
+            try:
+                self._source = factory(**spec)
+            except TypeError as exc:
+                raise ValidationError(
+                    f"bad parameters for source kind {kind!r} ({exc})"
+                ) from exc
+            self._source_spec = {"kind": kind, **spec}
+        else:
+            raise ValidationError(
+                "source must be callable or a source-spec dict, got "
+                f"{type(source).__name__}"
+            )
+        self.t_end = float(t_end)
+        self.dt = float(dt)
+        if self.t_end <= 0 or self.dt <= 0:
+            raise ValidationError("t_end and dt must be positive")
+        self.compare_full = bool(compare_full)
+
+    @classmethod
+    def coerce(cls, value):
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {"source", "t_end", "dt", "compare_full"}
+            if unknown:
+                raise ValidationError(
+                    f"unknown TransientJob fields: {sorted(unknown)}"
+                )
+            return cls(**value)
+        raise ValidationError(
+            "transient must be a TransientJob or a dict, got "
+            f"{type(value).__name__}"
+        )
+
+    @property
+    def source(self):
+        return self._source
+
+    def to_dict(self):
+        return {
+            "source": self._source_spec or "<callable>",
+            "t_end": self.t_end,
+            "dt": self.dt,
+            "compare_full": self.compare_full,
+        }
+
+
+def system_from_spec(spec, sparse=None):
+    """Build a system from a JSON spec (netlist, generator, or both).
+
+    Accepted shapes:
+
+    * ``{"devices": [...], ...}`` — a :meth:`Netlist.to_dict` spec,
+    * ``{"netlist": {...}}`` — the same, nested,
+    * ``{"generator": "quadratic_rc_ladder_netlist", "args": {...}}`` —
+      a named :mod:`repro.circuits.examples` generator.
+
+    Optional top-level keys: ``"compile": {"sparse": true/false}``
+    (forwarded to MNA assembly; the *sparse* parameter overrides it) and
+    ``"lift": false`` to suppress the default quadratic-linearization
+    of exponential-diode systems.
+
+    Returns ``(system, info)`` — *info* records name/class/size and
+    whether the system was lifted, for reports.
+    """
+    if not isinstance(spec, dict):
+        raise ValidationError(
+            f"spec must be a dict, got {type(spec).__name__}"
+        )
+    compile_opts = spec.get("compile", {})
+    if not isinstance(compile_opts, dict):
+        raise ValidationError("spec 'compile' must be a dict")
+    if sparse is None:
+        sparse = compile_opts.get("sparse")
+
+    if "generator" in spec:
+        name = spec["generator"]
+        generator = _load_generators().get(name)
+        if generator is None:
+            raise ValidationError(
+                f"unknown generator {name!r}; expected one of "
+                f"{sorted(_load_generators())}"
+            )
+        built = generator(**spec.get("args", {}))
+    else:
+        netlist_spec = spec.get("netlist", spec)
+        built = Netlist.from_dict(netlist_spec)
+
+    if isinstance(built, Netlist):
+        system = built.compile(sparse=sparse)
+    else:
+        system = built
+
+    lifted = False
+    if isinstance(system, ExponentialODE) and spec.get("lift", True):
+        system = system.quadratic_linearize()
+        lifted = True
+    return system, _system_info(system, lifted)
+
+
+def _system_info(system, lifted):
+    """The structure summary every pipeline report leads with."""
+    return {
+        "name": getattr(system, "name", ""),
+        "system_class": type(system).__name__,
+        "n_states": int(system.n_states),
+        "n_inputs": int(system.n_inputs),
+        "n_outputs": int(system.n_outputs),
+        "sparse": bool(getattr(system, "is_sparse", False)),
+        "lifted": bool(lifted),
+    }
+
+
+class PipelineResult:
+    """Everything one :func:`run_pipeline` call produced.
+
+    Attributes
+    ----------
+    system : the compiled (and possibly lifted) full system
+    system_info : dict
+    artifact : ReductionArtifact or None
+    rom : ReducedOrderModel or None
+    store_hit : bool or None
+        True/False when a store served/recorded the reduction, None
+        when no store was involved.
+    reduce_time : float or None
+        Wall-clock seconds of the reduce step (disk hit or compute).
+    sweep : dict or None
+        ``omegas``/``hd2``/``hd3`` arrays (ROM when reduced, else full
+        model) plus full-model comparison columns when requested.
+    transient : dict or None
+        Output trace summary and wall times.
+    """
+
+    def __init__(self, system, system_info, artifact=None, rom=None,
+                 store_hit=None, reduce_time=None, sweep=None,
+                 transient=None, jobs=None):
+        self.system = system
+        self.system_info = dict(system_info)
+        self.artifact = artifact
+        self.rom = rom
+        self.store_hit = store_hit
+        self.reduce_time = reduce_time
+        self.sweep = sweep
+        self.transient = transient
+        self.jobs = dict(jobs or {})
+
+    def report(self):
+        """JSON-able report of the whole pipeline run."""
+        report = {"system": dict(self.system_info)}
+        if self.jobs:
+            report["jobs"] = {
+                key: job.to_dict() for key, job in self.jobs.items()
+            }
+        if self.rom is not None:
+            report["reduction"] = {
+                "method": self.rom.method,
+                "orders": json_safe(self.rom.orders),
+                "expansion_points": json_safe(self.rom.expansion_points),
+                "rom_order": int(self.rom.order),
+                "full_order": int(self.rom.full_order),
+                "build_time_s": json_safe(self.rom.build_time),
+                "store_hit": self.store_hit,
+                "reduce_time_s": self.reduce_time,
+            }
+            if self.artifact is not None:
+                report["reduction"]["provenance"] = self.artifact.describe()
+        if self.sweep is not None:
+            report["sweep"] = json_safe(self.sweep)
+        if self.transient is not None:
+            report["transient"] = json_safe(self.transient)
+        return report
+
+    def __repr__(self):
+        parts = [f"n={self.system_info.get('n_states')}"]
+        if self.rom is not None:
+            parts.append(f"rom_order={self.rom.order}")
+        if self.store_hit is not None:
+            parts.append(f"store_hit={self.store_hit}")
+        if self.sweep is not None:
+            parts.append(f"sweep_points={len(self.sweep['omegas'])}")
+        if self.transient is not None:
+            parts.append("transient")
+        return f"PipelineResult({', '.join(parts)})"
+
+
+def _worst_rel_dev(candidate, reference):
+    """Worst relative deviation over the nonzero reference entries.
+
+    A structurally-zero distortion figure (linear circuit, q2 = 0 ROM)
+    must not turn the accuracy summary into NaN/inf; grid points where
+    the reference is exactly zero are judged absolutely instead: any
+    nonzero candidate there reports ``inf``, agreement reports as 0.
+    Returns ``None`` when the reference is zero everywhere and the
+    candidate matches it.
+    """
+    candidate = np.asarray(candidate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    nonzero = reference != 0.0
+    worst = (
+        float(np.max(np.abs(candidate[nonzero] / reference[nonzero] - 1.0)))
+        if np.any(nonzero)
+        else None
+    )
+    if np.any(candidate[~nonzero] != 0.0):
+        return float("inf")
+    return worst
+
+
+def _trace_summary(result):
+    trace = result.output(0)
+    return {
+        "steps": int(result.steps),
+        "wall_time_s": float(result.wall_time),
+        "newton_iterations": int(result.newton_iterations),
+        "output_min": float(trace.min()),
+        "output_max": float(trace.max()),
+        "output_rms": float(np.sqrt(np.mean(trace**2))),
+    }
+
+
+def run_pipeline(target, reduce=None, sweep=None, transient=None,
+                 store=None, sparse=None):
+    """Run the declarative MNA → MOR → query pipeline on *target*.
+
+    Parameters
+    ----------
+    target : Netlist, spec dict, or system object
+        A :class:`~repro.circuits.Netlist` (compiled here), a JSON spec
+        (see :func:`system_from_spec`), or an already-built system.
+        Exponential-diode systems are quadratic-linearized
+        automatically.
+    reduce : ReductionJob, dict, or (q1, q2, q3) tuple, optional
+        The reduction to run.  Omit to query the full model directly.
+    sweep : SweepJob, dict, or omega array, optional
+        Distortion sweep over the ROM (or the full model when *reduce*
+        is omitted); ``compare_full=True`` adds the full-model
+        reference and deviation columns.
+    transient : TransientJob or dict, optional
+        Transient simulation of the ROM (or full model), optionally
+        against the full model.
+    store : ModelStore or path, optional
+        Serve/record the reduction through a content-addressed store:
+        an already-seen (system, reducer) pair loads from disk instead
+        of recomputing.
+    sparse : bool, optional
+        Force CSR/dense MNA assembly for netlist/spec targets.
+
+    Returns a :class:`PipelineResult`; call ``.report()`` for the
+    JSON-able summary the CLI prints.
+    """
+    reduce_job = ReductionJob.coerce(reduce)
+    sweep_job = SweepJob.coerce(sweep)
+    transient_job = TransientJob.coerce(transient)
+
+    if isinstance(target, dict):
+        system, info = system_from_spec(target, sparse=sparse)
+    else:
+        system = (
+            target.compile(sparse=sparse)
+            if isinstance(target, Netlist)
+            else target
+        )
+        # MOR and the Volterra kernels speak polynomial systems:
+        # exponential-diode systems are lifted unconditionally (exact
+        # quadratic-linearization), whatever jobs were requested.
+        lifted = isinstance(system, ExponentialODE)
+        if lifted:
+            system = system.quadratic_linearize()
+        info = _system_info(system, lifted)
+
+    jobs_requested = any(
+        job is not None for job in (reduce_job, sweep_job, transient_job)
+    )
+    if jobs_requested and not isinstance(system, PolynomialODE):
+        # Fail with a clear error instead of an AttributeError deep in
+        # the query layers: the pipeline's reducer and Volterra kernels
+        # speak polynomial systems only.
+        raise ValidationError(
+            f"run_pipeline jobs need a polynomial system "
+            f"(QLDAE/CubicODE/PolynomialODE, or an ExponentialODE to "
+            f"lift); got {type(system).__name__}.  For LTI StateSpace "
+            "models use repro.mor.reduce_lti or balanced_truncation "
+            "directly."
+        )
+
+    artifact = None
+    rom = None
+    store_hit = None
+    reduce_time = None
+    if reduce_job is not None:
+        reducer = reduce_job.reducer()
+        start = time.perf_counter()
+        if store is not None:
+            if not isinstance(store, ModelStore):
+                store = ModelStore(store)
+            artifact, store_hit = store.reduce(system, reducer)
+        else:
+            artifact = ReductionArtifact.from_reduction(
+                reducer.reduce(system),
+                system=system,
+                reducer=reducer,
+                system_fingerprint=fingerprint_system(system),
+            )
+        reduce_time = time.perf_counter() - start
+        rom = artifact.rom
+
+    query_system = rom.system if rom is not None else system
+
+    sweep_result = None
+    if sweep_job is not None:
+        omegas = sweep_job.omegas
+        _, hd2, hd3 = distortion_sweep(
+            query_system.to_explicit(), omegas,
+            amplitude=sweep_job.amplitude,
+        )
+        sweep_result = {
+            "omegas": omegas,
+            "hd2": hd2,
+            "hd3": hd3,
+            "amplitude": sweep_job.amplitude,
+            "on": "rom" if rom is not None else "full",
+        }
+        if sweep_job.compare_full and rom is not None:
+            _, hd2_full, hd3_full = distortion_sweep(
+                system.to_explicit(), omegas,
+                amplitude=sweep_job.amplitude,
+            )
+            sweep_result["hd2_full"] = hd2_full
+            sweep_result["hd3_full"] = hd3_full
+            sweep_result["hd2_worst_rel_dev"] = _worst_rel_dev(
+                hd2, hd2_full
+            )
+            sweep_result["hd3_worst_rel_dev"] = _worst_rel_dev(
+                hd3, hd3_full
+            )
+
+    transient_result = None
+    if transient_job is not None:
+        result = simulate(
+            query_system, transient_job.source,
+            t_end=transient_job.t_end, dt=transient_job.dt,
+        )
+        transient_result = {
+            "on": "rom" if rom is not None else "full",
+            **_trace_summary(result),
+        }
+        transient_result["times"] = result.times
+        transient_result["output"] = result.output(0)
+        if transient_job.compare_full and rom is not None:
+            full = simulate(
+                system, transient_job.source,
+                t_end=transient_job.t_end, dt=transient_job.dt,
+            )
+            transient_result["full"] = _trace_summary(full)
+            transient_result["full_output"] = full.output(0)
+            transient_result["max_rel_error"] = float(
+                max_relative_error(full.output(0), result.output(0))
+            )
+
+    jobs = {}
+    if reduce_job is not None:
+        jobs["reduce"] = reduce_job
+    if sweep_job is not None:
+        jobs["sweep"] = sweep_job
+    if transient_job is not None:
+        jobs["transient"] = transient_job
+
+    return PipelineResult(
+        system,
+        info,
+        artifact=artifact,
+        rom=rom,
+        store_hit=store_hit,
+        reduce_time=reduce_time,
+        sweep=sweep_result,
+        transient=transient_result,
+        jobs=jobs,
+    )

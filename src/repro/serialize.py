@@ -1,0 +1,249 @@
+"""Serialization substrate: nested payload trees ↔ ``.npz`` files.
+
+The offline/online split of the paper's NMOR workflow (reduce once,
+query many times) only pays off if the reduction *survives the process*:
+systems, ROMs and reduction artifacts must round-trip through disk.
+This module is the shared codec every ``to_dict``/``from_dict`` +
+``save``/``load`` pair in the library builds on.
+
+A *payload tree* is a nested structure of
+
+* JSON scalars (``None``, ``bool``, ``int``, ``float``, ``str``),
+* complex scalars,
+* lists/tuples (tuples normalize to lists on decode),
+* string-keyed dicts,
+* numpy ndarrays (any dtype numpy stores natively), and
+* scipy sparse matrices (normalized to CSR — sparsity is **preserved**:
+  a CSR matrix written to disk comes back as CSR, never densified).
+
+``save_payload`` flattens the tree into one ``.npz`` archive: every
+array/CSR block becomes an npz member, the remaining structure becomes a
+JSON manifest stored as a ``uint8`` member.  Loads use
+``allow_pickle=False`` throughout, so a payload file can never execute
+code — a corrupt or malicious file fails with an exception, which the
+:mod:`repro.store` layer treats as a cache miss.
+
+Writes are atomic (temp file + ``os.replace`` in the target directory),
+so a crash mid-write can never leave a half-written file under the final
+name.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import ValidationError
+
+__all__ = [
+    "array_digest",
+    "json_safe",
+    "load_payload",
+    "save_payload",
+    "update_digest",
+]
+
+#: Reserved marker keys — payload dicts must not use them as plain keys.
+_MARKERS = ("__ndarray__", "__csr__", "__complex__", "__manifest__")
+
+
+# ---------------------------------------------------------------------------
+# encoding / decoding
+# ---------------------------------------------------------------------------
+
+
+def _encode(node, arrays, path):
+    """Encode one tree node into its JSON form, collecting arrays."""
+    if node is None or isinstance(node, (bool, str)):
+        return node
+    if isinstance(node, (int, np.integer)):
+        return int(node)
+    if isinstance(node, (float, np.floating)):
+        return float(node)
+    if isinstance(node, (complex, np.complexfloating)):
+        node = complex(node)
+        return {"__complex__": [node.real, node.imag]}
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {"__ndarray__": key}
+    if sp.issparse(node):
+        csr = sp.csr_matrix(node)
+        key = f"a{len(arrays)}"
+        arrays[f"{key}.data"] = csr.data
+        arrays[f"{key}.indices"] = csr.indices
+        arrays[f"{key}.indptr"] = csr.indptr
+        return {"__csr__": {"key": key, "shape": list(csr.shape)}}
+    if isinstance(node, (list, tuple)):
+        return [
+            _encode(item, arrays, f"{path}[{idx}]")
+            for idx, item in enumerate(node)
+        ]
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise ValidationError(
+                    f"payload dict keys must be strings, got {key!r} "
+                    f"at {path}"
+                )
+            if key in _MARKERS:
+                raise ValidationError(
+                    f"payload key {key!r} is reserved (at {path})"
+                )
+            out[key] = _encode(value, arrays, f"{path}.{key}")
+        return out
+    raise ValidationError(
+        f"cannot serialize object of type {type(node).__name__} at {path}"
+    )
+
+
+def _decode(node, arrays):
+    if isinstance(node, dict):
+        if "__complex__" in node:
+            re_part, im_part = node["__complex__"]
+            return complex(re_part, im_part)
+        if "__ndarray__" in node:
+            return arrays[node["__ndarray__"]]
+        if "__csr__" in node:
+            meta = node["__csr__"]
+            key = meta["key"]
+            return sp.csr_matrix(
+                (
+                    arrays[f"{key}.data"],
+                    arrays[f"{key}.indices"],
+                    arrays[f"{key}.indptr"],
+                ),
+                shape=tuple(meta["shape"]),
+            )
+        return {key: _decode(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode(item, arrays) for item in node]
+    return node
+
+
+# ---------------------------------------------------------------------------
+# file I/O
+# ---------------------------------------------------------------------------
+
+
+def save_payload(path, tree):
+    """Write a payload tree to *path* as one ``.npz`` archive, atomically.
+
+    The archive is assembled in a temp file in the destination directory
+    and moved into place with ``os.replace``, so concurrent readers see
+    either the old file or the new one — never a torn write.
+    """
+    path = os.fspath(path)
+    arrays = {}
+    manifest = _encode(tree, arrays, path="$")
+    manifest_bytes = json.dumps(manifest).encode("utf-8")
+    arrays["__manifest__"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_payload(path):
+    """Load a payload tree written by :func:`save_payload`.
+
+    Raises on any structural problem (missing manifest, bad JSON, missing
+    array members, truncated zip) — callers that need corruption
+    *tolerance* catch and treat it as absence, as :mod:`repro.store`
+    does.  ``allow_pickle=False``: payload files cannot execute code.
+    """
+    with np.load(os.fspath(path), allow_pickle=False) as archive:
+        if "__manifest__" not in archive.files:
+            raise ValidationError(
+                f"{path} is not a repro payload file (no manifest)"
+            )
+        manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        arrays = {
+            name: archive[name]
+            for name in archive.files
+            if name != "__manifest__"
+        }
+    return _decode(manifest, arrays)
+
+
+# ---------------------------------------------------------------------------
+# hashing / sanitizing helpers
+# ---------------------------------------------------------------------------
+
+
+def update_digest(digest, value):
+    """Feed one payload value (scalar, ndarray or sparse) into *digest*.
+
+    Dense arrays hash their shape, dtype and C-contiguous bytes; sparse
+    matrices hash the CSR structure (indptr/indices) *and* data, so two
+    systems with the same sparsity pattern but different entries — or
+    the same entries in a different pattern — fingerprint differently.
+    """
+    if value is None:
+        digest.update(b"<none>")
+    elif sp.issparse(value):
+        csr = sp.csr_matrix(value)
+        digest.update(b"csr")
+        digest.update(repr(csr.shape).encode())
+        digest.update(str(csr.dtype).encode())
+        digest.update(np.ascontiguousarray(csr.indptr).tobytes())
+        digest.update(np.ascontiguousarray(csr.indices).tobytes())
+        digest.update(np.ascontiguousarray(csr.data).tobytes())
+    elif isinstance(value, np.ndarray):
+        digest.update(b"dense")
+        digest.update(repr(value.shape).encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    else:
+        digest.update(repr(value).encode())
+    return digest
+
+
+def array_digest(value):
+    """Hex SHA-256 of one array/sparse matrix (shape + dtype + data)."""
+    return update_digest(hashlib.sha256(), value).hexdigest()
+
+
+def json_safe(value):
+    """Coerce diagnostics (e.g. ``ReducedOrderModel.details``) to the
+    payload-scalar subset: numpy scalars unwrap, complex numbers stay
+    complex (the codec encodes them), small arrays become lists, and
+    anything unrecognized degrades to ``str(value)`` — diagnostics must
+    never make an artifact unsaveable.
+
+    Non-finite floats become the strings ``"inf"``/``"-inf"``/``"nan"``:
+    strict RFC-8259 JSON has no tokens for them, and the pipeline/CLI
+    reports built on this helper promise machine-parseable output
+    (``json.dumps(..., allow_nan=False)`` downstream enforces it).
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if np.isfinite(value) else repr(value)
+    if isinstance(value, (complex, np.complexfloating)):
+        return complex(value)
+    if isinstance(value, np.ndarray):
+        return json_safe(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_safe(val) for key, val in value.items()}
+    return str(value)

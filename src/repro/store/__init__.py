@@ -1,0 +1,27 @@
+"""Persistence layer: reduction artifacts and the content-addressed
+model store.
+
+This package is the disk half of the paper's offline/online split —
+reduce once (:meth:`ModelStore.reduce` computes on a miss, serves from
+disk on a hit), then answer distortion/response queries on the reloaded
+ROM in any later process.  See :mod:`repro.pipeline` for the one-call
+API that routes through it and ``python -m repro`` for the CLI.
+"""
+
+from .artifact import (
+    SCHEMA_VERSION,
+    ReductionArtifact,
+    SchemaMismatchError,
+    reducer_provenance,
+)
+from .modelstore import ModelStore, fingerprint_system, reducer_fingerprint
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ReductionArtifact",
+    "SchemaMismatchError",
+    "reducer_provenance",
+    "ModelStore",
+    "fingerprint_system",
+    "reducer_fingerprint",
+]

@@ -1,0 +1,173 @@
+"""Reduction artifacts: a ROM bundled with its provenance.
+
+A :class:`~repro.mor.ReducedOrderModel` alone answers *what* the reduced
+system is; an artifact also answers *where it came from* — which system
+(structural fingerprint), which reducer configuration (orders, expansion
+points, strategy, tolerances), which library version, and a content hash
+of the projection basis so a tampered or bit-rotted artifact is detected
+on load instead of silently serving wrong distortion numbers.
+"""
+
+import time
+
+from ..errors import ValidationError
+from ..mor.base import ReducedOrderModel
+from ..serialize import array_digest, json_safe, load_payload, save_payload
+
+__all__ = ["ReductionArtifact", "SCHEMA_VERSION", "SchemaMismatchError"]
+
+#: Artifact schema version.  Bump on any incompatible payload change;
+#: the store treats entries with a different schema as cache misses
+#: (recompute-and-overwrite) rather than attempting migration.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatchError(ValidationError):
+    """An intact artifact written under an incompatible schema version.
+
+    Distinct from generic load failures so :class:`~repro.store.
+    ModelStore` can treat it as a clean miss (recompute-and-overwrite)
+    without quarantining a file that another library version can still
+    read.
+    """
+
+
+def reducer_provenance(reducer):
+    """Declarative description of a reducer's configuration.
+
+    Collects the identity-defining attributes shared by the library's
+    reducers (orders, expansion points, strategy, deduplication flag,
+    deflation tolerance) plus the class name.  Unknown reducer types
+    contribute whichever of these attributes they define — enough to
+    distinguish any two configurations of the same class.
+    """
+    desc = {"class": type(reducer).__name__}
+    for attr in ("orders", "expansion_points", "strategy", "deduplicate",
+                 "tol"):
+        if hasattr(reducer, attr):
+            desc[attr] = json_safe(getattr(reducer, attr))
+    return desc
+
+
+class ReductionArtifact:
+    """A reduced-order model plus the provenance of its reduction.
+
+    Attributes
+    ----------
+    rom : ReducedOrderModel
+        The reduction result (reduced system + basis + diagnostics).
+    provenance : dict
+        Flat JSON-safe record: ``schema``, ``library_version``,
+        ``created_unix``, ``method``, ``orders``, ``expansion_points``,
+        ``strategy``, ``tol``, ``basis_hash``, ``system_fingerprint``,
+        ``system_class``, ``system_name``, ``full_order``,
+        ``reduced_order``, ``build_time`` (absent fields were unknown at
+        creation time).
+    """
+
+    def __init__(self, rom, provenance):
+        if not isinstance(rom, ReducedOrderModel):
+            raise ValidationError(
+                f"rom must be a ReducedOrderModel, got {type(rom).__name__}"
+            )
+        self.rom = rom
+        self.provenance = dict(provenance)
+
+    @classmethod
+    def from_reduction(cls, rom, system=None, reducer=None,
+                       system_fingerprint=None):
+        """Bundle a freshly built *rom* with full provenance.
+
+        *system* and *reducer* are optional — whatever is passed is
+        recorded; the basis hash and ROM geometry always are.
+        """
+        from .. import __version__
+
+        provenance = {
+            "schema": SCHEMA_VERSION,
+            "library_version": __version__,
+            "created_unix": float(time.time()),
+            "method": rom.method,
+            "orders": json_safe(rom.orders),
+            "expansion_points": json_safe(rom.expansion_points),
+            "basis_hash": array_digest(rom.basis),
+            "full_order": int(rom.full_order),
+            "reduced_order": int(rom.order),
+            "build_time": json_safe(rom.build_time),
+        }
+        if reducer is not None:
+            provenance["reducer"] = reducer_provenance(reducer)
+            for attr in ("strategy", "tol"):
+                if hasattr(reducer, attr):
+                    provenance[attr] = json_safe(getattr(reducer, attr))
+        if system is not None:
+            provenance["system_class"] = type(system).__name__
+            provenance["system_name"] = getattr(system, "name", "")
+        if system_fingerprint is not None:
+            provenance["system_fingerprint"] = str(system_fingerprint)
+        return cls(rom, provenance)
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self):
+        """True when the stored basis hash matches the basis content."""
+        recorded = self.provenance.get("basis_hash")
+        return recorded is None or recorded == array_digest(self.rom.basis)
+
+    def describe(self):
+        """Provenance summary (JSON-safe copy) for reports and ``info``."""
+        return json_safe(self.provenance)
+
+    def __repr__(self):
+        return (
+            f"ReductionArtifact(method={self.rom.method!r}, "
+            f"order={self.rom.order}, full_order={self.rom.full_order}, "
+            f"schema={self.provenance.get('schema')})"
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "__class__": "ReductionArtifact",
+            "schema": SCHEMA_VERSION,
+            "rom": self.rom.to_dict(),
+            "provenance": json_safe(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        kind = data.get("__class__")
+        if kind != "ReductionArtifact":
+            raise ValidationError(
+                f"payload describes a {kind!r}, not a ReductionArtifact"
+            )
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"artifact schema {schema!r} is not supported by this "
+                f"library version (expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            ReducedOrderModel.from_dict(data["rom"]), data["provenance"]
+        )
+
+    def save(self, path):
+        """Write the artifact to *path* as one ``.npz`` archive (atomic)."""
+        return save_payload(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path, verify=True):
+        """Load an artifact written by :meth:`save`.
+
+        With *verify* (default) the basis content hash is re-checked and
+        a mismatch raises :class:`~repro.errors.ValidationError` — the
+        store maps that to a cache miss.
+        """
+        artifact = cls.from_dict(load_payload(path))
+        if verify and not artifact.verify():
+            raise ValidationError(
+                f"artifact {path} failed its basis content check "
+                "(corrupt or tampered)"
+            )
+        return artifact

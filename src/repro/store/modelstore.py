@@ -1,0 +1,249 @@
+"""Content-addressed on-disk cache of reduction artifacts.
+
+The offline/online split of the paper's method only becomes a *serving*
+architecture once reductions survive the process: :class:`ModelStore`
+keys each artifact by a structural fingerprint of the system (shapes,
+dtypes, sparsity pattern and data digests) combined with the reducer
+configuration, so ``store.reduce(system, reducer)`` on an already-seen
+pair is a disk hit — across runs, processes and machines sharing the
+store directory.
+
+Design points:
+
+* **Content addressing** — the key is a SHA-256 over the system's
+  numerical content and the reducer's identity-defining parameters.
+  Renaming a system does not fork the cache; changing one matrix entry
+  or one tolerance does.
+* **Atomic writes** — artifacts and metadata go through temp-file +
+  ``os.replace`` in the entry directory, so concurrent writers race
+  benignly (last writer wins with a complete file) and a crash can
+  never publish a torn artifact.
+* **Versioned schema** — every entry records the artifact schema;
+  entries from an incompatible schema read as misses and are
+  recomputed, never migrated in place.
+* **Corruption-safe loads** — any load failure (truncated zip, bad
+  JSON, failed basis-hash check) is quarantined and treated as a miss:
+  the caller recomputes and overwrites.  A broken cache can cost time,
+  never correctness.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..serialize import json_safe, update_digest
+from ..systems.exponential import ExponentialODE
+from ..systems.lti import StateSpace
+from ..systems.polynomial import PolynomialODE
+from .artifact import (
+    SCHEMA_VERSION,
+    ReductionArtifact,
+    SchemaMismatchError,
+    reducer_provenance,
+)
+
+__all__ = ["ModelStore", "fingerprint_system", "reducer_fingerprint"]
+
+#: Fingerprint-format tag; bump when the hashed field set changes so old
+#: store entries age out instead of colliding.
+_FINGERPRINT_TAG = b"repro-fingerprint-v1"
+
+
+def fingerprint_system(system):
+    """Hex SHA-256 structural fingerprint of a system.
+
+    Hashes the class name plus every kernel-defining matrix — shapes,
+    dtypes, sparsity structure (CSR indptr/indices) and data bytes —
+    so two systems fingerprint equal iff they are numerically the same
+    model.  The human-readable ``name`` is deliberately excluded.
+
+    Supports the serializable system families (:class:`StateSpace`,
+    the :class:`PolynomialODE` hierarchy) plus :class:`ExponentialODE`
+    (hashing its exponential terms), covering everything
+    MNA assembly can produce.
+    """
+    digest = hashlib.sha256()
+    digest.update(_FINGERPRINT_TAG)
+    digest.update(type(system).__name__.encode())
+    if isinstance(system, StateSpace):
+        fields = ("a", "b", "c", "d")
+    elif isinstance(system, (PolynomialODE, ExponentialODE)):
+        fields = ("g1", "b", "g2", "g3", "mass", "output")
+    else:
+        raise ValidationError(
+            f"cannot fingerprint a {type(system).__name__}; supported: "
+            "StateSpace, PolynomialODE/QLDAE/CubicODE, ExponentialODE"
+        )
+    for field in fields:
+        digest.update(field.encode())
+        update_digest(digest, getattr(system, field, None))
+    d1 = getattr(system, "d1", None)
+    digest.update(b"d1")
+    if d1 is None:
+        update_digest(digest, None)
+    else:
+        for mat in d1:
+            update_digest(digest, mat)
+    for term in getattr(system, "exp_terms", ()):
+        digest.update(b"exp_term")
+        update_digest(digest, np.asarray(term.coefficient))
+        update_digest(digest, np.asarray(term.exponent))
+    return digest.hexdigest()
+
+
+def reducer_fingerprint(reducer):
+    """Hex SHA-256 of a reducer's identity-defining configuration."""
+    desc = reducer_provenance(reducer)
+    encoded = json.dumps(desc, sort_keys=True, default=repr)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class ModelStore:
+    """Content-addressed artifact store rooted at one directory.
+
+    Parameters
+    ----------
+    root : str or Path
+        Store directory (created if absent).  Layout:
+        ``objects/<key[:2]>/<key>/artifact.npz`` + ``meta.json`` per
+        entry; quarantined corrupt files get a ``.corrupt`` suffix.
+
+    The instance keeps hit/miss/corruption counters
+    (:meth:`stats`, in the spirit of ``sparse_lu_stats``) so serving
+    layers can report cache effectiveness.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, system, reducer):
+        """Content-addressed key for (*system*, *reducer*)."""
+        digest = hashlib.sha256()
+        digest.update(f"schema-{SCHEMA_VERSION}".encode())
+        digest.update(fingerprint_system(system).encode())
+        digest.update(reducer_fingerprint(reducer).encode())
+        return digest.hexdigest()
+
+    def _entry_dir(self, key):
+        return self.root / "objects" / key[:2] / key
+
+    def artifact_path(self, key):
+        """Path the artifact for *key* lives at (whether or not present)."""
+        return self._entry_dir(key) / "artifact.npz"
+
+    def keys(self):
+        """Keys of all entries currently on disk (sorted)."""
+        objects = self.root / "objects"
+        return sorted(
+            entry.name
+            for shard in objects.iterdir() if shard.is_dir()
+            for entry in shard.iterdir()
+            if entry.is_dir() and (entry / "artifact.npz").exists()
+        )
+
+    def __len__(self):
+        return len(self.keys())
+
+    def __contains__(self, key):
+        return self.artifact_path(key).exists()
+
+    # -- load / store --------------------------------------------------------
+
+    def _quarantine(self, path):
+        """Move a broken file aside so it is not re-parsed every query."""
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass  # racing writer replaced it, or FS refuses: still a miss
+
+    def load(self, key):
+        """Artifact for *key*, or ``None`` on miss/corruption/schema skew.
+
+        Never raises for a bad entry: any failure (unreadable archive,
+        schema mismatch, failed basis-hash verification) quarantines the
+        file, bumps the ``corrupt`` counter and reads as a miss so the
+        caller recomputes.
+        """
+        path = self.artifact_path(key)
+        if not path.exists():
+            return None
+        try:
+            return ReductionArtifact.load(path, verify=True)
+        except SchemaMismatchError:
+            # Incompatible-but-intact entry written by another library
+            # version: recompute-and-overwrite, don't quarantine what
+            # that version can still read.
+            return None
+        except Exception:
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+
+    def store(self, key, artifact):
+        """Write *artifact* under *key* (atomic; overwrites).
+
+        Returns the artifact path.  ``meta.json`` carries the
+        JSON-queryable summary (schema, provenance) so tooling can list
+        a store without decompressing any arrays.
+        """
+        entry = self._entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        path = entry / "artifact.npz"
+        artifact.save(path)
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "provenance": json_safe(artifact.provenance),
+        }
+        tmp = entry / "meta.json.tmp"
+        tmp.write_text(json.dumps(meta, indent=2, default=repr) + "\n")
+        os.replace(tmp, entry / "meta.json")
+        return path
+
+    # -- the serving entry point ---------------------------------------------
+
+    def reduce(self, system, reducer):
+        """Reduce *system* with *reducer*, served from the store if seen.
+
+        Returns ``(artifact, hit)`` — *hit* is True when the artifact
+        came off disk.  On a miss (including a corrupt or
+        schema-incompatible entry) the reduction runs in-process and
+        the store entry is (re)written.
+        """
+        key = self.key_for(system, reducer)
+        artifact = self.load(key)
+        if artifact is not None:
+            self.hits += 1
+            return artifact, True
+        self.misses += 1
+        rom = reducer.reduce(system)
+        artifact = ReductionArtifact.from_reduction(
+            rom,
+            system=system,
+            reducer=reducer,
+            system_fingerprint=fingerprint_system(system),
+        )
+        self.store(key, artifact)
+        return artifact, False
+
+    def stats(self):
+        """Counters + entry count, ``sparse_lu_stats``-style."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "corrupt": int(self.corrupt),
+            "entries": len(self),
+        }
+
+    def __repr__(self):
+        return f"ModelStore(root={str(self.root)!r}, entries={len(self)})"

@@ -1,13 +1,36 @@
 """System classes: LTI state spaces, QLDAE / cubic polynomial systems,
 and descriptor-pencil regularization."""
 
+from ..errors import ValidationError
 from .bilinear import BilinearSystem, carleman_bilinearize
 from .descriptor import DescriptorPencil, regularize_polynomial
 from .exponential import ExponentialODE, ExpTerm
 from .lti import StateSpace
 from .polynomial import CubicODE, PolynomialODE, QLDAE
 
+
+def system_from_dict(data):
+    """Rebuild any serializable system from its payload dict.
+
+    Dispatches on the recorded ``__class__`` across the serializable
+    system families (:class:`StateSpace` and the :class:`PolynomialODE`
+    hierarchy) — the generic entry point used by
+    :meth:`repro.mor.ReducedOrderModel.from_dict`, which cannot know in
+    advance which family a saved ROM projected.
+    """
+    kind = data.get("__class__")
+    if kind == "StateSpace":
+        return StateSpace.from_dict(data)
+    if kind in ("PolynomialODE", "QLDAE", "CubicODE"):
+        return PolynomialODE.from_dict(data)
+    raise ValidationError(
+        f"payload describes {kind!r}, which is not a serializable "
+        "system class"
+    )
+
+
 __all__ = [
+    "system_from_dict",
     "BilinearSystem",
     "carleman_bilinearize",
     "DescriptorPencil",

@@ -13,6 +13,7 @@ import scipy.sparse as sp
 from .._validation import as_matrix, as_square_matrix
 from ..errors import SystemStructureError, ValidationError
 from ..linalg.resolvent import ResolventFactory
+from ..serialize import load_payload, save_payload
 
 __all__ = ["StateSpace"]
 
@@ -92,6 +93,42 @@ class StateSpace:
     def _a_dense(self):
         """Dense view of ``A`` for the inherently dense algorithms."""
         return self.a.toarray() if sp.issparse(self.a) else self.a
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        """Payload-tree form (see :mod:`repro.serialize`).
+
+        ``A`` keeps its storage class: a CSR state matrix serializes as
+        CSR and reloads as CSR, so a round-tripped sparse system stays
+        on the sparse fast path.
+        """
+        return {
+            "__class__": type(self).__name__,
+            "a": self.a,
+            "b": self.b,
+            "c": self.c,
+            "d": self.d,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`StateSpace` from :meth:`to_dict` output."""
+        kind = data.get("__class__", "StateSpace")
+        if kind != "StateSpace":
+            raise ValidationError(
+                f"payload describes a {kind!r}, not a StateSpace"
+            )
+        return cls(data["a"], data["b"], c=data["c"], d=data["d"])
+
+    def save(self, path):
+        """Write the system to *path* as one ``.npz`` archive (atomic)."""
+        return save_payload(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path):
+        """Load a system written by :meth:`save`."""
+        return cls.from_dict(load_payload(path))
 
     def poles(self):
         """Eigenvalues of ``A``."""

@@ -38,6 +38,7 @@ import scipy.sparse as sp
 from .._validation import as_matrix, as_sparse, as_square_matrix
 from ..errors import NumericalError, SystemStructureError, ValidationError
 from ..linalg.lu import sparse_lu
+from ..serialize import load_payload, save_payload
 from .lti import StateSpace
 
 __all__ = ["PolynomialODE", "QLDAE", "CubicODE"]
@@ -567,6 +568,70 @@ class PolynomialODE:
             g1, b, g2=g2, g3=g3, d1=d1, mass=mass, output=output, name=name
         )
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        """Payload-tree form (see :mod:`repro.serialize`).
+
+        Storage classes are preserved exactly: a CSR ``g1``/``mass``/
+        ``d1`` serializes as CSR and reloads as CSR (round-tripped
+        circuit-scale systems stay on the sparse fast path), dense
+        stays dense, and ``g2``/``g3`` stay sparse coefficient matrices.
+        """
+        return {
+            "__class__": type(self).__name__,
+            "g1": self.g1,
+            "b": self.b,
+            "g2": self.g2,
+            "g3": self.g3,
+            "d1": None if self.d1 is None else list(self.d1),
+            "mass": self.mass,
+            "output": self.output,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a polynomial system from :meth:`to_dict` output.
+
+        Dispatches on the recorded class (``PolynomialODE``, ``QLDAE``,
+        ``CubicODE``) so a payload round-trips to the class that wrote
+        it.  Calling this on a subclass whose invariants the payload
+        violates (e.g. ``CubicODE.from_dict`` on a quadratic payload)
+        raises :class:`~repro.errors.SystemStructureError` through the
+        subclass's own ``_from_parts`` checks.
+        """
+        kind = data.get("__class__", "PolynomialODE")
+        target = _POLYNOMIAL_CLASSES.get(kind)
+        if target is None:
+            raise ValidationError(
+                f"payload describes a {kind!r}, which is not a "
+                "polynomial system class"
+            )
+        if not issubclass(target, cls):
+            raise ValidationError(
+                f"payload describes a {kind!r}, not a {cls.__name__}"
+            )
+        return target._from_parts(
+            g1=data["g1"],
+            b=data["b"],
+            g2=data["g2"],
+            g3=data["g3"],
+            d1=data["d1"],
+            mass=data["mass"],
+            output=data["output"],
+            name=data["name"],
+        )
+
+    def save(self, path):
+        """Write the system to *path* as one ``.npz`` archive (atomic)."""
+        return save_payload(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path):
+        """Load a system written by :meth:`save`."""
+        return cls.from_dict(load_payload(path))
+
     def linear_part(self):
         """The linearization at the origin as a :class:`StateSpace`.
 
@@ -682,3 +747,12 @@ class CubicODE(PolynomialODE):
                 "CubicODE cannot carry quadratic or bilinear terms"
             )
         return cls(g1, b, g3=g3, mass=mass, output=output, name=name)
+
+
+#: Payload ``__class__`` → constructor dispatch for
+#: :meth:`PolynomialODE.from_dict`.
+_POLYNOMIAL_CLASSES = {
+    "PolynomialODE": PolynomialODE,
+    "QLDAE": QLDAE,
+    "CubicODE": CubicODE,
+}

@@ -72,6 +72,19 @@ class TestReporting:
         with pytest.raises(ValidationError):
             format_table(["a", "b"], [["only-one"]])
 
+    def test_format_table_complex_cells(self):
+        """Complex kernel values format like floats (4 sig digits per
+        component), not as 17-digit ``str()`` blobs."""
+        value = complex(0.123456789123456, -9.87654321e-5)
+        table = format_table(["h2"], [[value]])
+        cell = table.splitlines()[-1].strip()
+        assert cell == "0.1235-9.877e-05j"
+        assert str(value) not in table
+        zero = format_table(["h2"], [[0j]]).splitlines()[-1].strip()
+        assert zero == "0"
+        npx = format_table(["h2"], [[np.complex128(1.5 + 2j)]])
+        assert "1.5+2j" in npx
+
     def test_sparkline_width(self):
         line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
         assert len(line) == 40

@@ -140,6 +140,46 @@ class TestPrimitives:
             engine.get_executor()
         engine.configure(workers=1)
 
+    def test_auto_workers_resolution(self, monkeypatch):
+        import os
+
+        expected = max(1, (os.cpu_count() or 1) - 1)
+        assert engine.resolve_workers("auto") == expected
+        assert engine.resolve_workers("AUTO") == expected
+        assert engine.resolve_workers(None) == 1
+        assert engine.resolve_workers(3) == 3
+        with pytest.raises(ValidationError):
+            engine.resolve_workers("lots")
+        try:
+            engine.configure(workers="auto")
+            stats = engine.worker_stats()
+            assert stats["requested"] == "auto"
+            assert stats["workers"] == expected
+            assert stats["backend"] == (
+                "serial" if expected == 1 else "threads"
+            )
+            assert stats["cpu_count"] == os.cpu_count()
+        finally:
+            engine.configure(workers=1)
+        # env form: REPRO_WORKERS=auto on first lazy resolution
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        engine.executor._set_executor(None)
+        assert engine.current_workers() == expected
+        assert engine.worker_stats()["requested"] == "auto"
+        engine.configure(workers=1)
+
+    def test_worker_stats_tracks_using_scope(self):
+        engine.configure(workers=1)
+        base = engine.worker_stats()
+        assert base["backend"] == "serial"
+        with engine.using(workers=4):
+            inside = engine.worker_stats()
+            assert inside == {**inside, "backend": "threads", "workers": 4,
+                              "requested": 4}
+        after = engine.worker_stats()
+        assert after["backend"] == "serial"
+        assert after["workers"] == 1
+
 
 # ---------------------------------------------------------------------------
 # serial <-> parallel parity (acceptance bound 1e-10)

@@ -455,3 +455,37 @@ class TestPerfLogAppend:
         with pytest.raises(ValueError, match="refusing to overwrite"):
             perf_log.append_run(out, {"meta": {}})
         assert out.read_text() == '[{"meta": {}}]'
+
+    def test_concurrent_appends_serialize(self, perf_log, tmp_path):
+        """Two racing bench runs must both land (lock + atomic replace)."""
+        import json
+        import threading
+
+        out = tmp_path / "BENCH.json"
+        n_threads, per_thread = 4, 8
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(idx):
+            barrier.wait()
+            try:
+                for k in range(per_thread):
+                    perf_log.append_run(
+                        out, {"meta": {"bench": f"w{idx}", "k": k}}
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        runs = perf_log.load_runs(out)
+        assert len(runs) == n_threads * per_thread
+        json.loads(out.read_text())  # the document is intact JSON
+        assert not list(tmp_path.glob("*.tmp*"))  # no torn temp files

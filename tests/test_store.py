@@ -1,0 +1,260 @@
+"""ModelStore + ReductionArtifact: fingerprints, hit/miss semantics,
+corruption fallback, and the acceptance-criterion round-trip fidelity
+(dense n = 200 and sparse n = 1024 with ``toarray`` poisoned).
+"""
+
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.distortion import distortion_sweep
+from repro.circuits.examples import quadratic_rc_ladder_netlist
+from repro.mor import AssociatedTransformMOR
+from repro.store import (
+    ModelStore,
+    ReductionArtifact,
+    fingerprint_system,
+    reducer_fingerprint,
+)
+from repro.systems import QLDAE, StateSpace
+
+
+def forbid_densify(monkeypatch):
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"sparse matrix {self.shape} was densified on the fast path"
+        )
+
+    for cls in (sp.csr_matrix, sp.csc_matrix, sp.coo_matrix):
+        monkeypatch.setattr(cls, "toarray", boom)
+        monkeypatch.setattr(cls, "todense", boom)
+
+
+def ladder(n, **kwargs):
+    return quadratic_rc_ladder_netlist(n, **kwargs)
+
+
+class TestFingerprints:
+    def test_structural_identity_ignores_name(self):
+        a = ladder(20).compile()
+        b = ladder(20).compile()
+        b.name = "renamed"
+        assert fingerprint_system(a) == fingerprint_system(b)
+
+    def test_data_change_changes_fingerprint(self):
+        a = ladder(20).compile()
+        b = ladder(20, g_quad=0.51).compile()
+        assert fingerprint_system(a) != fingerprint_system(b)
+
+    def test_sparse_and_dense_fingerprint_differently(self):
+        net = ladder(20)
+        assert fingerprint_system(net.compile(sparse=True)) != (
+            fingerprint_system(net.compile(sparse=False))
+        )
+
+    def test_sparse_fingerprint_without_densify(self, monkeypatch):
+        system = ladder(40).compile(sparse=True)
+        forbid_densify(monkeypatch)
+        assert fingerprint_system(system) == fingerprint_system(system)
+
+    def test_class_distinguishes(self):
+        qldae = QLDAE(-np.eye(3), np.ones(3))
+        ss = StateSpace(-np.eye(3), np.ones(3))
+        assert fingerprint_system(qldae) != fingerprint_system(ss)
+
+    def test_unsupported_type_raises(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            fingerprint_system(object())
+
+    def test_reducer_fingerprint_tracks_config(self):
+        base = AssociatedTransformMOR(orders=(4, 2, 0))
+        same = AssociatedTransformMOR(orders=(4, 2, 0))
+        other_orders = AssociatedTransformMOR(orders=(5, 2, 0))
+        other_strategy = AssociatedTransformMOR(
+            orders=(4, 2, 0), strategy="decoupled"
+        )
+        other_point = AssociatedTransformMOR(
+            orders=(4, 2, 0), expansion_points=(1.0,)
+        )
+        assert reducer_fingerprint(base) == reducer_fingerprint(same)
+        assert reducer_fingerprint(base) != reducer_fingerprint(other_orders)
+        assert reducer_fingerprint(base) != (
+            reducer_fingerprint(other_strategy)
+        )
+        assert reducer_fingerprint(base) != reducer_fingerprint(other_point)
+
+
+class TestStoreSemantics:
+    def test_miss_then_hit(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        art1, hit1 = store.reduce(system, reducer)
+        assert hit1 is False
+        art2, hit2 = store.reduce(system, reducer)
+        assert hit2 is True
+        assert np.array_equal(art2.rom.basis, art1.rom.basis)
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+        assert store.stats()["entries"] == 1
+        key = store.key_for(system, reducer)
+        assert key in store
+        assert store.keys() == [key]
+
+    def test_fresh_handle_hits_same_directory(self, tmp_path):
+        root = tmp_path / "store"
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        _, hit1 = ModelStore(root).reduce(system, reducer)
+        _, hit2 = ModelStore(root).reduce(system, reducer)
+        assert (hit1, hit2) == (False, True)
+
+    def test_different_config_is_a_miss(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        store.reduce(system, AssociatedTransformMOR(orders=(4, 2, 0)))
+        _, hit = store.reduce(
+            system, AssociatedTransformMOR(orders=(4, 2, 0), tol=1e-8)
+        )
+        assert hit is False
+        assert len(store) == 2
+
+    def test_corruption_falls_back_to_recompute(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        art, _ = store.reduce(system, reducer)
+        key = store.key_for(system, reducer)
+        path = store.artifact_path(key)
+        path.write_bytes(path.read_bytes()[:64])  # truncate mid-archive
+        art2, hit = store.reduce(system, reducer)
+        assert hit is False
+        assert store.stats()["corrupt"] == 1
+        assert np.array_equal(art2.rom.basis, art.rom.basis)
+        # quarantined, rewritten, and servable again
+        assert path.with_name("artifact.npz.corrupt").exists()
+        _, hit3 = store.reduce(system, reducer)
+        assert hit3 is True
+
+    def test_tampered_basis_detected_by_content_hash(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        art, _ = store.reduce(system, reducer)
+        key = store.key_for(system, reducer)
+        # re-save an artifact whose basis was perturbed but whose
+        # recorded hash was not: load must reject it
+        art.rom.basis[0, 0] += 1e-3
+        from repro.serialize import save_payload
+
+        payload = {
+            "__class__": "ReductionArtifact",
+            "schema": 1,
+            "rom": art.rom.to_dict(),
+            "provenance": art.provenance,
+        }
+        save_payload(store.artifact_path(key), payload)
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_schema_mismatch_is_clean_miss_not_corruption(self, tmp_path):
+        """A future-schema entry reads as a miss but is neither counted
+        corrupt nor quarantined (another library version can read it)."""
+        from repro.serialize import save_payload
+
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        art, _ = store.reduce(system, reducer)
+        key = store.key_for(system, reducer)
+        payload = art.to_dict()
+        payload["schema"] = 99
+        save_payload(store.artifact_path(key), payload)
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 0
+        assert store.artifact_path(key).exists()  # not quarantined
+        _, hit = store.reduce(system, reducer)  # recompute-and-overwrite
+        assert hit is False
+        _, hit2 = store.reduce(system, reducer)
+        assert hit2 is True
+
+    def test_meta_json_is_queryable(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        store.reduce(system, reducer)
+        key = store.key_for(system, reducer)
+        meta = json.loads(
+            (store.artifact_path(key).parent / "meta.json").read_text()
+        )
+        assert meta["key"] == key
+        assert meta["provenance"]["reduced_order"] > 0
+
+    def test_artifact_verify_and_describe(self, tmp_path):
+        system = ladder(24).compile()
+        reducer = AssociatedTransformMOR(orders=(4, 2, 0))
+        art = ReductionArtifact.from_reduction(
+            reducer.reduce(system), system=system, reducer=reducer,
+            system_fingerprint=fingerprint_system(system),
+        )
+        assert art.verify()
+        desc = art.describe()
+        assert desc["system_class"] == "QLDAE"
+        assert desc["reducer"]["strategy"] == "coupled"
+        path = tmp_path / "art.npz"
+        art.save(path)
+        back = ReductionArtifact.load(path)
+        assert back.provenance["basis_hash"] == (
+            art.provenance["basis_hash"]
+        )
+        assert np.array_equal(back.rom.basis, art.rom.basis)
+
+
+class TestRoundTripFidelity:
+    """The ISSUE acceptance criterion: stored-and-reloaded artifacts
+    reproduce the in-memory ROM's distortion sweep to <= 1e-12."""
+
+    OMEGAS = np.linspace(0.05, 0.5, 5)
+
+    def _sweep(self, system):
+        _, hd2, hd3 = distortion_sweep(
+            system.to_explicit(), self.OMEGAS, amplitude=0.05
+        )
+        return hd2, hd3
+
+    def test_dense_n200(self, tmp_path):
+        system = ladder(200).compile(sparse=False)
+        reducer = AssociatedTransformMOR(orders=(3, 2, 1))
+        store = ModelStore(tmp_path / "store")
+        art, _ = store.reduce(system, reducer)
+        hd2_mem, hd3_mem = self._sweep(art.rom.system)
+        reloaded, hit = ModelStore(tmp_path / "store").reduce(
+            system, reducer
+        )
+        assert hit is True
+        hd2_disk, hd3_disk = self._sweep(reloaded.rom.system)
+        assert np.abs(hd2_disk - hd2_mem).max() <= 1e-12
+        assert np.abs(hd3_disk - hd3_mem).max() <= 1e-12
+
+    @pytest.mark.slow
+    def test_sparse_n1024_poisoned(self, tmp_path, monkeypatch):
+        system = ladder(
+            1024, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=8
+        ).compile(sparse=True)
+        reducer = AssociatedTransformMOR(
+            orders=(3, 2, 1), strategy="decoupled"
+        )
+        store_root = tmp_path / "store"
+        forbid_densify(monkeypatch)
+        art, hit = ModelStore(store_root).reduce(system, reducer)
+        assert hit is False
+        hd2_mem, hd3_mem = self._sweep(art.rom.system)
+        reloaded, hit2 = ModelStore(store_root).reduce(system, reducer)
+        assert hit2 is True
+        hd2_disk, hd3_disk = self._sweep(reloaded.rom.system)
+        assert np.abs(hd2_disk - hd2_mem).max() <= 1e-12
+        assert np.abs(hd3_disk - hd3_mem).max() <= 1e-12
