@@ -9,13 +9,13 @@ other tools can parse.
 """
 
 import csv
+import io
 import json
-import os
 
 import numpy as np
 
 from ..errors import ValidationError
-from ..serialize import json_safe
+from ..serialize import durable_write, json_safe
 
 __all__ = [
     "format_table",
@@ -73,7 +73,7 @@ def format_table(headers, rows, title=None):
 
 
 def write_json_report(path, report):
-    """Write a JSON report atomically (temp file + ``os.replace``).
+    """Write a JSON report atomically and durably.
 
     *report* is passed through :func:`repro.serialize.json_safe` first
     (numpy scalars unwrap, non-finite floats become strings, complex
@@ -81,16 +81,14 @@ def write_json_report(path, report):
     results serialize without the caller hand-sanitizing every
     diagnostic — and the output is strict RFC-8259 JSON
     (``allow_nan=False``): no bare ``Infinity``/``NaN`` tokens that
-    choke ``jq`` and other conforming parsers.
+    choke ``jq`` and other conforming parsers.  The write goes through
+    :func:`repro.serialize.durable_write` (fsync'd temp file +
+    ``os.replace`` + directory fsync), so a crash can neither tear the
+    report nor lose it after it appeared.
     """
-    path = os.fspath(path)
     text = json.dumps(json_safe(report), indent=2, default=repr,
                       sort_keys=False, allow_nan=False)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text + "\n")
-    os.replace(tmp, path)
-    return path
+    return durable_write(path, text + "\n")
 
 
 def write_csv_report(path, headers, rows):
@@ -100,25 +98,22 @@ def write_csv_report(path, headers, rows):
     CSV is machine-interchange: floats keep their shortest round-trip
     repr.
     """
-    path = os.fspath(path)
     headers = [str(h) for h in headers]
     for idx, row in enumerate(rows):
         if len(row) != len(headers):
             raise ValidationError(
                 f"row {idx} has {len(row)} cells, expected {len(headers)}"
             )
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        for row in rows:
-            writer.writerow([
-                repr(cell) if isinstance(cell, complex)
-                and not isinstance(cell, float) else cell
-                for cell in row
-            ])
-    os.replace(tmp, path)
-    return path
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([
+            repr(cell) if isinstance(cell, complex)
+            and not isinstance(cell, float) else cell
+            for cell in row
+        ])
+    return durable_write(path, buffer.getvalue())
 
 
 def sparkline(values, width=72):

@@ -13,12 +13,20 @@ Commands::
     python -m repro sweep    spec.json --omega-start 0.02 --omega-stop 0.5
     python -m repro simulate spec.json --source sine:amplitude=0.1 \
         --t-end 10 --dt 0.02
+    python -m repro store verify ./models
 
 A spec file may embed default job sections (``"reduce"``, ``"sweep"``,
 ``"transient"`` — the dict forms the job classes coerce from); command
 line flags override them.  ``--store DIR`` routes reductions through a
 content-addressed :class:`~repro.store.ModelStore`, so re-running a
 command on an unchanged spec serves the reduction from disk.
+
+Fault tolerance: ``--checkpoint [DIR]`` snapshots the reduction at
+stage boundaries so a killed build resumes bit-identically (``--resume``
+asserts committed state exists), ``--memory-budget 512M`` spills
+basis/Π blocks past the budget to disk-backed memory maps, and
+``store verify`` re-checks every artifact's basis SHA-256 digest,
+quarantining corrupt entries (exit 1 when any are found).
 
 Exit codes: 0 on success, 2 on a usage/spec error, 1 on an internal
 numerical failure.
@@ -161,6 +169,21 @@ def _add_reduce_arguments(parser):
         "--store", metavar="DIR",
         help="serve/record reductions through a ModelStore directory",
     )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const=True, metavar="DIR",
+        help="checkpoint the reduction so a killed build resumes "
+        "bit-identically; with no DIR the state is keyed under --store",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="require committed checkpoint state to resume from "
+        "(fails instead of silently recomputing)",
+    )
+    parser.add_argument(
+        "--memory-budget", metavar="BYTES",
+        help="cap resident basis/Pi memory (e.g. 512M); excess blocks "
+        "spill to disk-backed memory maps",
+    )
 
 
 def _add_output_arguments(parser):
@@ -236,6 +259,24 @@ def build_parser():
         help="also integrate the full model and report ROM error",
     )
     _add_output_arguments(p_sim)
+
+    p_store = sub.add_parser(
+        "store", help="model-store maintenance (verify, ...)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_verify = store_sub.add_parser(
+        "verify",
+        help="re-load every artifact and re-check its basis SHA-256 "
+        "digest; quarantines corrupt entries (exit 1 when any found)",
+    )
+    p_verify.add_argument("root", help="ModelStore directory")
+    p_verify.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corrupt entries without moving them aside",
+    )
+    p_verify.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
     return parser
 
 
@@ -304,7 +345,33 @@ def _emit(args, report, csv_table=None):
         write_csv_report(args.csv, headers, rows)
 
 
+def _pipeline_extras(args):
+    """Fault-tolerance knobs shared by reduce/sweep/simulate."""
+    return {
+        "checkpoint": getattr(args, "checkpoint", None),
+        "resume": bool(getattr(args, "resume", False)),
+        "memory_budget": getattr(args, "memory_budget", None),
+    }
+
+
 def _run(args):
+    if args.command == "store":
+        if args.store_command != "verify":
+            raise ValidationError(
+                f"unknown store command {args.store_command!r}"
+            )
+        root = Path(args.root)
+        if not (root / "objects").is_dir():
+            raise ValidationError(
+                f"{root} is not a ModelStore directory (no objects/)"
+            )
+        store = ModelStore(root)
+        report = store.verify(quarantine=not args.no_quarantine)
+        report["command"] = "store verify"
+        report["root"] = str(store.root)
+        _emit(args, report)
+        return 1 if report["corrupt"] else 0
+
     spec = _load_spec(args.spec)
     sparse = _sparse_flag(args)
     store = getattr(args, "store", None)
@@ -320,7 +387,7 @@ def _run(args):
     if args.command == "reduce":
         reduce_job = _reduce_job(args, spec, required=True)
         result = run_pipeline(spec, reduce=reduce_job, store=store,
-                              sparse=sparse)
+                              sparse=sparse, **_pipeline_extras(args))
         report = result.report()
         report["command"] = "reduce"
         if store is not None:
@@ -337,7 +404,7 @@ def _run(args):
         reduce_job = _reduce_job(args, spec, required=False)
         result = run_pipeline(
             spec, reduce=reduce_job, sweep=_sweep_job(args, spec),
-            store=store, sparse=sparse,
+            store=store, sparse=sparse, **_pipeline_extras(args),
         )
         report = result.report()
         report["command"] = "sweep"
@@ -359,7 +426,7 @@ def _run(args):
         result = run_pipeline(
             spec, reduce=reduce_job,
             transient=_transient_job(args, spec),
-            store=store, sparse=sparse,
+            store=store, sparse=sparse, **_pipeline_extras(args),
         )
         transient = result.transient
         times = transient.pop("times")

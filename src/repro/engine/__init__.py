@@ -66,6 +66,7 @@ execution on the worker thread, so composition can never deadlock the
 pool.
 """
 
+from ..errors import TaskError  # noqa: F401  (re-export: engine failures)
 from .executor import (  # noqa: F401
     Executor,
     SerialExecutor,
@@ -74,6 +75,8 @@ from .executor import (  # noqa: F401
     current_workers,
     get_executor,
     resolve_workers,
+    set_task_retries,
+    task_retries,
     using,
     worker_stats,
 )
@@ -82,11 +85,14 @@ from .plan import SolvePlan, SolveTask, chunk_bounds, parallel_map  # noqa: F401
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "TaskError",
     "ThreadPoolExecutor",
     "configure",
     "current_workers",
     "get_executor",
     "resolve_workers",
+    "set_task_retries",
+    "task_retries",
     "using",
     "worker_stats",
     "SolvePlan",

@@ -27,6 +27,8 @@ __all__ = [
     "current_workers",
     "get_executor",
     "resolve_workers",
+    "set_task_retries",
+    "task_retries",
     "using",
     "worker_stats",
 ]
@@ -264,6 +266,66 @@ def worker_stats():
         "requested": requested,
         "cpu_count": os.cpu_count(),
     }
+
+
+# ---------------------------------------------------------------------------
+# transient-failure retry policy
+# ---------------------------------------------------------------------------
+
+#: Bounded-retry count for transient task failures; resolved lazily from
+#: REPRO_TASK_RETRIES (default 0 — retries are strictly opt-in, so the
+#: default behaviour is bit-identical to the historical engine).
+_task_retries = None
+
+
+def _resolve_retries(value):
+    try:
+        count = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"task retries must be a non-negative integer, got {value!r}"
+        ) from exc
+    if count < 0:
+        raise ValidationError(
+            f"task retries must be >= 0, got {count}"
+        )
+    return count
+
+
+def task_retries():
+    """The configured transient-retry count (``REPRO_TASK_RETRIES``)."""
+    global _task_retries
+    with _config_lock:
+        if _task_retries is None:
+            raw = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+            if not raw:
+                _task_retries = 0
+            else:
+                try:
+                    _task_retries = _resolve_retries(raw)
+                except ValidationError as exc:
+                    _task_retries = 0
+                    raise ValidationError(
+                        f"REPRO_TASK_RETRIES must be a non-negative "
+                        f"integer, got {raw!r}"
+                    ) from exc
+        return _task_retries
+
+
+def set_task_retries(count):
+    """Set the transient-retry count; returns the previous value.
+
+    ``None`` reverts to the lazy ``REPRO_TASK_RETRIES`` default.  Only
+    *transient* failures (OS errors, memory pressure, injected faults)
+    are ever retried — deterministic numerical or validation failures
+    fail fast regardless of this setting.
+    """
+    global _task_retries
+    resolved = None if count is None else _resolve_retries(count)
+    with _config_lock:
+        previous = _task_retries
+        _task_retries = resolved
+    return previous
 
 
 class using:

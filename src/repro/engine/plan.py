@@ -7,13 +7,92 @@ iteration* (binding every input explicitly — tasks must not depend on
 loop variables by closure mutation) and calls :meth:`SolvePlan.execute`.
 Results always come back in submission order, so the assembly code after
 the plan is identical for every backend.
+
+Failure semantics: a task exception is re-raised as a dynamically
+created subclass of both :class:`~repro.errors.TaskError` and the
+original exception type, carrying the task's identity (plan label,
+submission index, tag, attempt count).  Handlers that catch the
+original type across a plan boundary keep working; handlers that only
+care *which* task died get the identity without parsing tracebacks.
+Transient failures (OS errors, memory pressure, injected faults) are
+retried up to the opt-in :func:`~repro.engine.executor.task_retries`
+bound before being raised.
 """
 
 from functools import partial
 
-from .executor import get_executor
+from ..errors import FaultInjected, TaskError
+from ..testing.faults import fault_point
+from .executor import get_executor, task_retries
 
 __all__ = ["SolveTask", "SolvePlan", "chunk_bounds", "parallel_map"]
+
+#: Failure families eligible for bounded retry: environmental conditions
+#: that can clear between attempts.  Deterministic failures (validation,
+#: numerical breakdown, structural errors) always fail fast — retrying
+#: them re-runs identical floating-point work to the identical end.
+_TRANSIENT = (FaultInjected, OSError, MemoryError)
+
+#: original exception type -> TaskError subclass preserving it.
+_WRAP_CACHE = {}
+
+
+def _wrapper_class(base):
+    """TaskError subclass that is also a *base* (isinstance-preserving)."""
+    cls = _WRAP_CACHE.get(base)
+    if cls is None:
+        if issubclass(base, TaskError):
+            cls = base
+        else:
+            try:
+                cls = type(
+                    "Task" + base.__name__,
+                    (TaskError, base),
+                    {"__doc__": TaskError.__doc__, "__module__": __name__},
+                )
+            except TypeError:
+                # Incompatible C-level layout (rare: e.g. OSError
+                # subclasses with fixed slots): fall back to the plain
+                # TaskError — the original stays reachable as __cause__.
+                cls = TaskError
+        _WRAP_CACHE[base] = cls
+    return cls
+
+
+def _task_failure(exc, plan_label, index, tag, attempts):
+    """Build the TaskError (subclass) describing a failed task."""
+    cls = _wrapper_class(type(exc))
+    suffix = f" after {attempts} attempts" if attempts > 1 else ""
+    message = (
+        f"task {index} of plan {plan_label!r} (tag={tag!r}) "
+        f"failed{suffix}: {exc}"
+    )
+    failure = cls(message)
+    failure.plan_label = plan_label
+    failure.task_index = index
+    failure.task_tag = tag
+    failure.attempts = attempts
+    return failure
+
+
+def _make_runner(task, index, plan_label, retries):
+    """Zero-arg callable running *task* with fault point, retry and wrap."""
+
+    def run():
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                fault_point("engine.task")
+                return task()
+            except Exception as exc:
+                if attempts <= retries and isinstance(exc, _TRANSIENT):
+                    continue
+                raise _task_failure(
+                    exc, plan_label, index, task.tag, attempts
+                ) from exc
+
+    return run
 
 
 class SolveTask:
@@ -69,19 +148,30 @@ class SolvePlan:
     def tags(self):
         return [task.tag for task in self.tasks]
 
-    def execute(self, executor=None):
+    def execute(self, executor=None, retries=None):
         """Run every task; results in submission order.
 
         With no *executor* the globally configured backend is used.
         Empty and single-task plans short-circuit to inline execution on
-        any backend.
+        any backend.  *retries* bounds re-execution of transiently
+        failing tasks (default: the global
+        :func:`~repro.engine.executor.task_retries`, itself 0 unless
+        ``REPRO_TASK_RETRIES`` opts in); any failure surfaces as a
+        :class:`~repro.errors.TaskError` subclass that preserves the
+        original exception type and carries the task identity.
         """
         if not self.tasks:
             return []
-        if len(self.tasks) == 1:
-            return [self.tasks[0]()]
+        if retries is None:
+            retries = task_retries()
+        runners = [
+            _make_runner(task, index, self.label, retries)
+            for index, task in enumerate(self.tasks)
+        ]
+        if len(runners) == 1:
+            return [runners[0]()]
         executor = executor if executor is not None else get_executor()
-        return executor.run(self.tasks)
+        return executor.run(runners)
 
     def __repr__(self):
         return f"SolvePlan({self.label!r}, {len(self.tasks)} tasks)"

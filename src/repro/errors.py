@@ -42,3 +42,46 @@ class ConvergenceError(NumericalError):
         self.iterations = iterations
         #: Last residual norm observed (may be None).
         self.residual = residual
+
+
+class TaskError(ReproError):
+    """A :class:`~repro.engine.plan.SolveTask` failed during execution.
+
+    Carries the identity of the failing task (plan label, submission
+    index, caller tag) and the number of attempts made, so a failure
+    deep inside a thousand-task plan is diagnosable without a debugger.
+
+    The engine raises a dynamically created subclass that *also*
+    inherits the original exception type, so existing handlers catching
+    e.g. :class:`NumericalError` across a plan boundary keep working.
+    The original exception is always attached as ``__cause__``.
+    """
+
+    def __init__(self, message, plan_label=None, task_index=None,
+                 task_tag=None, attempts=1):
+        super().__init__(message)
+        #: Label of the plan the task belonged to (may be None).
+        self.plan_label = plan_label
+        #: Submission-order index of the task within its plan.
+        self.task_index = task_index
+        #: Caller-supplied task tag (free-form; may be None).
+        self.task_tag = task_tag
+        #: Number of execution attempts made (> 1 when retries ran).
+        self.attempts = attempts
+
+
+class FaultInjected(ReproError):
+    """A deterministic fault fired at a :func:`repro.testing.faults.
+    fault_point` (``REPRO_FAULT=<site>:<n>:raise``).
+
+    Only ever raised by the fault-injection harness; production code
+    paths never construct it.  Classified as transient by the engine's
+    retry policy, which lets tests exercise the retry machinery.
+    """
+
+    def __init__(self, message, site=None, hit=None):
+        super().__init__(message)
+        #: The fault site that fired (e.g. ``"checkpoint.before_commit"``).
+        self.site = site
+        #: The 1-based hit count at which the site fired.
+        self.hit = hit

@@ -26,6 +26,7 @@ import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
 
+from .. import memory
 from .._validation import as_matrix, as_square_matrix
 from ..errors import NumericalError, ValidationError
 from .kronecker import mode_apply
@@ -653,8 +654,31 @@ class FactoredPi:
                 f"left factor must be (n, r^2) = ({self.u.shape[0]}, "
                 f"{r * r}), got {self.left.shape}"
             )
+        # The n × r² left factor is the single largest dense block a
+        # sparse decoupled build holds; it is only ever *read* after
+        # construction, so past the memory budget it lives on disk as a
+        # read-only memmap (a no-op while the budget is unlimited).
+        self.left = memory.admit(self.left, "pi-left")
         self.residual = residual
         self.rhs_norm = rhs_norm
+
+    def state_dict(self):
+        """Payload-tree snapshot (checkpoint/resume round trip)."""
+        return {
+            "left": np.asarray(self.left),
+            "u": self.u,
+            "residual": self.residual,
+            "rhs_norm": self.rhs_norm,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        """Rebuild from a :meth:`state_dict` payload tree."""
+        return cls(
+            state["left"], state["u"],
+            residual=state.get("residual"),
+            rhs_norm=state.get("rhs_norm"),
+        )
 
     @property
     def n(self):
@@ -811,6 +835,30 @@ class _KrylovBasis:
         self._h = None
         return True
 
+    def state_dict(self):
+        """Snapshot of the growth state (checkpoint/resume round trip).
+
+        ``u``/``au``/``atu``/``last`` fully determine every future
+        absorb/extend decision; the projected-matrix cache ``_h`` is
+        derived and rebuilds on demand.
+        """
+        return {
+            "u": self.u.copy(),
+            "au": self.au.copy(),
+            "atu": self.atu.copy(),
+            "last": int(self.last),
+            "max_dim": int(self.max_dim),
+        }
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot (same ``g1``)."""
+        self.u = np.ascontiguousarray(np.asarray(state["u"]))
+        self.au = np.ascontiguousarray(np.asarray(state["au"]))
+        self.atu = np.ascontiguousarray(np.asarray(state["atu"]))
+        self.last = int(state["last"])
+        self.max_dim = int(state.get("max_dim", self.max_dim))
+        self._h = None
+
     def h(self):
         """Projected matrix ``H = Uᴴ G1 U`` (cached per growth step)."""
         if self._h is None or self._h.shape[0] != self.dim:
@@ -921,6 +969,69 @@ class LowRankKronSolver:
     def dim(self):
         """Current dimension of the shared Kronecker-sum basis."""
         return self._basis.dim
+
+    # -- checkpoint state ----------------------------------------------------
+
+    @property
+    def state_version(self):
+        """Cheap fingerprint of the mutable shared state.
+
+        Changes whenever :meth:`state_dict` would produce a different
+        snapshot — used by the checkpoint layer to skip re-serializing
+        an unchanged solver between stages.
+        """
+        basis = self._basis
+        return (
+            basis.dim,
+            bool(np.iscomplexobj(basis.u)),
+            len(self._sigma_ok),
+        )
+
+    def state_dict(self):
+        """Payload-tree snapshot of everything a resumed run needs to
+        replay bit-identically: the shared extended-Krylov basis
+        (``U``/``AU``/``AᵀU``/``last``) and the fallback-shift cache
+        ``_sigma_ok`` (which changes *numerics*, not just speed — a
+        resumed run must retreat to the same fallback shifts).  The
+        dense small-problem caches rebuild deterministically.
+        """
+        with self._lock:
+            state = self._basis.state_dict()
+            state["sigma_ok"] = [
+                {
+                    "sigma": sigma,
+                    "transpose": bool(transpose),
+                    "use": sigma_use,
+                }
+                for (sigma, transpose), sigma_use
+                in self._sigma_ok.items()
+            ]
+            state["stats"] = {
+                key: int(value) for key, value in self.stats.items()
+            }
+            return state
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot onto this solver.
+
+        The solver must wrap the same ``g1`` (the checkpoint layer
+        guarantees that through the structural fingerprint in its key).
+        """
+        with self._lock:
+            self._basis.load_state(state)
+            self.max_dim = self._basis.max_dim
+            self._sigma_ok = {
+                (complex(entry["sigma"]), bool(entry["transpose"])):
+                    entry["use"]
+                for entry in state.get("sigma_ok", [])
+            }
+            for key, value in state.get("stats", {}).items():
+                if key in self.stats:
+                    self.stats[key] = int(value)
+            self._small = None
+            self._small_dim = -1
+            self._eig = None
+            self._eig_dim = -1
 
     # -- direction generation ------------------------------------------------
 

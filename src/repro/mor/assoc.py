@@ -31,6 +31,7 @@ import time
 
 import numpy as np
 
+from .. import memory
 from .._validation import check_nonnegative_int
 from ..engine import SolvePlan
 from ..errors import ValidationError
@@ -45,6 +46,12 @@ from ..volterra.associated import (
 from .base import ReducedOrderModel
 
 __all__ = ["AssociatedTransformMOR"]
+
+#: Tasks per checkpoint stage on the checkpointed build path.  Small
+#: enough that a kill between any two commits loses at most a few
+#: chains; large enough that the per-stage manifest rewrite stays a
+#: rounding error against the chain solves.
+_CHECKPOINT_CHUNK = 4
 
 
 def _rom_stability_details(reduced):
@@ -115,7 +122,7 @@ class AssociatedTransformMOR:
         self.deduplicate = bool(deduplicate)
         self.tol = float(tol)
 
-    def build_basis(self, system, workspace=None):
+    def build_basis(self, system, workspace=None, checkpoint=None):
         """Construct the projection basis ``V`` (without projecting).
 
         Returns ``(V, details)`` where *details* records per-block vector
@@ -136,6 +143,15 @@ class AssociatedTransformMOR:
         emitted as **one** engine plan and dispatched across the
         configured backend's workers; the serial default reproduces the
         historical inline loops exactly.
+
+        With *checkpoint* (a :class:`~repro.checkpoint.JobState`) the
+        build instead executes in deterministically ordered stages of at
+        most ``_CHECKPOINT_CHUNK`` chains, durably committing each stage
+        (chain vectors + the workspace's mutable solver state) as it
+        completes.  A killed build re-entered with the same checkpoint
+        loads the committed prefix from disk, restores the solver state
+        the last commit recorded, and computes only the remaining stages
+        — yielding a bit-identical basis.
         """
         system = system.to_explicit()
         # Memoized per system: multiple expansion points, repeated
@@ -143,6 +159,15 @@ class AssociatedTransformMOR:
         # share one Schur factorization of G1 (and one Π / lifted
         # operator when present).
         workspace = workspace or AssociatedWorkspace.for_system(system)
+        if checkpoint is not None:
+            # Restore *before* the realizations are constructed: the
+            # decoupled-H2 realization consumes Π and the shared
+            # low-rank solver at init time, and a resumed build must
+            # see exactly the state the committed stages were computed
+            # with (also skipping the Π recompute on resume).
+            state = checkpoint.solver_state()
+            if state:
+                workspace.restore_solver_state(state)
         q1, q2, q3 = self.orders
 
         r1 = associated_h1(system, workspace) if q1 > 0 else None
@@ -155,62 +180,77 @@ class AssociatedTransformMOR:
                 r2 = associated_h2(system, workspace)
         r3 = associated_h3(system, workspace) if q3 > 0 else None
 
-        # Emit every independent chain into one plan, remembering how to
-        # regroup the ordered results into the per-block layout the
-        # details dict has always reported.
-        plan = SolvePlan("assoc-mor.build_basis")
-        groups = []  # (label, s0, start, end, subsystem tags or None)
+        # One spec per (transfer function × expansion point):
+        # (label, s0, chain callables, subsystem tags or None), in the
+        # deterministic order both execution paths share.
+        specs = []
         for s0 in self.expansion_points:
             if r1 is not None:
-                start = len(plan)
-                for fn in r1.chain_tasks(
-                    q1, s0=s0, deduplicate=self.deduplicate
-                ):
-                    plan.add(fn, tag=("H1", s0))
-                groups.append(("H1", s0, start, len(plan), None))
+                fns = r1.chain_tasks(q1, s0=s0, deduplicate=self.deduplicate)
+                specs.append(("H1", s0, fns, None))
             if dec2 is not None:
-                start = len(plan)
                 tasks = dec2.chain_tasks(
                     q2, s0=s0, deduplicate=self.deduplicate
                 )
-                for subsystem, fn in tasks:
-                    plan.add(fn, tag=(f"H2-sub{subsystem}", s0))
-                subsystems = [subsystem for subsystem, _ in tasks]
-                groups.append(("H2-dec", s0, start, len(plan), subsystems))
+                specs.append((
+                    "H2-dec", s0,
+                    [fn for _, fn in tasks],
+                    [subsystem for subsystem, _ in tasks],
+                ))
             elif r2 is not None:
-                start = len(plan)
-                for fn in r2.chain_tasks(
-                    q2, s0=s0, deduplicate=self.deduplicate
-                ):
-                    plan.add(fn, tag=("H2", s0))
-                groups.append(("H2", s0, start, len(plan), None))
+                fns = r2.chain_tasks(q2, s0=s0, deduplicate=self.deduplicate)
+                specs.append(("H2", s0, fns, None))
             if r3 is not None:
-                start = len(plan)
-                for fn in r3.chain_tasks(
-                    q3, s0=s0, deduplicate=self.deduplicate
-                ):
-                    plan.add(fn, tag=("H3", s0))
-                groups.append(("H3", s0, start, len(plan), None))
+                fns = r3.chain_tasks(q3, s0=s0, deduplicate=self.deduplicate)
+                specs.append(("H3", s0, fns, None))
 
-        results = plan.execute()
+        if checkpoint is None:
+            # Emit every independent chain into one plan, remembering
+            # how to regroup the ordered results into the per-block
+            # layout the details dict has always reported.
+            plan = SolvePlan("assoc-mor.build_basis")
+            bounds = []
+            for label, s0, fns, subsystems in specs:
+                start = len(plan)
+                for index, fn in enumerate(fns):
+                    tag = (
+                        (f"H2-sub{subsystems[index]}", s0)
+                        if subsystems is not None else (label, s0)
+                    )
+                    plan.add(fn, tag=tag)
+                bounds.append((start, len(plan)))
+            results = plan.execute()
+            group_chains = [
+                (label, s0, results[start:end], subsystems)
+                for (label, s0, _, subsystems), (start, end)
+                in zip(specs, bounds)
+            ]
+        else:
+            group_chains = self._execute_checkpointed(
+                specs, workspace, checkpoint
+            )
 
         blocks = []
         details = {"blocks": []}
-        for label, s0, start, end, subsystems in groups:
-            chains = results[start:end]
+        for label, s0, chains, subsystems in group_chains:
             if label == "H2-dec":
                 per_sub = {0: [], 1: []}
                 for subsystem, chain in zip(subsystems, chains):
                     per_sub[subsystem].extend(chain)
                 for idx in (0, 1):
-                    block = np.column_stack(per_sub[idx])
+                    block = memory.admit(
+                        np.column_stack(per_sub[idx]), f"H2-sub{idx}"
+                    )
                     blocks.append(block)
                     details["blocks"].append(
                         (f"H2-sub{idx}", s0, block.shape[1])
                     )
             else:
-                block = np.column_stack(
-                    [vec for chain in chains for vec in chain]
+                block = memory.admit(
+                    np.column_stack(
+                        [vec for chain in chains for vec in chain]
+                    ),
+                    label,
                 )
                 blocks.append(block)
                 details["blocks"].append((label, s0, block.shape[1]))
@@ -223,9 +263,81 @@ class AssociatedTransformMOR:
         basis = merge_bases(blocks, tol=self.tol)
         details["raw_vectors"] = int(sum(b.shape[1] for b in blocks))
         details["deflated_to"] = int(basis.shape[1])
+        if checkpoint is not None:
+            details["checkpoint"] = checkpoint.describe()
         return basis, details
 
-    def reduce(self, system):
+    def _execute_checkpointed(self, specs, workspace, checkpoint):
+        """Run the chain groups stage by stage against *checkpoint*.
+
+        Stages execute in a fixed deterministic order; committed stages
+        are consumed strictly as a prefix (a gap — possible only through
+        external file damage — breaks the prefix and everything after it
+        is recomputed, so the solver-state evolution always matches the
+        cold run).  The workspace's mutable solver state is snapshotted
+        with a stage only when it changed since the last commit.
+        """
+        # On resume the restored snapshot *is* the committed version;
+        # on a cold start there is no committed version yet, so the
+        # first stage always snapshots (capturing e.g. the Π computed
+        # during realization construction).  The two snapshot halves are
+        # versioned independently: the Krylov basis grows with most
+        # stages, the (large) Π factor is written exactly once.
+        never = object()
+        committed_lowrank = committed_pi = never
+        if checkpoint.resumed:
+            committed_lowrank, committed_pi = workspace.solver_version()
+        total_stages = sum(
+            -(-len(fns) // _CHECKPOINT_CHUNK) for _, _, fns, _ in specs
+        )
+        group_chains = []
+        prefix = True
+        stage_index = 0
+        for gindex, (label, s0, fns, subsystems) in enumerate(specs):
+            chains = []
+            chunk_starts = range(0, len(fns), _CHECKPOINT_CHUNK)
+            for cindex, lo in enumerate(chunk_starts):
+                hi = min(lo + _CHECKPOINT_CHUNK, len(fns))
+                stage_id = f"{gindex:02d}.{cindex:02d}:{label}@{s0!r}"
+                stage_index += 1
+                if prefix and checkpoint.has_stage(stage_id):
+                    payload = checkpoint.load_stage(stage_id)
+                    part = [
+                        [np.asarray(vec) for vec in chain]
+                        for chain in payload["chains"]
+                    ]
+                else:
+                    prefix = False
+                    plan = SolvePlan(
+                        f"assoc-mor.build_basis[{stage_id}]"
+                    )
+                    for index in range(lo, hi):
+                        tag = (
+                            (f"H2-sub{subsystems[index]}", s0)
+                            if subsystems is not None else (label, s0)
+                        )
+                        plan.add(fns[index], tag=tag)
+                    part = plan.execute()
+                    snapshot = pi_snapshot = None
+                    lowrank_v, pi_v = workspace.solver_version()
+                    if stage_index < total_stages:
+                        # No stage follows the last one, so its solver
+                        # state can never be resumed from: skip the
+                        # (largest) snapshot write entirely.
+                        if lowrank_v != committed_lowrank:
+                            snapshot = workspace.lowrank_state()
+                        if pi_v != committed_pi:
+                            pi_snapshot = workspace.pi_state()
+                    checkpoint.commit_stage(
+                        stage_id, {"chains": part},
+                        solver_state=snapshot, pi_state=pi_snapshot,
+                    )
+                    committed_lowrank, committed_pi = lowrank_v, pi_v
+                chains.extend(part)
+            group_chains.append((label, s0, chains, subsystems))
+        return group_chains
+
+    def reduce(self, system, checkpoint=None):
         """Reduce *system* and return a :class:`ReducedOrderModel`.
 
         The Krylov basis is generated from the explicit form (the
@@ -235,10 +347,14 @@ class AssociatedTransformMOR:
         definiteness structure — and hence ROM stability — that folding
         the mass matrix would destroy.  Both forms have identical
         transfer functions, so the matched moments are the same.
+
+        *checkpoint* (a :class:`~repro.checkpoint.JobState`) makes the
+        basis build stage-committed and resumable — see
+        :meth:`build_basis`.
         """
         explicit = system.to_explicit()
         start = time.perf_counter()
-        basis, details = self.build_basis(explicit)
+        basis, details = self.build_basis(explicit, checkpoint=checkpoint)
         build_time = time.perf_counter() - start
         target = system if system.mass is not None else explicit
         reduced = target.project(basis)

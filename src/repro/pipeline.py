@@ -24,13 +24,16 @@ a dict (the JSON spec format), validates eagerly, and — for sources —
 maps spec tags onto :mod:`repro.simulation.sources` factories.
 """
 
+import contextlib
 import time
 
 import numpy as np
 
+from . import memory
 from ._validation import check_positive_int
 from .analysis.distortion import distortion_sweep
 from .analysis.metrics import max_relative_error
+from .checkpoint import JobState, checkpoint_for
 from .circuits.netlist import Netlist
 from .errors import ValidationError
 from .mor.assoc import AssociatedTransformMOR
@@ -356,7 +359,8 @@ class PipelineResult:
 
     def __init__(self, system, system_info, artifact=None, rom=None,
                  store_hit=None, reduce_time=None, sweep=None,
-                 transient=None, jobs=None):
+                 transient=None, jobs=None, checkpoint_info=None,
+                 memory_info=None):
         self.system = system
         self.system_info = dict(system_info)
         self.artifact = artifact
@@ -366,6 +370,8 @@ class PipelineResult:
         self.sweep = sweep
         self.transient = transient
         self.jobs = dict(jobs or {})
+        self.checkpoint_info = checkpoint_info
+        self.memory_info = memory_info
 
     def report(self):
         """JSON-able report of the whole pipeline run."""
@@ -387,6 +393,10 @@ class PipelineResult:
             }
             if self.artifact is not None:
                 report["reduction"]["provenance"] = self.artifact.describe()
+            if self.checkpoint_info is not None:
+                report["reduction"]["checkpoint"] = dict(self.checkpoint_info)
+        if self.memory_info is not None:
+            report["memory"] = dict(self.memory_info)
         if self.sweep is not None:
             report["sweep"] = json_safe(self.sweep)
         if self.transient is not None:
@@ -442,7 +452,8 @@ def _trace_summary(result):
 
 
 def run_pipeline(target, reduce=None, sweep=None, transient=None,
-                 store=None, sparse=None):
+                 store=None, sparse=None, checkpoint=None, resume=False,
+                 memory_budget=None):
     """Run the declarative MNA → MOR → query pipeline on *target*.
 
     Parameters
@@ -467,6 +478,22 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
         of recomputing.
     sparse : bool, optional
         Force CSR/dense MNA assembly for netlist/spec targets.
+    checkpoint : bool, path, or JobState, optional
+        Checkpoint the reduction at stage boundaries so a killed build
+        resumes bit-identically.  ``True`` keys the checkpoint under
+        the store (requires *store*) exactly like the artifact the
+        build will produce; a path uses that directory; a
+        :class:`~repro.checkpoint.JobState` is used as-is.  The
+        checkpoint is discarded after a successful reduce.
+    resume : bool, optional
+        Assert that committed checkpoint state exists to resume from;
+        raises :class:`ValidationError` when the checkpoint is empty
+        (a guard against typo'd checkpoint paths silently recomputing).
+    memory_budget : int, str, or None, optional
+        Cap resident basis/Π memory for the duration of the run (e.g.
+        ``"512M"``; see :func:`repro.memory.parse_budget`); blocks past
+        the budget spill to disk-backed memory maps.  Overrides
+        ``REPRO_MEMORY_BUDGET`` for this call.
 
     Returns a :class:`PipelineResult`; call ``.report()`` for the
     JSON-able summary the CLI prints.
@@ -474,6 +501,47 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
     reduce_job = ReductionJob.coerce(reduce)
     sweep_job = SweepJob.coerce(sweep)
     transient_job = TransientJob.coerce(transient)
+
+    with contextlib.ExitStack() as stack:
+        if memory_budget is not None:
+            stack.enter_context(memory.limit(memory_budget))
+        return _run_pipeline(
+            target, reduce_job, sweep_job, transient_job, store, sparse,
+            checkpoint, resume, memory_budget,
+        )
+
+
+def _resolve_checkpoint(checkpoint, resume, store, system, reducer):
+    """Coerce the *checkpoint* argument to a JobState (or ``None``)."""
+    if checkpoint is None or checkpoint is False:
+        if resume:
+            raise ValidationError(
+                "resume=True needs a checkpoint: pass checkpoint=True "
+                "(with a store) or a checkpoint directory"
+            )
+        return None
+    if isinstance(checkpoint, JobState):
+        state = checkpoint
+    elif checkpoint is True:
+        if store is None:
+            raise ValidationError(
+                "checkpoint=True keys the checkpoint under the model "
+                "store; pass store=... or an explicit checkpoint "
+                "directory instead"
+            )
+        state = checkpoint_for(store, system, reducer)
+    else:
+        state = checkpoint_for(checkpoint, system, reducer)
+    if resume and not state.resumed:
+        raise ValidationError(
+            f"resume requested but {state.directory} holds no committed "
+            "checkpoint stages"
+        )
+    return state
+
+
+def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
+                  sparse, checkpoint, resume, memory_budget):
 
     if isinstance(target, dict):
         system, info = system_from_spec(target, sparse=sparse)
@@ -510,22 +578,43 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
     rom = None
     store_hit = None
     reduce_time = None
+    checkpoint_info = None
     if reduce_job is not None:
         reducer = reduce_job.reducer()
+        if store is not None and not isinstance(store, ModelStore):
+            store = ModelStore(store)
+        job_state = _resolve_checkpoint(
+            checkpoint, resume, store, system, reducer
+        )
         start = time.perf_counter()
         if store is not None:
-            if not isinstance(store, ModelStore):
-                store = ModelStore(store)
-            artifact, store_hit = store.reduce(system, reducer)
+            artifact, store_hit = store.reduce(
+                system, reducer, checkpoint=job_state
+            )
         else:
+            if job_state is not None:
+                built = reducer.reduce(system, checkpoint=job_state)
+            else:
+                built = reducer.reduce(system)
             artifact = ReductionArtifact.from_reduction(
-                reducer.reduce(system),
+                built,
                 system=system,
                 reducer=reducer,
                 system_fingerprint=fingerprint_system(system),
             )
         reduce_time = time.perf_counter() - start
         rom = artifact.rom
+        if job_state is not None:
+            # The build (or store hit) succeeded: the checkpoint has
+            # served its purpose.  Record its stats, then drop it so a
+            # later run of a *different* job can't trip over stale state.
+            checkpoint_info = job_state.describe()
+            job_state.discard()
+    elif checkpoint or resume:
+        raise ValidationError(
+            "checkpoint/resume only apply to the reduce step; pass "
+            "reduce=... as well"
+        )
 
     query_system = rom.system if rom is not None else system
 
@@ -598,4 +687,8 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
         sweep=sweep_result,
         transient=transient_result,
         jobs=jobs,
+        checkpoint_info=checkpoint_info,
+        memory_info=(
+            memory.stats() if memory_budget is not None else None
+        ),
     )

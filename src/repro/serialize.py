@@ -23,9 +23,14 @@ JSON manifest stored as a ``uint8`` member.  Loads use
 code — a corrupt or malicious file fails with an exception, which the
 :mod:`repro.store` layer treats as a cache miss.
 
-Writes are atomic (temp file + ``os.replace`` in the target directory),
-so a crash mid-write can never leave a half-written file under the final
-name.
+Writes are atomic *and durable*: the archive is assembled in a temp file
+in the target directory, ``fsync``'d, moved into place with
+``os.replace``, and the parent directory is ``fsync``'d — so neither a
+crash mid-write nor a power loss right after the rename can lose or
+tear a file under its final name.  :func:`durable_write` exposes the
+same discipline for small text files (store metadata, reports), and
+both paths carry named :func:`~repro.testing.faults.fault_point` crash
+sites so the guarantee is testable.
 """
 
 import hashlib
@@ -37,9 +42,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from .errors import ValidationError
+from .testing.faults import fault_point
 
 __all__ = [
     "array_digest",
+    "durable_write",
+    "fsync_directory",
     "json_safe",
     "load_payload",
     "save_payload",
@@ -130,25 +138,47 @@ def _decode(node, arrays):
 # ---------------------------------------------------------------------------
 
 
-def save_payload(path, tree):
-    """Write a payload tree to *path* as one ``.npz`` archive, atomically.
+def fsync_directory(directory):
+    """Best-effort ``fsync`` of a directory, making a rename durable.
 
-    The archive is assembled in a temp file in the destination directory
-    and moved into place with ``os.replace``, so concurrent readers see
-    either the old file or the new one — never a torn write.
+    ``os.replace`` is atomic but the new directory entry lives in the
+    page cache until the directory inode is flushed; a power loss in
+    that window can forget the rename.  Failures are swallowed —
+    some filesystems refuse directory fsync, and losing durability
+    there is no worse than the pre-fsync behaviour.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write(path, data, encoding="utf-8"):
+    """Atomically and durably write *data* (str or bytes) at *path*.
+
+    Temp file in the destination directory → ``fsync`` → ``os.replace``
+    → parent-directory ``fsync``.  Crash sites:
+    ``durable.before_replace`` / ``durable.after_replace``.
     """
     path = os.fspath(path)
-    arrays = {}
-    manifest = _encode(tree, arrays, path="$")
-    manifest_bytes = json.dumps(manifest).encode("utf-8")
-    arrays["__manifest__"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+    if isinstance(data, str):
+        data = data.encode(encoding)
     directory = os.path.dirname(path) or "."
     fd, tmp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".tmp", dir=directory
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("durable.before_replace")
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -156,6 +186,51 @@ def save_payload(path, tree):
         except OSError:
             pass
         raise
+    fault_point("durable.after_replace")
+    fsync_directory(directory)
+    return path
+
+
+def save_payload(path, tree, compress=True, durable=True):
+    """Write a payload tree to *path* as one ``.npz`` archive, atomically.
+
+    The archive is assembled in a temp file in the destination directory
+    and moved into place with ``os.replace``, so concurrent readers see
+    either the old file or the new one — never a torn write.  With
+    *durable* (default) the temp file is ``fsync``'d before the rename
+    and the directory after it, so the write also survives power loss.
+    *compress* selects ``np.savez_compressed`` (default) vs plain
+    ``np.savez`` — checkpoint blocks pass ``compress=False`` to keep the
+    incremental-snapshot overhead small.  Crash sites:
+    ``serialize.before_replace`` / ``serialize.after_replace``.
+    """
+    path = os.fspath(path)
+    arrays = {}
+    manifest = _encode(tree, arrays, path="$")
+    manifest_bytes = json.dumps(manifest).encode("utf-8")
+    arrays["__manifest__"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+    directory = os.path.dirname(path) or "."
+    writer = np.savez_compressed if compress else np.savez
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle, **arrays)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        fault_point("serialize.before_replace")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fault_point("serialize.after_replace")
+    if durable:
+        fsync_directory(directory)
     return path
 
 

@@ -28,6 +28,7 @@ Design points:
 """
 
 import hashlib
+import inspect
 import json
 import os
 from pathlib import Path
@@ -35,10 +36,11 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ValidationError
-from ..serialize import json_safe, update_digest
+from ..serialize import durable_write, json_safe, update_digest
 from ..systems.exponential import ExponentialODE
 from ..systems.lti import StateSpace
 from ..systems.polynomial import PolynomialODE
+from ..testing.faults import fault_point
 from .artifact import (
     SCHEMA_VERSION,
     ReductionArtifact,
@@ -46,7 +48,12 @@ from .artifact import (
     reducer_provenance,
 )
 
-__all__ = ["ModelStore", "fingerprint_system", "reducer_fingerprint"]
+__all__ = [
+    "ModelStore",
+    "artifact_key",
+    "fingerprint_system",
+    "reducer_fingerprint",
+]
 
 #: Fingerprint-format tag; bump when the hashed field set changes so old
 #: store entries age out instead of colliding.
@@ -102,6 +109,29 @@ def reducer_fingerprint(reducer):
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
+def artifact_key(system, reducer):
+    """Content-addressed key for (*system*, *reducer*).
+
+    The same structural × reducer fingerprint the store shards entries
+    by; exposed at module level so other layers (checkpoints) can key
+    state identically without holding a :class:`ModelStore`.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"schema-{SCHEMA_VERSION}".encode())
+    digest.update(fingerprint_system(system).encode())
+    digest.update(reducer_fingerprint(reducer).encode())
+    return digest.hexdigest()
+
+
+def _accepts_checkpoint(reducer):
+    """True when ``reducer.reduce`` takes a ``checkpoint`` keyword."""
+    try:
+        signature = inspect.signature(reducer.reduce)
+    except (TypeError, ValueError):
+        return False
+    return "checkpoint" in signature.parameters
+
+
 class ModelStore:
     """Content-addressed artifact store rooted at one directory.
 
@@ -123,16 +153,13 @@ class ModelStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.quarantine_collisions = 0
 
     # -- keys ----------------------------------------------------------------
 
     def key_for(self, system, reducer):
         """Content-addressed key for (*system*, *reducer*)."""
-        digest = hashlib.sha256()
-        digest.update(f"schema-{SCHEMA_VERSION}".encode())
-        digest.update(fingerprint_system(system).encode())
-        digest.update(reducer_fingerprint(reducer).encode())
-        return digest.hexdigest()
+        return artifact_key(system, reducer)
 
     def _entry_dir(self, key):
         return self.root / "objects" / key[:2] / key
@@ -160,9 +187,23 @@ class ModelStore:
     # -- load / store --------------------------------------------------------
 
     def _quarantine(self, path):
-        """Move a broken file aside so it is not re-parsed every query."""
+        """Move a broken file aside so it is not re-parsed every query.
+
+        Repeated corruption of the same entry must not overwrite the
+        evidence: when ``<path>.corrupt`` already exists the quarantine
+        file gets a unique numeric suffix instead, and the collision is
+        counted (:meth:`stats`) so operators notice a store that keeps
+        re-corrupting.
+        """
+        target = f"{path}.corrupt"
+        if os.path.exists(target):
+            self.quarantine_collisions += 1
+            suffix = 1
+            while os.path.exists(f"{target}.{suffix}"):
+                suffix += 1
+            target = f"{target}.{suffix}"
         try:
-            os.replace(path, f"{path}.corrupt")
+            os.replace(path, target)
         except OSError:
             pass  # racing writer replaced it, or FS refuses: still a miss
 
@@ -200,25 +241,32 @@ class ModelStore:
         entry.mkdir(parents=True, exist_ok=True)
         path = entry / "artifact.npz"
         artifact.save(path)
+        fault_point("store.before_meta")
         meta = {
             "schema": SCHEMA_VERSION,
             "key": key,
             "provenance": json_safe(artifact.provenance),
         }
-        tmp = entry / "meta.json.tmp"
-        tmp.write_text(json.dumps(meta, indent=2, default=repr) + "\n")
-        os.replace(tmp, entry / "meta.json")
+        durable_write(
+            entry / "meta.json",
+            json.dumps(meta, indent=2, default=repr) + "\n",
+        )
         return path
 
     # -- the serving entry point ---------------------------------------------
 
-    def reduce(self, system, reducer):
+    def reduce(self, system, reducer, checkpoint=None):
         """Reduce *system* with *reducer*, served from the store if seen.
 
         Returns ``(artifact, hit)`` — *hit* is True when the artifact
         came off disk.  On a miss (including a corrupt or
         schema-incompatible entry) the reduction runs in-process and
         the store entry is (re)written.
+
+        *checkpoint* (a :class:`~repro.checkpoint.JobState`) is passed
+        through to reducers whose ``reduce`` accepts one, so a killed
+        miss-path build resumes from its last committed stage instead of
+        restarting; reducers without checkpoint support run unchanged.
         """
         key = self.key_for(system, reducer)
         artifact = self.load(key)
@@ -226,7 +274,10 @@ class ModelStore:
             self.hits += 1
             return artifact, True
         self.misses += 1
-        rom = reducer.reduce(system)
+        if checkpoint is not None and _accepts_checkpoint(reducer):
+            rom = reducer.reduce(system, checkpoint=checkpoint)
+        else:
+            rom = reducer.reduce(system)
         artifact = ReductionArtifact.from_reduction(
             rom,
             system=system,
@@ -236,12 +287,49 @@ class ModelStore:
         self.store(key, artifact)
         return artifact, False
 
+    # -- maintenance ---------------------------------------------------------
+
+    def verify(self, quarantine=True):
+        """Re-check every entry end to end (``store verify``).
+
+        Loads each artifact with its basis SHA-256 digest re-computed
+        and compared against the recorded ``basis_hash``.  Failing
+        entries are quarantined (unless *quarantine* is false) and
+        counted as corrupt.  Returns a JSON-safe report::
+
+            {"checked": N, "ok": N_ok, "corrupt": N_bad,
+             "entries": [{"key", "ok", "error"?}, ...]}
+        """
+        entries = []
+        bad = 0
+        for key in self.keys():
+            path = self.artifact_path(key)
+            try:
+                ReductionArtifact.load(path, verify=True)
+            except Exception as exc:
+                bad += 1
+                self.corrupt += 1
+                if quarantine:
+                    self._quarantine(path)
+                entries.append(
+                    {"key": key, "ok": False, "error": str(exc)}
+                )
+            else:
+                entries.append({"key": key, "ok": True})
+        return {
+            "checked": len(entries),
+            "ok": len(entries) - bad,
+            "corrupt": bad,
+            "entries": entries,
+        }
+
     def stats(self):
         """Counters + entry count, ``sparse_lu_stats``-style."""
         return {
             "hits": int(self.hits),
             "misses": int(self.misses),
             "corrupt": int(self.corrupt),
+            "quarantine_collisions": int(self.quarantine_collisions),
             "entries": len(self),
         }
 

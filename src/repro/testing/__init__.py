@@ -1,0 +1,20 @@
+"""Test-support utilities shipped with the library.
+
+Currently one module: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness the crash-safety tests drive (``REPRO_FAULT``).
+Shipping it inside the package (rather than under ``tests/``) means the
+production write/checkpoint paths can call :func:`~repro.testing.faults.
+fault_point` unconditionally — a no-op when no faults are armed — and
+subprocess tests can arm faults purely through the environment.
+"""
+
+from .faults import (  # noqa: F401
+    FaultInjected,
+    configure,
+    fault_point,
+    hit_counts,
+    reset,
+)
+
+__all__ = ["FaultInjected", "configure", "fault_point", "hit_counts",
+           "reset"]

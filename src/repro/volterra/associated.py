@@ -368,6 +368,82 @@ class AssociatedWorkspace:
                 )
             return self._pi
 
+    # -- checkpoint state ----------------------------------------------------
+
+    def solver_version(self):
+        """Cheap fingerprint of the mutable lazy solver state.
+
+        Changes whenever :meth:`solver_state` would snapshot something
+        different; the checkpoint layer compares versions between stages
+        to skip redundant solver-state writes.
+        """
+        with self._lazy_lock:
+            lowrank = (
+                self._lowrank.state_version
+                if self._lowrank is not None else None
+            )
+            return (lowrank, self._pi is not None)
+
+    def solver_state(self):
+        """Payload-tree snapshot of the lazily built *mutable* solver
+        state: the shared extended-Krylov basis (+ fallback-shift cache)
+        of :attr:`lowrank_kron` and the cached Π.  Deterministic
+        factorizations (Schur form, LU caches, lifted operators) are
+        rebuilt on demand and not snapshotted.  Empty dict when nothing
+        mutable has been built yet.
+        """
+        state = self.lowrank_state() or {}
+        state.update(self.pi_state() or {})
+        return state
+
+    def lowrank_state(self):
+        """The extended-Krylov half of :meth:`solver_state` — the part
+        that keeps growing as chains are solved — or ``None`` when the
+        low-rank solver has not been built."""
+        with self._lazy_lock:
+            if self._lowrank is None:
+                return None
+            return {"lowrank": self._lowrank.state_dict()}
+
+    def pi_state(self):
+        """The Π half of :meth:`solver_state`, or ``None`` when Π has
+        not been built.  Π is computed once and never mutated, so the
+        checkpoint layer writes this (large ``n × r²``) snapshot once
+        instead of once per stage."""
+        with self._lazy_lock:
+            if self._pi is None:
+                return None
+            if isinstance(self._pi, FactoredPi):
+                return {"pi": {"kind": "factored", **self._pi.state_dict()}}
+            return {"pi": {"kind": "dense", "matrix": np.asarray(self._pi)}}
+
+    def restore_solver_state(self, state):
+        """Restore a :meth:`solver_state` snapshot onto this workspace.
+
+        Overwrites any locally grown solver state: a resumed build must
+        continue from exactly the snapshot the committed stages were
+        computed with, or the remaining chains diverge bit-wise from
+        the cold run.
+        """
+        if not state:
+            return
+        with self._lazy_lock:
+            lowrank = state.get("lowrank")
+            if lowrank is not None:
+                solver = LowRankKronSolver(
+                    self.system.g1,
+                    self.solve_shifted,
+                    self.solve_shifted_transpose,
+                )
+                solver.load_state(lowrank)
+                self._lowrank = solver
+            pi = state.get("pi")
+            if pi is not None:
+                if pi.get("kind") == "factored":
+                    self._pi = FactoredPi.from_state(pi)
+                else:
+                    self._pi = np.asarray(pi["matrix"])
+
     # -- associated input matrices -------------------------------------------
 
     def d1_coupling(self):

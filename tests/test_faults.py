@@ -1,0 +1,346 @@
+"""Fault-injection harness + engine hardening + durable-write crash tests.
+
+Three layers under test:
+
+* the :mod:`repro.testing.faults` harness itself (spec parsing, hit
+  counting, deterministic firing),
+* the engine's failure semantics (:class:`~repro.errors.TaskError`
+  identity wrapping, opt-in transient retry),
+* the durability discipline (``durable_write`` / ``save_payload``
+  survive a SIGKILL at every crash site; the store quarantines torn
+  files without losing evidence).
+
+Crash tests run the victim in a subprocess: the harness's ``kill`` kind
+SIGKILLs the *current* process, which is exactly the point.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.circuits import quadratic_rc_ladder_netlist
+from repro.engine import SolvePlan, TaskError, set_task_retries
+from repro.errors import (
+    FaultInjected,
+    NumericalError,
+    ReproError,
+    ValidationError,
+)
+from repro.mor.assoc import AssociatedTransformMOR
+from repro.serialize import durable_write, load_payload, save_payload
+from repro.store import ModelStore
+from repro.testing import faults
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness():
+    """Every test starts and ends with no armed faults and no retries."""
+    faults.configure(None)
+    previous = set_task_retries(0)
+    yield
+    faults.configure(None)
+    faults.reset()
+    set_task_retries(previous)
+
+
+def _subprocess(code, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env.pop("REPRO_FAULT", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True,
+    )
+
+
+class TestHarness:
+    def test_parse_and_hit_counting(self):
+        faults.configure("a.site:3:raise")
+        for _ in range(2):
+            faults.fault_point("a.site")
+        assert faults.hit_counts() == {"a.site": 2}
+        with pytest.raises(FaultInjected) as info:
+            faults.fault_point("a.site")
+        assert info.value.site == "a.site"
+        assert info.value.hit == 3
+        # past the armed hit the site is inert again
+        faults.fault_point("a.site")
+        assert faults.hit_counts()["a.site"] == 4
+
+    def test_unarmed_sites_are_free(self):
+        faults.configure("x:1:raise")
+        faults.fault_point("y")  # never raises, never counted
+        assert faults.hit_counts() == {}
+
+    def test_multiple_sites(self):
+        faults.configure("one:1:raise,two:2:raise")
+        with pytest.raises(FaultInjected):
+            faults.fault_point("one")
+        faults.fault_point("two")
+        with pytest.raises(FaultInjected):
+            faults.fault_point("two")
+
+    def test_default_kind_is_kill(self):
+        # <site>:<n> with no kind simulates power loss (SIGKILL)
+        spec = faults.configure("site:1")
+        assert spec == {"site": (1, "kill")}
+
+    def test_bad_specs_rejected(self):
+        for bad in ("site", "site:0", "site:x", "site:1:explode", ":1"):
+            with pytest.raises(ValidationError):
+                faults.configure(bad)
+
+    def test_env_var_is_lazy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "env.site:1:raise")
+        faults.reset()
+        with pytest.raises(FaultInjected):
+            faults.fault_point("env.site")
+
+    def test_kill_kind_sigkills_subprocess(self):
+        result = _subprocess(
+            "from repro.testing import faults\n"
+            "faults.configure('die.here:1:kill')\n"
+            "faults.fault_point('die.here')\n"
+            "print('unreachable')\n"
+        )
+        assert result.returncode == -9
+        assert "unreachable" not in result.stdout
+
+
+class TestTaskError:
+    def test_wrap_preserves_original_type(self):
+        plan = SolvePlan(label="unit")
+
+        def boom():
+            raise NumericalError("singular pencil")
+
+        plan.add(boom, tag=("H2", 0.0))
+        plan.add(lambda: 42)
+        with pytest.raises(TaskError, match="singular pencil") as info:
+            plan.execute()
+        err = info.value
+        assert isinstance(err, NumericalError)
+        assert err.plan_label == "unit"
+        assert err.task_index == 0
+        assert err.task_tag == ("H2", 0.0)
+        assert err.attempts == 1
+        assert isinstance(err.__cause__, NumericalError)
+
+    def test_taskerror_is_reproerror(self):
+        assert issubclass(TaskError, ReproError)
+
+    def test_injected_fault_surfaces_with_identity(self):
+        faults.configure("engine.task:2:raise")
+        plan = SolvePlan(label="faulty")
+        plan.add(lambda: 1, tag="a")
+        plan.add(lambda: 2, tag="b")
+        with pytest.raises(TaskError) as info:
+            plan.execute()
+        assert isinstance(info.value, FaultInjected)
+        assert info.value.task_tag == "b"
+
+    def test_retry_recovers_transient_failure(self):
+        faults.configure("engine.task:1:raise")
+        plan = SolvePlan(label="retried")
+        plan.add(lambda: "ok", tag="t")
+        assert plan.execute(retries=1) == ["ok"]
+        assert faults.hit_counts()["engine.task"] == 2
+
+    def test_retry_does_not_mask_deterministic_failures(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise NumericalError("always")
+
+        plan = SolvePlan(label="det")
+        plan.add(bad)
+        with pytest.raises(TaskError):
+            plan.execute(retries=5)
+        assert len(calls) == 1
+
+    def test_retry_bound_is_respected(self):
+        faults.configure("engine.task:1:raise,")
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            return "fine"
+
+        # fault fires on attempt 1; one retry suffices
+        plan = SolvePlan(label="bounded")
+        plan.add(flaky)
+        assert plan.execute(retries=3) == ["fine"]
+        assert len(calls) == 1
+
+    def test_global_retry_configuration(self):
+        assert set_task_retries(2) == 0
+        assert engine.task_retries() == 2
+        with pytest.raises(ValidationError):
+            set_task_retries(-1)
+        set_task_retries(None)  # back to env-lazy
+
+    def test_env_retries(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "3")
+        set_task_retries(None)
+        assert engine.task_retries() == 3
+        set_task_retries(0)
+
+
+class TestDurableWrites:
+    def test_durable_write_roundtrip(self, tmp_path):
+        path = tmp_path / "report.json"
+        durable_write(path, '{"ok": true}\n')
+        assert json.loads(path.read_text()) == {"ok": True}
+
+    def test_no_temp_litter_on_fault(self, tmp_path):
+        path = tmp_path / "out.txt"
+        faults.configure("durable.before_replace:1:raise")
+        with pytest.raises(FaultInjected):
+            durable_write(path, "data")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize(
+        "site", ["durable.before_replace", "durable.after_replace"]
+    )
+    def test_kill_never_tears_existing_file(self, tmp_path, site):
+        """SIGKILL around the rename: old or new content, never torn."""
+        path = tmp_path / "state.json"
+        path.write_text("old")
+        result = _subprocess(
+            "from repro.serialize import durable_write\n"
+            f"durable_write({str(path)!r}, 'new')\n",
+            env_extra={"REPRO_FAULT": f"{site}:1:kill"},
+        )
+        assert result.returncode == -9
+        content = path.read_text()
+        if site == "durable.before_replace":
+            assert content == "old"
+        else:
+            assert content == "new"
+
+    @pytest.mark.parametrize(
+        "site", ["serialize.before_replace", "serialize.after_replace"]
+    )
+    def test_kill_never_tears_payload(self, tmp_path, site):
+        path = tmp_path / "payload.npz"
+        save_payload(path, {"x": np.arange(3.0)})
+        result = _subprocess(
+            "import numpy as np\n"
+            "from repro.serialize import save_payload\n"
+            f"save_payload({str(path)!r}, {{'x': np.arange(5.0)}})\n",
+            env_extra={"REPRO_FAULT": f"{site}:1:kill"},
+        )
+        assert result.returncode == -9
+        tree = load_payload(path)  # must parse whichever version won
+        expected = 3.0 if site == "serialize.before_replace" else 5.0
+        assert tree["x"].shape == (expected,)
+
+
+def _tiny_system():
+    net = quadratic_rc_ladder_netlist(
+        12, r=10.0, g_leak=1.0, g_quad=0.5, quad_nodes=3
+    )
+    return net.compile(sparse=True)
+
+
+class TestStoreFaultTolerance:
+    def test_quarantine_collision_gets_unique_suffix(self, tmp_path):
+        store = ModelStore(tmp_path)
+        system = _tiny_system()
+        reducer = AssociatedTransformMOR(orders=(2, 1, 0))
+        _, hit = store.reduce(system, reducer)
+        assert not hit
+        path = store.artifact_path(store.key_for(system, reducer))
+        for _ in range(2):
+            path.write_bytes(b"garbage")
+            assert store.load(store.key_for(system, reducer)) is None
+            store.reduce(system, reducer)
+        assert path.with_name("artifact.npz.corrupt").exists()
+        assert path.with_name("artifact.npz.corrupt.1").exists()
+        stats = store.stats()
+        assert stats["corrupt"] == 2
+        assert stats["quarantine_collisions"] == 1
+
+    def test_torn_truncation_quarantined_and_recomputed(self, tmp_path):
+        store = ModelStore(tmp_path)
+        system = _tiny_system()
+        reducer = AssociatedTransformMOR(orders=(2, 1, 0))
+        artifact, _ = store.reduce(system, reducer)
+        path = store.artifact_path(store.key_for(system, reducer))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn write
+        again, hit = store.reduce(system, reducer)
+        assert not hit  # treated as a miss, recomputed
+        assert np.array_equal(again.rom.basis, artifact.rom.basis)
+        assert store.stats()["corrupt"] == 1
+        assert path.exists()  # rewritten entry
+        assert path.with_name("artifact.npz.corrupt").exists()
+
+    def test_verify_reports_and_quarantines(self, tmp_path):
+        store = ModelStore(tmp_path)
+        system = _tiny_system()
+        store.reduce(system, AssociatedTransformMOR(orders=(2, 1, 0)))
+        store.reduce(system, AssociatedTransformMOR(orders=(3, 1, 0)))
+        report = store.verify()
+        assert report == {
+            "checked": 2, "ok": 2, "corrupt": 0,
+            "entries": report["entries"],
+        }
+        key = store.keys()[0]
+        store.artifact_path(key).write_bytes(b"junk")
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["corrupt"] == 1
+        bad = [e for e in report["entries"] if not e["ok"]]
+        assert bad[0]["key"] == key
+        assert not store.artifact_path(key).exists()  # quarantined
+
+    def test_verify_without_quarantine_leaves_files(self, tmp_path):
+        store = ModelStore(tmp_path)
+        system = _tiny_system()
+        store.reduce(system, AssociatedTransformMOR(orders=(2, 1, 0)))
+        key = store.keys()[0]
+        store.artifact_path(key).write_bytes(b"junk")
+        report = store.verify(quarantine=False)
+        assert report["corrupt"] == 1
+        assert store.artifact_path(key).exists()
+
+    def test_kill_between_artifact_and_meta_is_recoverable(self, tmp_path):
+        """SIGKILL after artifact.npz but before meta.json: the entry
+        still loads (artifact is self-contained) and the next store()
+        completes the metadata."""
+        script = (
+            "from repro.store import ModelStore\n"
+            "from repro.mor.assoc import AssociatedTransformMOR\n"
+            "from repro.circuits import quadratic_rc_ladder_netlist\n"
+            "net = quadratic_rc_ladder_netlist(12, r=10.0, g_leak=1.0, "
+            "g_quad=0.5, quad_nodes=3)\n"
+            f"store = ModelStore({str(tmp_path)!r})\n"
+            "store.reduce(net.compile(sparse=True), "
+            "AssociatedTransformMOR(orders=(2, 1, 0)))\n"
+        )
+        result = _subprocess(
+            script, env_extra={"REPRO_FAULT": "store.before_meta:1:kill"}
+        )
+        assert result.returncode == -9
+        store = ModelStore(tmp_path)
+        system = _tiny_system()
+        reducer = AssociatedTransformMOR(orders=(2, 1, 0))
+        key = store.key_for(system, reducer)
+        assert store.artifact_path(key).exists()
+        assert not (store._entry_dir(key) / "meta.json").exists()
+        artifact, hit = store.reduce(system, reducer)
+        assert hit  # the orphaned artifact itself is valid
+        assert artifact.rom.basis.shape[0] == system.n_states
