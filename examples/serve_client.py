@@ -1,0 +1,126 @@
+"""Serve client: drive the ``python -m repro serve`` daemon over HTTP.
+
+The one-shot CLI pays compile + reduce on every invocation; the daemon
+keeps them resident.  This example talks to a live daemon the way any
+client would — plain HTTP/JSON, stdlib only — and shows the tier
+progression the serving layer exists for:
+
+1. ``POST /v1/reduce`` — first contact with the circuit: **cold**
+   (full NMOR), and the artifact lands in the store + hot-ROM cache;
+2. ``POST /v1/sweep`` — the distortion query is answered from the
+   **hot** tier: no compile, no reduce, resident explicit system;
+3. the same sweep again — still hot, and bit-identical: serving never
+   changes the numbers, only where they come from.
+
+Point it at a running daemon with ``REPRO_SERVE_URL``; with no URL set
+it launches its own daemon subprocess on a free port (``--port 0``)
+and tears it down at the end.
+
+Run:  python examples/serve_client.py
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+#: CI smoke knob: REPRO_EXAMPLE_QUICK=1 shrinks sizes/horizons so
+#: every example runs headless in seconds without changing its story.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "0") == "1"
+
+N_NODES = 96 if QUICK else 512
+SPEC = {
+    "generator": "quadratic_rc_ladder_netlist",
+    "args": {"n_nodes": N_NODES, "r": 10.0, "g_leak": 1.0,
+             "g_quad": 0.5, "quad_nodes": 8},
+    "compile": {"sparse": True},
+}
+REDUCE = {"orders": [3, 2, 1], "strategy": "decoupled"}
+SWEEP = {"start": 0.05, "stop": 0.5, "points": 8, "amplitude": 0.05}
+
+
+def post(url, verb, payload):
+    request = urllib.request.Request(
+        f"{url}/v1/{verb}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.load(response)
+
+
+def get(url, path):
+    with urllib.request.urlopen(url + path, timeout=60) as response:
+        return json.load(response)
+
+
+def launch_daemon(store_root):
+    """``python -m repro serve --port 0`` as a subprocess; parse its URL."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store_root],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env={**os.environ,
+             "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                               / "src")},
+    )
+    line = process.stdout.readline().strip()  # "serving on http://..."
+    if not line.startswith("serving on "):
+        process.terminate()
+        raise RuntimeError(f"unexpected daemon banner: {line!r}")
+    return process, line[len("serving on "):]
+
+
+def main():
+    url = os.environ.get("REPRO_SERVE_URL")
+    process = None
+    store_root = None
+    if url is None:
+        store_root = tempfile.mkdtemp(prefix="repro-serve-client-")
+        process, url = launch_daemon(store_root)
+        print(f"launched daemon at {url}")
+    else:
+        print(f"using daemon at {url}")
+
+    try:
+        health = get(url, "/healthz")
+        assert health["status"] == "ok", health
+
+        reduced = post(url, "reduce", {"spec": SPEC, "reduce": REDUCE})
+        reduction = reduced["reduction"]
+        print(f"reduce: n={reduced['system']['n_states']} -> ROM order "
+              f"{reduction['rom_order']} served from "
+              f"{reduction['served_from']} in "
+              f"{reduced['serving']['wall_time_s']:.3f}s")
+
+        payload = {"spec": SPEC, "reduce": REDUCE, "sweep": SWEEP}
+        first = post(url, "sweep", payload)
+        second = post(url, "sweep", payload)
+        for label, served in (("sweep #1", first), ("sweep #2", second)):
+            print(f"{label}: served from "
+                  f"{served['reduction']['served_from']} in "
+                  f"{served['serving']['wall_time_s']:.3f}s")
+        assert second["reduction"]["served_from"] == "hot", second
+        assert second["sweep"]["hd2"] == first["sweep"]["hd2"]
+        print("hot sweep is bit-identical to the first: HD2 @ "
+              f"omega={first['sweep']['omegas'][0]:g} is "
+              f"{first['sweep']['hd2'][0]:.6e}")
+
+        metrics = get(url, "/metrics")["metrics"]
+        print(f"daemon metrics: {metrics['total']} requests, "
+              f"tiers {metrics['tiers']}")
+    finally:
+        if process is not None:
+            process.terminate()
+            process.wait(timeout=30)
+            if store_root is not None:
+                shutil.rmtree(store_root, ignore_errors=True)
+            print("daemon stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ import numpy as np
 
 from .._validation import as_vector
 from ..engine import SolvePlan
-from ..errors import NumericalError, SystemStructureError
+from ..errors import NumericalError, SystemStructureError, TaskCancelled
 from ..volterra.evaluator import volterra_evaluator
 
 __all__ = [
@@ -263,7 +263,7 @@ def two_tone_intermodulation(
     }
 
 
-def distortion_sweep(system, omegas, amplitude=1.0):
+def distortion_sweep(system, omegas, amplitude=1.0, cancel=None):
     """HD2/HD3 across a frequency grid.
 
     Returns ``(omegas, hd2, hd3)`` arrays — the data behind a classic
@@ -283,13 +283,26 @@ def distortion_sweep(system, omegas, amplitude=1.0):
     and run as one engine plan — parallel when
     :func:`repro.engine.configure` (or ``REPRO_WORKERS``) selects the
     thread backend, serial and bit-identical by default.
+
+    *cancel* (a zero-argument callable polled between stages and tasks)
+    makes the sweep cooperatively cancellable: once it reports True the
+    sweep raises :class:`~repro.errors.TaskCancelled` at the next
+    boundary instead of finishing the grid.  Kernels solved before the
+    cancellation stay memoized (they are deterministic values), so a
+    cancelled sweep never poisons the evaluator cache.
     """
     omegas = as_vector(np.asarray(omegas, dtype=float), "omegas")
     _require_siso(system)
     evaluator = volterra_evaluator(system)
     amplitude = float(amplitude)
     jws = 1j * omegas
+    if cancel is not None and cancel():
+        raise TaskCancelled("distortion sweep cancelled before priming")
     evaluator.prime_h1(jws)
+    if cancel is not None and cancel():
+        raise TaskCancelled(
+            "distortion sweep cancelled after the H1 seed batch"
+        )
     evaluator.prime_h2([(jw, jw) for jw in jws])
     hd2 = np.empty(omegas.size)
     hd3 = np.empty(omegas.size)
@@ -304,5 +317,5 @@ def distortion_sweep(system, omegas, amplitude=1.0):
     plan = SolvePlan("distortion_sweep")
     for idx in range(omegas.size):
         plan.add(_point, idx)
-    plan.execute()
+    plan.execute(cancel=cancel)
     return omegas, hd2, hd3

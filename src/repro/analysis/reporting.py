@@ -19,6 +19,7 @@ from ..serialize import durable_write, json_safe
 
 __all__ = [
     "format_table",
+    "format_stats_line",
     "sparkline",
     "series_summary",
     "write_json_report",
@@ -114,6 +115,37 @@ def write_csv_report(path, headers, rows):
             for cell in row
         ])
     return durable_write(path, buffer.getvalue())
+
+
+def format_stats_line(prefix, stats):
+    """Flatten a (possibly nested) stats dict into one log line.
+
+    ``format_stats_line("serve", {"requests": {"total": 3}, "p50_ms":
+    1.25})`` → ``"serve requests.total=3 p50_ms=1.25"`` — the
+    grep-friendly single-line format the serving daemon's periodic
+    ``--stats-interval`` heartbeat uses, compact where the JSON report
+    writers are complete.  Floats render with 4 significant digits;
+    insertion order is preserved so successive lines stay diffable.
+    """
+    parts = []
+
+    def render(value):
+        if isinstance(value, bool):
+            return str(value).lower()
+        if isinstance(value, float):
+            return "0" if value == 0.0 else f"{value:.4g}"
+        return str(value)
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}.{key}" if path else str(key))
+        else:
+            parts.append(f"{path}={render(node)}")
+
+    walk(dict(stats), "")
+    head = str(prefix).strip()
+    return f"{head} {' '.join(parts)}".strip() if parts else head
 
 
 def sparkline(values, width=72):

@@ -39,8 +39,15 @@ from pathlib import Path
 
 from .analysis.reporting import write_csv_report, write_json_report
 from .errors import ReproError, ValidationError
-from .pipeline import run_pipeline
 from .serialize import json_safe
+from .serve import (
+    InfoRequest,
+    ReduceRequest,
+    ReproService,
+    SimulateRequest,
+    SweepRequest,
+    run_daemon,
+)
 from .store import ModelStore
 
 __all__ = ["main", "build_parser"]
@@ -260,6 +267,48 @@ def build_parser():
     )
     _add_output_arguments(p_sim)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON daemon serving the pipeline verbs "
+        "(POST /v1/info|reduce|sweep|simulate, GET /healthz|/metrics)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port (0 picks a free port; the daemon prints the "
+        "resolved URL on stdout)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR",
+        help="serve/record reductions through a ModelStore directory",
+    )
+    p_serve.add_argument(
+        "--hot-cache", type=int, default=8, metavar="N",
+        help="entries kept in the in-memory hot-ROM cache (0 disables)",
+    )
+    p_serve.add_argument(
+        "--preload", type=int, default=0, metavar="N",
+        help="warm the hot cache with the N most recently accessed "
+        "store entries before accepting requests",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="maximum in-flight requests; excess arrivals get 429 + "
+        "Retry-After instead of queueing unboundedly",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline (504 past it; shared caches stay "
+        "intact)",
+    )
+    p_serve.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SECONDS",
+        help="print a one-line serving-stats heartbeat to stderr at "
+        "this period",
+    )
+
     p_store = sub.add_parser(
         "store", help="model-store maintenance (verify, ...)"
     )
@@ -355,6 +404,21 @@ def _pipeline_extras(args):
 
 
 def _run(args):
+    if args.command == "serve":
+        store = ModelStore(args.store) if args.store else None
+        service = ReproService(store=store, hot_capacity=args.hot_cache)
+        if args.preload:
+            count = service.warm_start(limit=args.preload)
+            print(
+                f"preloaded {count} artifact(s) into the hot cache",
+                file=sys.stderr, flush=True,
+            )
+        return run_daemon(
+            service, host=args.host, port=args.port,
+            queue_limit=args.queue_limit, timeout=args.timeout,
+            stats_interval=args.stats_interval,
+        )
+
     if args.command == "store":
         if args.store_command != "verify":
             raise ValidationError(
@@ -376,42 +440,44 @@ def _run(args):
     sparse = _sparse_flag(args)
     store = getattr(args, "store", None)
     store = ModelStore(store) if store else None
+    # One-shot verbs run through the same ReproService the daemon
+    # serves from: the CLI is a single-request serving process, so both
+    # fronts execute — and report — the identical code path.
+    service = ReproService(store=store, hot_capacity=1)
 
-    if args.command == "info":
-        result = run_pipeline(spec, sparse=sparse)
-        report = result.report()
-        report["command"] = "info"
-        _emit(args, report)
-        return 0
-
-    if args.command == "reduce":
-        reduce_job = _reduce_job(args, spec, required=True)
-        result = run_pipeline(spec, reduce=reduce_job, store=store,
-                              sparse=sparse, **_pipeline_extras(args))
-        report = result.report()
-        report["command"] = "reduce"
+    def _store_stats(report):
         if store is not None:
             report["store"] = store.stats()
             report["store"]["root"] = str(store.root)
+
+    if args.command == "info":
+        outcome = service.handle(
+            InfoRequest.from_payload({"spec": spec, "sparse": sparse})
+        )
+        _emit(args, outcome.report())
+        return 0
+
+    payload = {"spec": spec, "sparse": sparse, **_pipeline_extras(args)}
+
+    if args.command == "reduce":
+        payload["reduce"] = _reduce_job(args, spec, required=True)
+        outcome = service.handle(ReduceRequest.from_payload(payload))
+        report = outcome.report()
+        _store_stats(report)
         if args.artifact:
             report["artifact_path"] = str(
-                result.artifact.save(args.artifact)
+                outcome.result.artifact.save(args.artifact)
             )
         _emit(args, report)
         return 0
 
     if args.command == "sweep":
-        reduce_job = _reduce_job(args, spec, required=False)
-        result = run_pipeline(
-            spec, reduce=reduce_job, sweep=_sweep_job(args, spec),
-            store=store, sparse=sparse, **_pipeline_extras(args),
-        )
-        report = result.report()
-        report["command"] = "sweep"
-        if store is not None:
-            report["store"] = store.stats()
-            report["store"]["root"] = str(store.root)
-        sweep = result.sweep
+        payload["reduce"] = _reduce_job(args, spec, required=False)
+        payload["sweep"] = _sweep_job(args, spec)
+        outcome = service.handle(SweepRequest.from_payload(payload))
+        report = outcome.report()
+        _store_stats(report)
+        sweep = outcome.result.sweep
         headers = ["omega", "hd2", "hd3"]
         columns = [sweep["omegas"], sweep["hd2"], sweep["hd3"]]
         if "hd2_full" in sweep:
@@ -422,21 +488,15 @@ def _run(args):
         return 0
 
     if args.command == "simulate":
-        reduce_job = _reduce_job(args, spec, required=False)
-        result = run_pipeline(
-            spec, reduce=reduce_job,
-            transient=_transient_job(args, spec),
-            store=store, sparse=sparse, **_pipeline_extras(args),
-        )
-        transient = result.transient
+        payload["reduce"] = _reduce_job(args, spec, required=False)
+        payload["transient"] = _transient_job(args, spec)
+        outcome = service.handle(SimulateRequest.from_payload(payload))
+        transient = outcome.result.transient
         times = transient.pop("times")
         outputs = transient.pop("output")
         full_outputs = transient.pop("full_output", None)
-        report = result.report()
-        report["command"] = "simulate"
-        if store is not None:
-            report["store"] = store.stats()
-            report["store"]["root"] = str(store.root)
+        report = outcome.report()
+        _store_stats(report)
         headers = ["t", "output"]
         columns = [times, outputs]
         if full_outputs is not None:

@@ -66,7 +66,10 @@ execution on the worker thread, so composition can never deadlock the
 pool.
 """
 
-from ..errors import TaskError  # noqa: F401  (re-export: engine failures)
+from ..errors import (  # noqa: F401  (re-export: engine failures)
+    TaskCancelled,
+    TaskError,
+)
 from .executor import (  # noqa: F401
     Executor,
     SerialExecutor,
@@ -85,6 +88,7 @@ from .plan import SolvePlan, SolveTask, chunk_bounds, parallel_map  # noqa: F401
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "TaskCancelled",
     "TaskError",
     "ThreadPoolExecutor",
     "configure",

@@ -17,7 +17,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor as _PoolImpl
 
-from ..errors import ValidationError
+from ..errors import TaskCancelled, ValidationError
 
 __all__ = [
     "Executor",
@@ -44,12 +44,27 @@ def in_worker():
     return getattr(_worker_state, "active", False)
 
 
+def _check_cancel(cancel, done, total):
+    """Raise :class:`TaskCancelled` when *cancel* reports True."""
+    if cancel is not None and cancel():
+        raise TaskCancelled(
+            f"plan cancelled after {done} of {total} tasks"
+        )
+
+
 class Executor:
-    """Backend contract: run zero-argument callables, keep their order."""
+    """Backend contract: run zero-argument callables, keep their order.
+
+    *cancel*, when given, is a zero-argument callable polled between
+    tasks; once it reports True the executor raises
+    :class:`~repro.errors.TaskCancelled` instead of starting further
+    tasks.  Cancellation is cooperative and best-effort — tasks already
+    running are never interrupted mid-flight.
+    """
 
     workers = 1
 
-    def run(self, callables):
+    def run(self, callables, cancel=None):
         raise NotImplementedError
 
 
@@ -58,8 +73,15 @@ class SerialExecutor(Executor):
 
     workers = 1
 
-    def run(self, callables):
-        return [fn() for fn in callables]
+    def run(self, callables, cancel=None):
+        if cancel is None:
+            return [fn() for fn in callables]
+        callables = list(callables)
+        results = []
+        for fn in callables:
+            _check_cancel(cancel, len(results), len(callables))
+            results.append(fn())
+        return results
 
 
 class ThreadPoolExecutor(Executor):
@@ -104,7 +126,7 @@ class ThreadPoolExecutor(Executor):
 
         return task
 
-    def run(self, callables):
+    def run(self, callables, cancel=None):
         callables = list(callables)
         if not callables:
             return []
@@ -112,13 +134,18 @@ class ThreadPoolExecutor(Executor):
             # Nested plan on a worker thread (or a degenerate plan):
             # execute inline — waiting on pool slots owned by ancestors
             # would deadlock, and one task gains nothing from dispatch.
-            return [fn() for fn in callables]
+            return SerialExecutor().run(callables, cancel=cancel)
+        _check_cancel(cancel, 0, len(callables))
         pool = self._ensure_pool()
         futures = [pool.submit(self._wrap(fn)) for fn in callables]
         results = []
         first_error = None
         try:
             for future in futures:
+                # Shedding the not-yet-started tail is handled by the
+                # BaseException path below; running tasks finish (their
+                # memoized results stay valid).
+                _check_cancel(cancel, len(results), len(futures))
                 try:
                     results.append(future.result())
                 except Exception as exc:  # re-raised below, in task order

@@ -148,7 +148,7 @@ class SolvePlan:
     def tags(self):
         return [task.tag for task in self.tasks]
 
-    def execute(self, executor=None, retries=None):
+    def execute(self, executor=None, retries=None, cancel=None):
         """Run every task; results in submission order.
 
         With no *executor* the globally configured backend is used.
@@ -159,6 +159,15 @@ class SolvePlan:
         ``REPRO_TASK_RETRIES`` opts in); any failure surfaces as a
         :class:`~repro.errors.TaskError` subclass that preserves the
         original exception type and carries the task identity.
+
+        *cancel* — a zero-argument callable polled between tasks — makes
+        the plan cooperatively cancellable: once it reports True the
+        backend raises :class:`~repro.errors.TaskCancelled` instead of
+        starting further tasks (the serving layer's request-timeout
+        hook).  Completed tasks keep their results; cancellation is
+        best-effort and never interrupts a task mid-flight.  The keyword
+        is only forwarded when set, so minimal executors implementing
+        the bare ``run(callables)`` contract keep working.
         """
         if not self.tasks:
             return []
@@ -168,10 +177,12 @@ class SolvePlan:
             _make_runner(task, index, self.label, retries)
             for index, task in enumerate(self.tasks)
         ]
-        if len(runners) == 1:
+        if len(runners) == 1 and cancel is None:
             return [runners[0]()]
         executor = executor if executor is not None else get_executor()
-        return executor.run(runners)
+        if cancel is None:
+            return executor.run(runners)
+        return executor.run(runners, cancel=cancel)
 
     def __repr__(self):
         return f"SolvePlan({self.label!r}, {len(self.tasks)} tasks)"

@@ -70,6 +70,18 @@ class TaskError(ReproError):
         self.attempts = attempts
 
 
+class TaskCancelled(ReproError):
+    """A solve plan was cancelled cooperatively before completion.
+
+    Raised when a plan's ``cancel`` callback reports True between tasks
+    (see :meth:`repro.engine.plan.SolvePlan.execute`) — the serving
+    layer uses it to stop a timed-out request at the next task boundary.
+    Work already completed stays valid (memoized kernels keep their
+    deterministic results); only the remaining tasks are skipped, so
+    cancellation can never corrupt a shared cache.
+    """
+
+
 class FaultInjected(ReproError):
     """A deterministic fault fired at a :func:`repro.testing.faults.
     fault_point` (``REPRO_FAULT=<site>:<n>:raise``).

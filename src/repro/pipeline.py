@@ -451,9 +451,144 @@ def _trace_summary(result):
     }
 
 
+def _reduce_step(system, reduce_job, store=None, checkpoint=None,
+                 resume=False, system_fingerprint=None):
+    """Run one :class:`ReductionJob` on an already-built *system*.
+
+    The shared reduce path of :func:`run_pipeline` and the serving
+    layer (:mod:`repro.serve`): resolves the checkpoint, routes through
+    the :class:`~repro.store.ModelStore` when one is given (computing
+    on a miss), and returns
+    ``(artifact, store_hit, reduce_time, checkpoint_info)`` with the
+    same semantics the pipeline report exposes.  *system_fingerprint*
+    is the precomputed :func:`~repro.store.fingerprint_system` value —
+    long-lived processes that fingerprint each loaded spec once pass it
+    so the store does not re-hash every system matrix per request.
+    """
+    reducer = reduce_job.reducer()
+    if store is not None and not isinstance(store, ModelStore):
+        store = ModelStore(store)
+    job_state = _resolve_checkpoint(
+        checkpoint, resume, store, system, reducer
+    )
+    store_hit = None
+    start = time.perf_counter()
+    if store is not None:
+        artifact, store_hit = store.reduce(
+            system, reducer, checkpoint=job_state,
+            system_fingerprint=system_fingerprint,
+        )
+    else:
+        if job_state is not None:
+            built = reducer.reduce(system, checkpoint=job_state)
+        else:
+            built = reducer.reduce(system)
+        if system_fingerprint is None:
+            system_fingerprint = fingerprint_system(system)
+        artifact = ReductionArtifact.from_reduction(
+            built,
+            system=system,
+            reducer=reducer,
+            system_fingerprint=system_fingerprint,
+        )
+    reduce_time = time.perf_counter() - start
+    checkpoint_info = None
+    if job_state is not None:
+        # The build (or store hit) succeeded: the checkpoint has
+        # served its purpose.  Record its stats, then drop it so a
+        # later run of a *different* job can't trip over stale state.
+        checkpoint_info = job_state.describe()
+        job_state.discard()
+    return artifact, store_hit, reduce_time, checkpoint_info
+
+
+def _sweep_result(system, rom, sweep_job, explicit_query=None,
+                  evaluate=None, cancel=None):
+    """Run one :class:`SweepJob`; returns the report's ``sweep`` dict.
+
+    Shared by :func:`run_pipeline` and the serving layer.  *rom* is
+    ``None`` when the sweep runs on the full model.  Hooks for a
+    long-lived process:
+
+    * *explicit_query* — a pre-built ``to_explicit()`` of the query
+      system.  ``to_explicit`` returns a fresh object per call, which
+      would discard the memoized Volterra evaluator; the hot-ROM cache
+      passes its retained explicit system so repeat sweeps skip
+      re-priming.
+    * *evaluate* — ``evaluate(omegas, amplitude) -> (hd2, hd3)``
+      replaces the ROM-side :func:`distortion_sweep` call (the request
+      coalescer's hook).  The full-model comparison always runs here,
+      per-request.
+    * *cancel* — cooperative-cancellation poll forwarded to the
+      per-request sweeps (never to shared coalesced work).
+    """
+    omegas = sweep_job.omegas
+    if evaluate is not None:
+        hd2, hd3 = evaluate(omegas, sweep_job.amplitude)
+    else:
+        if explicit_query is None:
+            query_system = rom.system if rom is not None else system
+            explicit_query = query_system.to_explicit()
+        _, hd2, hd3 = distortion_sweep(
+            explicit_query, omegas,
+            amplitude=sweep_job.amplitude, cancel=cancel,
+        )
+    sweep_result = {
+        "omegas": omegas,
+        "hd2": hd2,
+        "hd3": hd3,
+        "amplitude": sweep_job.amplitude,
+        "on": "rom" if rom is not None else "full",
+    }
+    if sweep_job.compare_full and rom is not None:
+        _, hd2_full, hd3_full = distortion_sweep(
+            system.to_explicit(), omegas,
+            amplitude=sweep_job.amplitude, cancel=cancel,
+        )
+        sweep_result["hd2_full"] = hd2_full
+        sweep_result["hd3_full"] = hd3_full
+        sweep_result["hd2_worst_rel_dev"] = _worst_rel_dev(
+            hd2, hd2_full
+        )
+        sweep_result["hd3_worst_rel_dev"] = _worst_rel_dev(
+            hd3, hd3_full
+        )
+    return sweep_result
+
+
+def _transient_result(system, rom, transient_job):
+    """Run one :class:`TransientJob`; returns the ``transient`` dict.
+
+    Shared by :func:`run_pipeline` and the serving layer; *rom* is
+    ``None`` when the simulation runs on the full model.
+    """
+    query_system = rom.system if rom is not None else system
+    result = simulate(
+        query_system, transient_job.source,
+        t_end=transient_job.t_end, dt=transient_job.dt,
+    )
+    transient_result = {
+        "on": "rom" if rom is not None else "full",
+        **_trace_summary(result),
+    }
+    transient_result["times"] = result.times
+    transient_result["output"] = result.output(0)
+    if transient_job.compare_full and rom is not None:
+        full = simulate(
+            system, transient_job.source,
+            t_end=transient_job.t_end, dt=transient_job.dt,
+        )
+        transient_result["full"] = _trace_summary(full)
+        transient_result["full_output"] = full.output(0)
+        transient_result["max_rel_error"] = float(
+            max_relative_error(full.output(0), result.output(0))
+        )
+    return transient_result
+
+
 def run_pipeline(target, reduce=None, sweep=None, transient=None,
                  store=None, sparse=None, checkpoint=None, resume=False,
-                 memory_budget=None):
+                 memory_budget=None, system_fingerprint=None):
     """Run the declarative MNA → MOR → query pipeline on *target*.
 
     Parameters
@@ -494,6 +629,12 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
         ``"512M"``; see :func:`repro.memory.parse_budget`); blocks past
         the budget spill to disk-backed memory maps.  Overrides
         ``REPRO_MEMORY_BUDGET`` for this call.
+    system_fingerprint : str, optional
+        Precomputed :func:`~repro.store.fingerprint_system` value for
+        the (already-built, already-lifted) *target* system, so a
+        long-lived caller that fingerprints each loaded spec once skips
+        the per-request re-hash.  Only meaningful when *target* is a
+        system object.
 
     Returns a :class:`PipelineResult`; call ``.report()`` for the
     JSON-able summary the CLI prints.
@@ -507,7 +648,7 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
             stack.enter_context(memory.limit(memory_budget))
         return _run_pipeline(
             target, reduce_job, sweep_job, transient_job, store, sparse,
-            checkpoint, resume, memory_budget,
+            checkpoint, resume, memory_budget, system_fingerprint,
         )
 
 
@@ -541,11 +682,15 @@ def _resolve_checkpoint(checkpoint, resume, store, system, reducer):
 
 
 def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
-                  sparse, checkpoint, resume, memory_budget):
+                  sparse, checkpoint, resume, memory_budget,
+                  system_fingerprint=None):
 
     if isinstance(target, dict):
         system, info = system_from_spec(target, sparse=sparse)
+        system_fingerprint = None  # fingerprints name built systems only
     else:
+        if isinstance(target, Netlist):
+            system_fingerprint = None
         system = (
             target.compile(sparse=sparse)
             if isinstance(target, Netlist)
@@ -557,6 +702,7 @@ def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
         lifted = isinstance(system, ExponentialODE)
         if lifted:
             system = system.quadratic_linearize()
+            system_fingerprint = None  # names the pre-lift system
         info = _system_info(system, lifted)
 
     jobs_requested = any(
@@ -580,94 +726,24 @@ def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
     reduce_time = None
     checkpoint_info = None
     if reduce_job is not None:
-        reducer = reduce_job.reducer()
-        if store is not None and not isinstance(store, ModelStore):
-            store = ModelStore(store)
-        job_state = _resolve_checkpoint(
-            checkpoint, resume, store, system, reducer
+        artifact, store_hit, reduce_time, checkpoint_info = _reduce_step(
+            system, reduce_job, store=store, checkpoint=checkpoint,
+            resume=resume, system_fingerprint=system_fingerprint,
         )
-        start = time.perf_counter()
-        if store is not None:
-            artifact, store_hit = store.reduce(
-                system, reducer, checkpoint=job_state
-            )
-        else:
-            if job_state is not None:
-                built = reducer.reduce(system, checkpoint=job_state)
-            else:
-                built = reducer.reduce(system)
-            artifact = ReductionArtifact.from_reduction(
-                built,
-                system=system,
-                reducer=reducer,
-                system_fingerprint=fingerprint_system(system),
-            )
-        reduce_time = time.perf_counter() - start
         rom = artifact.rom
-        if job_state is not None:
-            # The build (or store hit) succeeded: the checkpoint has
-            # served its purpose.  Record its stats, then drop it so a
-            # later run of a *different* job can't trip over stale state.
-            checkpoint_info = job_state.describe()
-            job_state.discard()
     elif checkpoint or resume:
         raise ValidationError(
             "checkpoint/resume only apply to the reduce step; pass "
             "reduce=... as well"
         )
 
-    query_system = rom.system if rom is not None else system
-
     sweep_result = None
     if sweep_job is not None:
-        omegas = sweep_job.omegas
-        _, hd2, hd3 = distortion_sweep(
-            query_system.to_explicit(), omegas,
-            amplitude=sweep_job.amplitude,
-        )
-        sweep_result = {
-            "omegas": omegas,
-            "hd2": hd2,
-            "hd3": hd3,
-            "amplitude": sweep_job.amplitude,
-            "on": "rom" if rom is not None else "full",
-        }
-        if sweep_job.compare_full and rom is not None:
-            _, hd2_full, hd3_full = distortion_sweep(
-                system.to_explicit(), omegas,
-                amplitude=sweep_job.amplitude,
-            )
-            sweep_result["hd2_full"] = hd2_full
-            sweep_result["hd3_full"] = hd3_full
-            sweep_result["hd2_worst_rel_dev"] = _worst_rel_dev(
-                hd2, hd2_full
-            )
-            sweep_result["hd3_worst_rel_dev"] = _worst_rel_dev(
-                hd3, hd3_full
-            )
+        sweep_result = _sweep_result(system, rom, sweep_job)
 
     transient_result = None
     if transient_job is not None:
-        result = simulate(
-            query_system, transient_job.source,
-            t_end=transient_job.t_end, dt=transient_job.dt,
-        )
-        transient_result = {
-            "on": "rom" if rom is not None else "full",
-            **_trace_summary(result),
-        }
-        transient_result["times"] = result.times
-        transient_result["output"] = result.output(0)
-        if transient_job.compare_full and rom is not None:
-            full = simulate(
-                system, transient_job.source,
-                t_end=transient_job.t_end, dt=transient_job.dt,
-            )
-            transient_result["full"] = _trace_summary(full)
-            transient_result["full_output"] = full.output(0)
-            transient_result["max_rel_error"] = float(
-                max_relative_error(full.output(0), result.output(0))
-            )
+        transient_result = _transient_result(system, rom, transient_job)
 
     jobs = {}
     if reduce_job is not None:

@@ -1,0 +1,142 @@
+"""Request coalescing: merge concurrent sweeps on one ROM into one plan.
+
+When several clients sweep the same ROM at the same amplitude
+concurrently, their frequency grids usually overlap.  Solving them
+independently re-primes nothing (the evaluator memoizes) but still pays
+one :func:`~repro.analysis.distortion.distortion_sweep` plan per
+request.  The coalescer merges concurrent grids into their sorted union,
+runs **one** solve over the union, and scatters each request's points
+back out of the union result.
+
+Correctness rests on a property the distortion layer already
+guarantees and the test suite asserts: per-point HD2/HD3 values are
+bit-identical regardless of which grid they are computed in (each grid
+point is an independent task over memoized kernels).  Scattering by
+exact float match (``np.searchsorted`` on the unique union) therefore
+returns each caller exactly the bytes a solo sweep would have produced.
+
+Protocol (per ``(artifact key, amplitude)`` flight):
+
+1. every arriving thread appends its grid to the pending list, then
+   blocks on the flight lock;
+2. the thread that wins the lock is the *leader*: it claims the entire
+   pending list (its own entry plus everything that accumulated while
+   the previous flight ran), evaluates the union, scatters, and marks
+   every claimed entry done;
+3. threads that wake up already-served simply return; a thread that
+   wakes up unserved becomes the next leader — so requests arriving
+   mid-flight batch into the next flight instead of waiting a full
+   extra round-trip.
+
+The coalesced solve is *shared* work: it is never cancelled on behalf
+of one request's timeout (the result benefits every waiter and the
+memoized kernels stay valid for the next flight).
+"""
+
+import threading
+
+import numpy as np
+
+__all__ = ["SweepCoalescer"]
+
+
+class _Entry:
+    __slots__ = ("omegas", "done", "hd2", "hd3", "error")
+
+    def __init__(self, omegas):
+        self.omegas = omegas
+        self.done = threading.Event()
+        self.hd2 = None
+        self.hd3 = None
+        self.error = None
+
+
+class _FlightState:
+    __slots__ = ("flight_lock", "pending")
+
+    def __init__(self):
+        self.flight_lock = threading.Lock()
+        self.pending = []
+
+
+class SweepCoalescer:
+    """Per-(key, amplitude) flight merging for concurrent sweeps."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._states = {}
+        self.requests = 0
+        self.flights = 0
+        self.coalesced = 0
+        self.points_requested = 0
+        self.points_solved = 0
+
+    def sweep(self, key, amplitude, omegas, evaluate):
+        """Run (or join) a coalesced sweep; returns ``(hd2, hd3)``.
+
+        *evaluate* is ``evaluate(union_omegas) -> (hd2, hd3)`` over the
+        merged grid — the caller binds the explicit system and
+        amplitude.  Only the leader's *evaluate* runs per flight;
+        joiners get their slice of the leader's result.  An evaluation
+        error propagates to every request in the flight (they asked for
+        the same failed computation).
+        """
+        omegas = np.asarray(omegas, dtype=float).reshape(-1)
+        entry = _Entry(omegas)
+        with self._lock:
+            state = self._states.get((key, float(amplitude)))
+            if state is None:
+                state = _FlightState()
+                self._states[(key, float(amplitude))] = state
+            state.pending.append(entry)
+            self.requests += 1
+            self.points_requested += int(omegas.size)
+        with state.flight_lock:
+            if not entry.done.is_set():
+                with self._lock:
+                    batch, state.pending = state.pending, []
+                self._lead(batch, evaluate)
+        if not entry.done.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("coalesced sweep entry was never served")
+        if entry.error is not None:
+            raise entry.error
+        return entry.hd2, entry.hd3  # set by _lead before done
+
+    def _lead(self, batch, evaluate):
+        """Leader path: solve the union grid, scatter to every entry."""
+        union = np.unique(np.concatenate([e.omegas for e in batch]))
+        with self._lock:
+            self.flights += 1
+            self.coalesced += len(batch) - 1
+            self.points_solved += int(union.size)
+        try:
+            hd2, hd3 = evaluate(union)
+        except BaseException as exc:
+            for entry in batch:
+                entry.error = exc
+                entry.done.set()
+            raise
+        hd2 = np.asarray(hd2)
+        hd3 = np.asarray(hd3)
+        for entry in batch:
+            idx = np.searchsorted(union, entry.omegas)
+            entry.hd2 = hd2[idx]
+            entry.hd3 = hd3[idx]
+            entry.done.set()
+
+    def stats(self):
+        with self._lock:
+            return {
+                "requests": int(self.requests),
+                "flights": int(self.flights),
+                "coalesced": int(self.coalesced),
+                "points_requested": int(self.points_requested),
+                "points_solved": int(self.points_solved),
+            }
+
+    def __repr__(self):
+        stats = self.stats()
+        return (
+            f"SweepCoalescer(requests={stats['requests']}, "
+            f"flights={stats['flights']})"
+        )

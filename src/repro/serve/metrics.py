@@ -1,0 +1,90 @@
+"""Serving counters and latency quantiles.
+
+One :class:`ServeMetrics` per service: request counts per verb, cache
+tier hits, rejection/timeout/error tallies, and a bounded sliding
+window of per-verb latencies from which p50/p99 are computed on
+demand.  Everything is thread-safe (requests are handled on worker
+threads) and :meth:`snapshot` is JSON-safe — it feeds both the
+daemon's ``/metrics`` endpoint and the periodic ``--stats-interval``
+log line via :func:`~repro.analysis.reporting.format_stats_line`.
+"""
+
+import math
+import threading
+from collections import deque
+
+__all__ = ["ServeMetrics"]
+
+#: Sliding-window size for latency quantiles: big enough for stable
+#: p99 estimates, small enough that a long-lived daemon's memory stays
+#: flat.
+_WINDOW = 512
+
+
+def _quantile(values, q):
+    """The *q*-quantile of a non-empty sorted list (nearest-rank)."""
+    rank = max(0, min(len(values) - 1, math.ceil(q * len(values)) - 1))
+    return values[rank]
+
+
+class ServeMetrics:
+    """Thread-safe serving counters + sliding-window latencies."""
+
+    def __init__(self, window=_WINDOW):
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self.requests = {}
+        self.tiers = {"hot": 0, "disk": 0, "cold": 0}
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+        self._latency = {}
+
+    def observe(self, verb, seconds, tier=None):
+        """Record one completed request."""
+        with self._lock:
+            self.requests[verb] = self.requests.get(verb, 0) + 1
+            if tier is not None:
+                self.tiers[tier] = self.tiers.get(tier, 0) + 1
+            window = self._latency.get(verb)
+            if window is None:
+                window = self._latency[verb] = deque(maxlen=self._window)
+            window.append(float(seconds))
+
+    def count_rejected(self):
+        """One request shed by backpressure (HTTP 429)."""
+        with self._lock:
+            self.rejected += 1
+
+    def count_timeout(self):
+        """One request that exceeded its deadline (HTTP 504)."""
+        with self._lock:
+            self.timeouts += 1
+
+    def count_error(self):
+        """One request that failed (HTTP 4xx/5xx other than 429/504)."""
+        with self._lock:
+            self.errors += 1
+
+    def snapshot(self):
+        """JSON-safe state: counters plus per-verb p50/p99 (ms)."""
+        with self._lock:
+            latency = {}
+            for verb, window in self._latency.items():
+                if not window:
+                    continue
+                ordered = sorted(window)
+                latency[verb] = {
+                    "p50_ms": _quantile(ordered, 0.50) * 1e3,
+                    "p99_ms": _quantile(ordered, 0.99) * 1e3,
+                    "samples": len(ordered),
+                }
+            return {
+                "requests": dict(self.requests),
+                "total": int(sum(self.requests.values())),
+                "tiers": dict(self.tiers),
+                "rejected": int(self.rejected),
+                "timeouts": int(self.timeouts),
+                "errors": int(self.errors),
+                "latency": latency,
+            }

@@ -14,7 +14,12 @@ from .artifact import (
     SchemaMismatchError,
     reducer_provenance,
 )
-from .modelstore import ModelStore, fingerprint_system, reducer_fingerprint
+from .modelstore import (
+    ModelStore,
+    artifact_key,
+    fingerprint_system,
+    reducer_fingerprint,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -22,6 +27,7 @@ __all__ = [
     "SchemaMismatchError",
     "reducer_provenance",
     "ModelStore",
+    "artifact_key",
     "fingerprint_system",
     "reducer_fingerprint",
 ]

@@ -27,11 +27,19 @@ Design points:
   never correctness.
 """
 
+import contextlib
 import hashlib
 import inspect
 import json
 import os
+import tempfile
+import time
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: entry locking degrades to best-effort
+    fcntl = None
 
 import numpy as np
 
@@ -58,6 +66,31 @@ __all__ = [
 #: Fingerprint-format tag; bump when the hashed field set changes so old
 #: store entries age out instead of colliding.
 _FINGERPRINT_TAG = b"repro-fingerprint-v1"
+
+
+@contextlib.contextmanager
+def _entry_lock(entry_dir):
+    """Hold the per-entry ``flock`` for a metadata read-modify-write.
+
+    ``meta.json`` is written whole by :meth:`ModelStore.store` and
+    patched in place by the last-access touch on reads; without mutual
+    exclusion a touch that read the *old* metadata could republish it
+    over a concurrent writer's fresh provenance.  The lock is kernel-
+    owned (dies with the holder, like ``perf_log``'s trajectory lock)
+    and best-effort: where ``fcntl`` is unavailable the writers fall
+    back to bare atomic replaces, whose race loses only an access-time
+    update.
+    """
+    if fcntl is None:
+        yield
+        return
+    handle = open(os.path.join(entry_dir, ".lock"), "a+")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
 
 
 def fingerprint_system(system):
@@ -109,16 +142,22 @@ def reducer_fingerprint(reducer):
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
-def artifact_key(system, reducer):
+def artifact_key(system, reducer, system_fingerprint=None):
     """Content-addressed key for (*system*, *reducer*).
 
     The same structural × reducer fingerprint the store shards entries
-    by; exposed at module level so other layers (checkpoints) can key
-    state identically without holding a :class:`ModelStore`.
+    by; exposed at module level so other layers (checkpoints, the
+    serving daemon) can key state identically without holding a
+    :class:`ModelStore`.  *system_fingerprint*, when given, must be the
+    value :func:`fingerprint_system` would return for *system* — callers
+    that already hold it (a served process fingerprints each loaded spec
+    once) skip the re-hash of every system matrix.
     """
     digest = hashlib.sha256()
     digest.update(f"schema-{SCHEMA_VERSION}".encode())
-    digest.update(fingerprint_system(system).encode())
+    if system_fingerprint is None:
+        system_fingerprint = fingerprint_system(system)
+    digest.update(str(system_fingerprint).encode())
     digest.update(reducer_fingerprint(reducer).encode())
     return digest.hexdigest()
 
@@ -154,12 +193,15 @@ class ModelStore:
         self.misses = 0
         self.corrupt = 0
         self.quarantine_collisions = 0
+        self.touches = 0
 
     # -- keys ----------------------------------------------------------------
 
-    def key_for(self, system, reducer):
+    def key_for(self, system, reducer, system_fingerprint=None):
         """Content-addressed key for (*system*, *reducer*)."""
-        return artifact_key(system, reducer)
+        return artifact_key(
+            system, reducer, system_fingerprint=system_fingerprint
+        )
 
     def _entry_dir(self, key):
         return self.root / "objects" / key[:2] / key
@@ -207,19 +249,24 @@ class ModelStore:
         except OSError:
             pass  # racing writer replaced it, or FS refuses: still a miss
 
-    def load(self, key):
+    def load(self, key, touch=True):
         """Artifact for *key*, or ``None`` on miss/corruption/schema skew.
 
         Never raises for a bad entry: any failure (unreadable archive,
         schema mismatch, failed basis-hash verification) quarantines the
         file, bumps the ``corrupt`` counter and reads as a miss so the
         caller recomputes.
+
+        Successful loads record a last-access timestamp in the entry's
+        ``meta.json`` (atomic, best-effort; *touch=False* skips it) —
+        the signal eviction/GC policies and the serving layer's
+        hot-cache warm start key on.
         """
         path = self.artifact_path(key)
         if not path.exists():
             return None
         try:
-            return ReductionArtifact.load(path, verify=True)
+            artifact = ReductionArtifact.load(path, verify=True)
         except SchemaMismatchError:
             # Incompatible-but-intact entry written by another library
             # version: recompute-and-overwrite, don't quarantine what
@@ -229,6 +276,92 @@ class ModelStore:
             self.corrupt += 1
             self._quarantine(path)
             return None
+        if touch:
+            self._touch_meta(key)
+        return artifact
+
+    def _touch_meta(self, key):
+        """Record "now" as *key*'s last access in ``meta.json``.
+
+        Atomic (temp file + ``os.replace`` under the entry flock, so a
+        concurrent :meth:`store` overwrite can never be resurrected with
+        stale provenance) and best-effort: losing an access-time update
+        to a crash or a read-only store directory costs nothing but
+        eviction-ordering precision, so failures are swallowed.  No
+        fsync — an access time is not worth a disk flush per read.
+        """
+        entry = self._entry_dir(key)
+        meta_path = entry / "meta.json"
+        try:
+            with _entry_lock(entry):
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                if not isinstance(meta, dict):
+                    return False
+                meta["last_access_unix"] = float(time.time())
+                fd, tmp_path = tempfile.mkstemp(
+                    prefix="meta.json.tmp", dir=entry
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(
+                            json.dumps(meta, indent=2, default=repr) + "\n"
+                        )
+                    os.replace(tmp_path, meta_path)
+                except BaseException:
+                    with contextlib.suppress(OSError):
+                        os.unlink(tmp_path)
+                    raise
+        except (OSError, ValueError):
+            return False
+        self.touches += 1
+        return True
+
+    def read_meta(self, key):
+        """The entry's ``meta.json`` dict, or ``None`` when unreadable."""
+        try:
+            meta = json.loads(
+                (self._entry_dir(key) / "meta.json").read_text(
+                    encoding="utf-8"
+                )
+            )
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def last_access(self, key):
+        """Unix time of *key*'s last recorded access (or ``None``).
+
+        Falls back to the artifact's creation time for entries written
+        before access recording existed (or whose meta was lost).
+        """
+        meta = self.read_meta(key)
+        if meta is None:
+            return None
+        value = meta.get("last_access_unix")
+        if value is None:
+            provenance = meta.get("provenance")
+            if isinstance(provenance, dict):
+                value = provenance.get("created_unix")
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+
+    def recent_keys(self, limit=None):
+        """Keys ordered most-recently-accessed first.
+
+        The ordering eviction/GC reads, and what
+        :meth:`repro.serve.HotROMCache.warm_start` uses to pre-load the
+        hottest ROMs into a fresh serving process.  Entries without any
+        recorded time sort last (oldest).
+        """
+        keys = self.keys()
+        decorated = sorted(
+            ((self.last_access(key) or 0.0, key) for key in keys),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        keys = [key for _, key in decorated]
+        return keys if limit is None else keys[: max(0, int(limit))]
 
     def store(self, key, artifact):
         """Write *artifact* under *key* (atomic; overwrites).
@@ -246,16 +379,19 @@ class ModelStore:
             "schema": SCHEMA_VERSION,
             "key": key,
             "provenance": json_safe(artifact.provenance),
+            "last_access_unix": float(time.time()),
         }
-        durable_write(
-            entry / "meta.json",
-            json.dumps(meta, indent=2, default=repr) + "\n",
-        )
+        with _entry_lock(entry):
+            durable_write(
+                entry / "meta.json",
+                json.dumps(meta, indent=2, default=repr) + "\n",
+            )
         return path
 
     # -- the serving entry point ---------------------------------------------
 
-    def reduce(self, system, reducer, checkpoint=None):
+    def reduce(self, system, reducer, checkpoint=None,
+               system_fingerprint=None):
         """Reduce *system* with *reducer*, served from the store if seen.
 
         Returns ``(artifact, hit)`` — *hit* is True when the artifact
@@ -267,8 +403,18 @@ class ModelStore:
         through to reducers whose ``reduce`` accepts one, so a killed
         miss-path build resumes from its last committed stage instead of
         restarting; reducers without checkpoint support run unchanged.
+
+        *system_fingerprint* — the precomputed
+        :func:`fingerprint_system` value — lets a serving process that
+        fingerprints each loaded spec once skip re-hashing the system
+        here (twice, historically: once for the key and once for the
+        miss-path provenance).
         """
-        key = self.key_for(system, reducer)
+        if system_fingerprint is None:
+            system_fingerprint = fingerprint_system(system)
+        key = self.key_for(
+            system, reducer, system_fingerprint=system_fingerprint
+        )
         artifact = self.load(key)
         if artifact is not None:
             self.hits += 1
@@ -282,7 +428,7 @@ class ModelStore:
             rom,
             system=system,
             reducer=reducer,
-            system_fingerprint=fingerprint_system(system),
+            system_fingerprint=system_fingerprint,
         )
         self.store(key, artifact)
         return artifact, False
@@ -330,6 +476,7 @@ class ModelStore:
             "misses": int(self.misses),
             "corrupt": int(self.corrupt),
             "quarantine_collisions": int(self.quarantine_collisions),
+            "touches": int(self.touches),
             "entries": len(self),
         }
 
