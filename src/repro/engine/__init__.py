@@ -24,6 +24,14 @@ Architecture
   heavy kernels (LAPACK triangular solves, BLAS GEMMs, SuperLU
   factorizations) release the GIL; the Python-level task bookkeeping is
   a rounding error against the numerical work.
+* :class:`~repro.engine.process.ProcessPoolBackend` — a persistent
+  process-pool backend for the Python-heavy stages the GIL serializes
+  (per-point distortion metrics, H3 assembly).  Tasks opt in by
+  carrying a :class:`~repro.engine.process.ProcessSpec` (module-level
+  function + codec-serializable payload); large operands ship through
+  ref-counted shared-memory segments (:mod:`repro.engine.shm`), workers
+  pin their BLAS pools to one thread, and tasks without a spec run
+  inline in the parent — every plan stays correct under every backend.
 
 Which layers emit plans
 -----------------------
@@ -43,20 +51,25 @@ Picking a backend
 The backend is global and serial by default::
 
     import repro.engine as engine
-    engine.configure(workers=4)        # threads
-    engine.configure(workers="auto")   # max(1, cpu_count - 1) threads
-    engine.configure(workers=1)        # back to serial
-    with engine.using(workers=4):      # scoped (tests, benchmarks)
+    engine.configure(workers=4)                      # threads
+    engine.configure(workers="auto")                 # max(1, cpu-1) threads
+    engine.configure(workers=4, backend="process")   # process pool
+    engine.configure(workers=1)                      # back to serial
+    with engine.using(workers=4):                    # scoped (tests, benches)
+        ...
+    with engine.using(backend="process"):            # auto-sized process pool
         ...
 
 or, without touching code, via the environment::
 
     REPRO_WORKERS=4 python my_analysis.py
     REPRO_WORKERS=auto python my_analysis.py
+    REPRO_BACKEND=process REPRO_WORKERS=4 python my_analysis.py
 
-``engine.worker_stats()`` reports the resolved backend
-(``{"backend", "workers", "requested", "cpu_count"}``) so scripts can
-log what ``"auto"`` actually resolved to on the host.
+``engine.worker_stats()`` reports the resolved backend (``{"backend",
+"workers", "requested", "cpu_count", "shm_*", ...}``) so scripts can log
+what ``"auto"`` actually resolved to on the host and attribute work per
+backend.
 
 Parallel and serial backends agree to rounding (each task performs the
 same floating-point operations on the same data; only the wall-clock
@@ -84,9 +97,18 @@ from .executor import (  # noqa: F401
     worker_stats,
 )
 from .plan import SolvePlan, SolveTask, chunk_bounds, parallel_map  # noqa: F401
+from .process import (  # noqa: F401
+    ProcessPoolBackend,
+    ProcessSpec,
+    worker_cache,
+)
+from .shm import SegmentRegistry, registry_stats  # noqa: F401
 
 __all__ = [
     "Executor",
+    "ProcessPoolBackend",
+    "ProcessSpec",
+    "SegmentRegistry",
     "SerialExecutor",
     "TaskCancelled",
     "TaskError",
@@ -97,7 +119,9 @@ __all__ = [
     "resolve_workers",
     "set_task_retries",
     "task_retries",
+    "registry_stats",
     "using",
+    "worker_cache",
     "worker_stats",
     "SolvePlan",
     "SolveTask",

@@ -1,6 +1,6 @@
 """Executor backends for :class:`~repro.engine.plan.SolvePlan`.
 
-Two backends share one tiny contract — ``run(callables) -> results`` in
+The backends share one tiny contract — ``run(callables) -> results`` in
 submission order — plus a module-global configuration so that every
 plan-emitting layer (resolvent batches, Krylov chains, distortion
 sweeps) picks up the same backend without threading an executor handle
@@ -10,7 +10,16 @@ The serial backend is the default: it is deterministic, allocation-free
 and exactly reproduces the historical inline loops.  The thread-pool
 backend exists because the numerical kernels underneath every task
 (LAPACK ``trtrs``, BLAS GEMM, SuperLU) release the GIL, so independent
-solves genuinely overlap on multicore hosts.
+solves genuinely overlap on multicore hosts.  The process-pool backend
+(:mod:`repro.engine.process`) additionally scales the pure-Python
+stages: tasks carrying a process spec run in worker processes with
+shared-memory payloads, the rest fall back inline.
+
+Selection: ``REPRO_BACKEND=serial|thread|process`` plus
+``REPRO_WORKERS=<n>|auto`` as environment defaults, or explicitly via
+:func:`configure` / the :class:`using` scope.  A backend request without
+a worker count implies ``workers="auto"``; any resolved count ``<= 1``
+degrades to serial.
 """
 
 import os
@@ -38,10 +47,15 @@ __all__ = [
 #: task can never deadlock waiting on pool slots its ancestors occupy.
 _worker_state = threading.local()
 
+#: Raised process-wide by the process backend's pool initializer: every
+#: thread of a worker *process* counts as "in a worker", so nested plans
+#: there run inline and never build pools of their own.
+_process_worker = False
+
 
 def in_worker():
     """True when the calling thread is a pool worker running a task."""
-    return getattr(_worker_state, "active", False)
+    return _process_worker or getattr(_worker_state, "active", False)
 
 
 def _check_cancel(cancel, done, total):
@@ -63,6 +77,7 @@ class Executor:
     """
 
     workers = 1
+    backend_name = "custom"
 
     def run(self, callables, cancel=None):
         raise NotImplementedError
@@ -72,6 +87,7 @@ class SerialExecutor(Executor):
     """In-order, in-thread execution (the deterministic default)."""
 
     workers = 1
+    backend_name = "serial"
 
     def run(self, callables, cancel=None):
         if cancel is None:
@@ -94,6 +110,8 @@ class ThreadPoolExecutor(Executor):
     re-raised after all tasks have settled, so no work is silently
     dropped mid-flight.
     """
+
+    backend_name = "threads"
 
     def __init__(self, workers):
         workers = int(workers)
@@ -208,25 +226,61 @@ def resolve_workers(workers):
     return int(workers)
 
 
-def _build(workers):
-    """(executor, requested-label) for one worker request."""
+def _normalize_backend(backend):
+    """Canonical backend name (``None`` passes through)."""
+    if backend is None:
+        return None
+    text = str(backend).strip().lower()
+    if text == "threads":
+        text = "thread"
+    if text not in ("serial", "thread", "process"):
+        raise ValidationError(
+            f"backend must be 'serial', 'thread' or 'process', "
+            f"got {backend!r}"
+        )
+    return text
+
+
+def _build(workers, backend=None):
+    """(executor, requested-label) for one worker/backend request."""
+    backend = _normalize_backend(backend)
+    if backend in ("thread", "process") and workers is None:
+        # An explicit parallel backend without a count means "use the
+        # host": same resolution as workers="auto".
+        workers = "auto"
     count = resolve_workers(workers)
     label = (
         "auto"
         if isinstance(workers, str) and workers.strip().lower() == "auto"
         else count
     )
-    if count <= 1:
+    if backend == "serial" or count <= 1:
         return _serial, label
+    if backend == "process":
+        # Lazy import: process.py imports this module (and plan.py) in
+        # turn, so the top level must stay acyclic.
+        from .process import ProcessPoolBackend
+
+        return ProcessPoolBackend(count), label
     return ThreadPoolExecutor(count), label
 
 
 def _from_env():
+    raw_backend = os.environ.get("REPRO_BACKEND", "").strip()
+    backend = None
+    if raw_backend:
+        try:
+            backend = _normalize_backend(raw_backend)
+        except ValidationError as exc:
+            raise ValidationError(
+                f"REPRO_BACKEND must be 'serial', 'thread' or "
+                f"'process', got {raw_backend!r}"
+            ) from exc
     raw = os.environ.get("REPRO_WORKERS", "").strip()
-    if not raw:
+    if backend is None and not raw:
         return _serial, None
     try:
-        return _build(raw)
+        return _build(raw or None, backend)
     except ValidationError as exc:
         raise ValidationError(
             f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
@@ -250,22 +304,35 @@ def _set_executor(executor, requested=None):
     return previous
 
 
-def configure(workers=None):
-    """Select the global backend: ``workers <= 1`` (or None) is serial,
-    ``"auto"`` is ``max(1, cpu_count − 1)``, anything larger a thread
-    pool of that size.  Returns the executor.
+def configure(workers=None, backend=None):
+    """Select the global backend.  Returns the executor.
 
-    Overrides any ``REPRO_WORKERS`` environment setting for the rest of
-    the process (the env var is only a default for the first use).
+    ``workers <= 1`` (or None, with no backend named) is serial,
+    ``"auto"`` is ``max(1, cpu_count − 1)``.  *backend* picks the pool
+    flavour — ``"serial"``, ``"thread"`` or ``"process"`` (default
+    thread, matching the pre-process-backend behaviour); naming a
+    parallel backend without a count implies ``workers="auto"``.
+
+    Overrides any ``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment
+    setting for the rest of the process (the env vars are only defaults
+    for the first use).
     """
-    executor, requested = _build(workers)
+    executor, requested = _build(workers, backend)
     previous, _ = _set_executor(executor, requested)
     # Unlike `using` (which restores — and then tears down — its scoped
     # pool on exit), configure permanently replaces the backend: reap
-    # the displaced pool's worker threads instead of leaking them.
-    if isinstance(previous, ThreadPoolExecutor) and previous is not executor:
-        previous.shutdown()
+    # the displaced pool's workers instead of leaking them.
+    _shutdown_displaced(previous, executor)
     return executor
+
+
+def _shutdown_displaced(previous, current):
+    """Tear down a displaced pool-holding backend (duck-typed)."""
+    if previous is None or previous is current or previous is _serial:
+        return
+    shutdown = getattr(previous, "shutdown", None)
+    if shutdown is not None:
+        shutdown()
 
 
 def current_workers():
@@ -276,23 +343,36 @@ def current_workers():
 def worker_stats():
     """Introspection of the resolved backend, ``sparse_lu_stats``-style.
 
-    Returns ``{"backend", "workers", "requested", "cpu_count"}`` —
-    *requested* is ``"auto"`` when the count was resolved from the host
-    CPU count (via ``configure(workers="auto")`` or
-    ``REPRO_WORKERS=auto``), the literal request otherwise (``None``
-    for the untouched default).
+    Always returns ``{"backend", "workers", "requested", "cpu_count",
+    "shm_segments", "shm_bytes_mapped"}`` — *requested* is ``"auto"``
+    when the count was resolved from the host CPU count (via
+    ``configure(workers="auto")`` or ``REPRO_WORKERS=auto``), the
+    literal request otherwise (``None`` for the untouched default); the
+    ``shm_*`` keys report the parent-side shared-memory registry (zero
+    until the process backend ships a payload).  Backends exposing a
+    ``stats()`` hook (the process pool: start method, pool liveness,
+    tasks executed/inline) contribute those keys too.
     """
     executor = get_executor()
     with _config_lock:
         requested = _requested
-    return {
-        "backend": (
-            "serial" if isinstance(executor, SerialExecutor) else "threads"
+    stats = {
+        "backend": getattr(
+            executor, "backend_name", type(executor).__name__
         ),
         "workers": int(executor.workers),
         "requested": requested,
         "cpu_count": os.cpu_count(),
     }
+    extra = getattr(executor, "stats", None)
+    if extra is not None:
+        stats.update(extra())
+    from .shm import registry_stats
+
+    shm = registry_stats()
+    stats["shm_segments"] = int(shm["segments"])
+    stats["shm_bytes_mapped"] = int(shm["bytes"])
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -358,21 +438,24 @@ def set_task_retries(count):
 class using:
     """Context manager: temporarily switch the global backend.
 
-    ``with engine.using(workers=4): ...`` — used by the parity tests and
-    the benchmark harness to compare backends on identical workloads.
+    ``with engine.using(workers=4): ...`` or
+    ``with engine.using(backend="process"): ...`` — used by the parity
+    tests and the benchmark harness to compare backends on identical
+    workloads.  The scoped pool (thread or process) is torn down on
+    exit.
     """
 
-    def __init__(self, workers=None):
+    def __init__(self, workers=None, backend=None):
         self._workers = workers
+        self._backend = backend
         self._previous = None
 
     def __enter__(self):
-        target, requested = _build(self._workers)
+        target, requested = _build(self._workers, self._backend)
         self._previous = _set_executor(target, requested)
         return target
 
     def __exit__(self, exc_type, exc, tb):
         current, _ = _set_executor(*self._previous)
-        if isinstance(current, ThreadPoolExecutor):
-            current.shutdown()
+        _shutdown_displaced(current, self._previous[0])
         return False

@@ -101,15 +101,24 @@ class SolveTask:
     ``tag`` is free-form caller metadata (e.g. ``("H2-chain", s0, col)``)
     used to regroup results after execution; the engine never inspects
     it.
+
+    ``spec`` is an optional :class:`~repro.engine.process.ProcessSpec`
+    making the task shippable to the process backend: a module-level
+    function reference plus a codec-serializable payload.  Backends that
+    cannot use it (serial, threads) ignore it and call the closure; the
+    process backend dispatches specced tasks to worker processes and
+    runs the rest inline, so a plan is correct on every backend whether
+    or not its tasks carry specs.
     """
 
-    __slots__ = ("fn", "args", "kwargs", "tag")
+    __slots__ = ("fn", "args", "kwargs", "tag", "spec")
 
-    def __init__(self, fn, args=(), kwargs=None, tag=None):
+    def __init__(self, fn, args=(), kwargs=None, tag=None, spec=None):
         self.fn = fn
         self.args = tuple(args)
         self.kwargs = dict(kwargs) if kwargs else None
         self.tag = tag
+        self.spec = spec
 
     def __call__(self):
         if self.kwargs:
@@ -173,13 +182,19 @@ class SolvePlan:
             return []
         if retries is None:
             retries = task_retries()
+        if len(self.tasks) == 1 and cancel is None:
+            return [_make_runner(self.tasks[0], 0, self.label, retries)()]
+        executor = executor if executor is not None else get_executor()
+        run_plan = getattr(executor, "run_plan", None)
+        if run_plan is not None:
+            # Plan-aware backend (the process pool): hand over the plan
+            # itself so it can see per-task specs; ordering, failure and
+            # cancellation semantics are the backend's contract.
+            return run_plan(self, retries=retries, cancel=cancel)
         runners = [
             _make_runner(task, index, self.label, retries)
             for index, task in enumerate(self.tasks)
         ]
-        if len(runners) == 1 and cancel is None:
-            return [runners[0]()]
-        executor = executor if executor is not None else get_executor()
         if cancel is None:
             return executor.run(runners)
         return executor.run(runners, cancel=cancel)

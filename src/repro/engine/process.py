@@ -1,0 +1,595 @@
+"""Process-pool engine backend: true multicore for plan fan-outs.
+
+The thread backend (:class:`~repro.engine.executor.ThreadPoolExecutor`)
+only overlaps GIL-releasing kernels; the Python-heavy stages — H3
+assembly, Tucker-contraction bookkeeping, per-point metric evaluation —
+stay serial under it.  This backend runs tasks in **worker processes**,
+so pure-Python work scales with cores too.
+
+Closures don't cross process boundaries (and this library bans pickled
+code on principle: payloads must stay data).  A task therefore opts into
+process dispatch by carrying a :class:`ProcessSpec`:
+
+* ``fn`` — a ``"module:function"`` reference to a **module-level**
+  worker function taking one payload tree and returning one result tree,
+* ``payload`` — the tree (or a zero-arg builder) of that task's inputs:
+  JSON scalars, ndarrays and CSR matrices, exactly the
+  :mod:`repro.serialize` payload universe,
+* ``merge`` — an optional parent-side callable applied to the worker's
+  result (e.g. scattering a chunk into a caller-owned output array);
+  its return value becomes the task's plan result.
+
+Payloads travel pickle-free as in-memory ``.npz`` messages
+(:func:`repro.serialize.encode_payload_bytes`); arrays above a size
+threshold are swapped for shared-memory descriptors so workers map the
+parent's copy instead of receiving bytes (see :mod:`repro.engine.shm`).
+Tasks *without* a spec run inline in the parent — bit-identical to the
+serial backend — so any plan is always correct under
+``REPRO_BACKEND=process`` and layers opt into process dispatch one
+emission site at a time.
+
+Worker protocol
+---------------
+Workers pin their BLAS pools to one thread (``OMP_NUM_THREADS`` /
+``MKL_NUM_THREADS`` / ``OPENBLAS_NUM_THREADS``, set at pool start and
+re-asserted in each worker's initializer) so ``workers × BLAS-threads``
+cannot oversubscribe the host.  Worker exceptions come back as
+structured records (type, message, traceback text, transient flag) and
+re-raise in the parent as the same
+:class:`~repro.errors.TaskError`-subclass wrapping the serial engine
+uses, so handlers cannot tell which side of the boundary a task died on.
+Transient failures are retried by resubmission under the engine's
+retry budget.  The ``engine.task`` fault point runs **inside** the
+worker, so the fault harness can kill a pool process mid-plan; the
+parent then surfaces the broken pool as a ``TaskError`` and releases
+every shared segment the plan acquired.  Nested plans inside a worker
+run inline serial (the process-global worker flag feeds
+:func:`~repro.engine.executor.in_worker`), so composition can never
+deadlock or fork-bomb the pool.
+"""
+
+import importlib
+import multiprocessing
+import os
+import threading
+import traceback
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor as _ProcPoolImpl
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import TaskCancelled, ValidationError
+from ..serialize import decode_payload_bytes, encode_payload_bytes
+from . import shm
+from .executor import Executor, SerialExecutor, _check_cancel, in_worker
+
+__all__ = [
+    "ProcessPoolBackend",
+    "ProcessSpec",
+    "process_token",
+    "worker_cache",
+]
+
+
+def process_token(obj, attr="_repro_process_token"):
+    """Stable per-instance token keying worker-side caches on *obj*.
+
+    Spec emitters stamp the object whose rebuilt form workers memoize
+    (a system, a resolvent factory) with a one-time random token; the
+    token rides in every payload and keys :func:`worker_cache`, so
+    successive plans over the same object hit the same worker-side
+    rebuild.  Random rather than ``id()``-derived: recycled ids must
+    never alias two different objects onto one cache entry.
+    """
+    token = getattr(obj, attr, None)
+    if token is None:
+        token = uuid.uuid4().hex
+        try:
+            setattr(obj, attr, token)
+        except AttributeError:
+            pass  # slotted/frozen object: a fresh token per call
+    return token
+
+#: BLAS pinning applied at pool start (parent env, inherited by workers)
+#: and re-asserted by every worker's initializer.  Existing explicit
+#: settings are respected — a user who pinned to 2 stays pinned to 2.
+_BLAS_ENV = {
+    "OMP_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+    "OPENBLAS_NUM_THREADS": "1",
+}
+
+#: Arrays at or above this many bytes ride in shared memory; smaller
+#: ones are cheaper inline in the message.
+_SHARE_MIN_BYTES_DEFAULT = 16384
+
+
+def _share_min_bytes():
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "").strip()
+    if not raw:
+        return _SHARE_MIN_BYTES_DEFAULT
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise ValidationError(
+            f"REPRO_SHM_MIN_BYTES must be an integer, got {raw!r}"
+        ) from exc
+
+
+def default_start_method():
+    """``REPRO_START_METHOD`` or the platform default (fork on Linux)."""
+    raw = os.environ.get("REPRO_START_METHOD", "").strip().lower()
+    if not raw:
+        return multiprocessing.get_start_method(allow_none=False)
+    if raw not in multiprocessing.get_all_start_methods():
+        raise ValidationError(
+            f"REPRO_START_METHOD must be one of "
+            f"{multiprocessing.get_all_start_methods()}, got {raw!r}"
+        )
+    return raw
+
+
+class ProcessSpec:
+    """Process-shippable description of one task (see module docstring)."""
+
+    __slots__ = ("fn", "payload", "merge")
+
+    def __init__(self, fn, payload, merge=None):
+        self.fn = str(fn)
+        if ":" not in self.fn:
+            raise ValidationError(
+                f"ProcessSpec fn must be 'module:function', got {fn!r}"
+            )
+        self.payload = payload
+        self.merge = merge
+
+    def build_payload(self):
+        payload = self.payload
+        return payload() if callable(payload) else payload
+
+
+# ---------------------------------------------------------------------------
+# payload tree <-> shared memory
+# ---------------------------------------------------------------------------
+
+_CSR_MARKER = "__shm_csr__"
+
+
+def _share_tree(node, registry, names, min_bytes):
+    """Copy of *node* with large arrays replaced by segment descriptors."""
+    if isinstance(node, np.ndarray):
+        if node.nbytes >= min_bytes and node.dtype.kind in "biufc":
+            descriptor = registry.share(node)
+            names.append(descriptor["name"])
+            return {shm.SHM_MARKER: descriptor}
+        return node
+    if sp.issparse(node):
+        csr = node.tocsr()
+        if csr.data.nbytes >= min_bytes:
+            parts = {}
+            for key in ("data", "indices", "indptr"):
+                descriptor = registry.share(getattr(csr, key))
+                names.append(descriptor["name"])
+                parts[key] = descriptor
+            parts["shape"] = list(csr.shape)
+            return {_CSR_MARKER: parts}
+        return csr
+    if isinstance(node, dict):
+        return {
+            key: _share_tree(value, registry, names, min_bytes)
+            for key, value in node.items()
+        }
+    if isinstance(node, (list, tuple)):
+        return [
+            _share_tree(item, registry, names, min_bytes) for item in node
+        ]
+    return node
+
+
+def _resolve_shared(node):
+    """Worker-side inverse of :func:`_share_tree`: attach descriptors."""
+    if isinstance(node, dict):
+        if shm.SHM_MARKER in node and len(node) == 1:
+            return shm.attach_array(node[shm.SHM_MARKER])
+        if _CSR_MARKER in node and len(node) == 1:
+            parts = node[_CSR_MARKER]
+            return sp.csr_matrix(
+                (
+                    shm.attach_array(parts["data"]),
+                    shm.attach_array(parts["indices"]),
+                    shm.attach_array(parts["indptr"]),
+                ),
+                shape=tuple(parts["shape"]),
+            )
+        return {key: _resolve_shared(value) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_resolve_shared(item) for item in node]
+    return node
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_init(blas_env):
+    """Pool initializer: pin BLAS, raise the process-worker flag."""
+    for key, value in blas_env.items():
+        os.environ.setdefault(key, value)
+    from . import executor
+
+    executor._process_worker = True
+
+
+def _resolve_fn(ref):
+    module_name, _, attr_path = ref.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in attr_path.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ValidationError(f"ProcessSpec fn {ref!r} is not callable")
+    return obj
+
+
+def _run_message(blob):
+    """Worker entry point: decode, execute, encode — never raises.
+
+    Exceptions become structured error records so the parent can rebuild
+    the original type; only a SIGKILL (fault injection, OOM killer) ever
+    surfaces as a broken pool instead.
+    """
+    try:
+        from .plan import _TRANSIENT
+        from ..testing.faults import fault_point
+
+        message = decode_payload_bytes(blob)
+        fn = _resolve_fn(message["fn"])
+        payload = _resolve_shared(message["payload"])
+        fault_point("engine.task")
+        result = fn(payload)
+        return encode_payload_bytes({"status": "ok", "result": result})
+    except Exception as exc:  # structured transport, re-raised in parent
+        record = {
+            "module": type(exc).__module__,
+            "name": type(exc).__qualname__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+            "transient": isinstance(exc, _TRANSIENT),
+        }
+        return encode_payload_bytes({"status": "error", "error": record})
+
+
+#: token -> built object (evaluators, factories) per worker process.
+#: Bounded: evicted builders release their work arrays; the attached
+#: segments they viewed stay mapped (see repro.engine.shm).
+_WORKER_CACHE = OrderedDict()
+_WORKER_CACHE_CAP = 4
+
+
+def worker_cache(token, build):
+    """Per-process memo for expensive worker-side state.
+
+    Worker functions rebuild library objects (resolvent factories,
+    Volterra evaluators) from payload arrays; keyed on a parent-supplied
+    token — stable across the plans of one system — the rebuild happens
+    once per worker, not once per task.
+    """
+    entry = _WORKER_CACHE.get(token)
+    if entry is None:
+        entry = build()
+        _WORKER_CACHE[token] = entry
+        if len(_WORKER_CACHE) > _WORKER_CACHE_CAP:
+            _WORKER_CACHE.popitem(last=False)
+    else:
+        _WORKER_CACHE.move_to_end(token)
+    return entry
+
+
+def _probe_worker(payload):
+    """Diagnostic worker: reports worker state and runs a nested plan.
+
+    Used by the pool's self-test and the engine test suite to assert the
+    worker protocol: the process-worker flag is up, and a nested plan
+    degrades to inline serial execution instead of touching any pool.
+    """
+    from . import executor
+    from .plan import SolvePlan
+
+    plan = SolvePlan("process.probe[nested]")
+    for k in range(int(payload.get("nested", 3))):
+        plan.add(lambda v=k: v * v)
+    nested = plan.execute()
+    return {
+        "pid": os.getpid(),
+        "in_worker": bool(executor.in_worker()),
+        "blas_threads": os.environ.get("OMP_NUM_THREADS"),
+        "nested": nested,
+    }
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_exception(record):
+    """Best-effort reconstruction of a worker exception in the parent."""
+    cls = None
+    try:
+        obj = importlib.import_module(record.get("module", "builtins"))
+        for part in record.get("name", "Exception").split("."):
+            obj = getattr(obj, part)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            cls = obj
+    except Exception:
+        cls = None
+    message = record.get("message", "")
+    exc = None
+    if cls is not None:
+        try:
+            exc = cls(message)
+        except Exception:
+            exc = None
+    if exc is None:
+        exc = RuntimeError(
+            f"{record.get('name', 'Exception')}: {message}"
+        )
+    exc.remote_traceback = record.get("traceback")
+    return exc
+
+
+class _Dispatch:
+    __slots__ = ("future", "blob", "spec", "task", "attempts")
+
+    def __init__(self, future, blob, spec, task):
+        self.future = future
+        self.blob = blob
+        self.spec = spec
+        self.task = task
+        self.attempts = 0
+
+
+class ProcessPoolBackend(Executor):
+    """Persistent process-pool backend (``workers >= 2``).
+
+    Like the thread backend, the pool is created lazily and reused
+    across plans; unlike it, dispatch requires a
+    :class:`ProcessSpec` per task — plain-closure tasks run inline in
+    the parent (closures and their captured locks cannot cross the
+    process boundary), which keeps every plan correct under this backend
+    and lets emission sites opt in one at a time.
+    """
+
+    backend_name = "process"
+
+    def __init__(self, workers, start_method=None):
+        workers = int(workers)
+        if workers < 2:
+            raise ValidationError(
+                f"ProcessPoolBackend needs workers >= 2, got {workers}; "
+                "use SerialExecutor for single-process execution"
+            )
+        self.workers = workers
+        self.start_method = (
+            start_method if start_method is not None
+            else default_start_method()
+        )
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            raise ValidationError(
+                f"start_method must be one of "
+                f"{multiprocessing.get_all_start_methods()}, "
+                f"got {self.start_method!r}"
+            )
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.tasks_executed = 0
+        self.tasks_inline = 0
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                # Pin BLAS in the parent environment *at pool start* so
+                # every worker — spawned lazily on first submit —
+                # inherits single-threaded kernels before its numpy
+                # loads.  Explicit user settings win (setdefault); the
+                # parent's own BLAS pools are unaffected (numpy read the
+                # env long ago).
+                for key, value in _BLAS_ENV.items():
+                    os.environ.setdefault(key, value)
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = _ProcPoolImpl(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(dict(_BLAS_ENV),),
+                )
+            return self._pool
+
+    def _reset_pool(self):
+        """Discard a broken pool; the next plan builds a fresh one."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self):
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _count(self, attr, delta):
+        with self._stats_lock:
+            setattr(self, attr, getattr(self, attr) + delta)
+
+    # -- Executor contract --------------------------------------------------
+
+    def run(self, callables, cancel=None):
+        """Bare-callable contract: inline serial.
+
+        Plain callables carry no process spec, so there is nothing
+        shippable here; plans reach the pool through :meth:`run_plan`.
+        """
+        callables = list(callables)
+        self._count("tasks_inline", len(callables))
+        return SerialExecutor().run(callables, cancel=cancel)
+
+    def run_plan(self, plan, retries=0, cancel=None):
+        """Execute *plan*: specced tasks on the pool, the rest inline.
+
+        Results in submission order; the first failure (by submission
+        order) re-raises after every task settles, mirroring the thread
+        backend.  Shared-memory segments acquired for this plan are
+        released on every exit path, including cancellation and a
+        worker SIGKILL.
+        """
+        from .plan import _make_runner, _task_failure
+
+        tasks = list(plan.tasks)
+        if not tasks:
+            return []
+        if in_worker():
+            runners = [
+                _make_runner(task, index, plan.label, retries)
+                for index, task in enumerate(tasks)
+            ]
+            return SerialExecutor().run(runners, cancel=cancel)
+        _check_cancel(cancel, 0, len(tasks))
+        registry = shm.registry()
+        min_bytes = _share_min_bytes()
+        results = [None] * len(tasks)
+        pending = {}
+        acquired = []
+        first_error = None
+        done = 0
+        try:
+            specced = [
+                (index, task.spec)
+                for index, task in enumerate(tasks)
+                if getattr(task, "spec", None) is not None
+            ]
+            if specced:
+                pool = self._ensure_pool()
+                for index, spec in specced:
+                    names = []
+                    # Keep the built payload referenced until the plan
+                    # holds its segment references: a temporary source
+                    # array dying earlier would fire its pin and unlink
+                    # the segment before any worker attaches it.
+                    payload = spec.build_payload()
+                    tree = _share_tree(payload, registry, names, min_bytes)
+                    blob = encode_payload_bytes(
+                        {"fn": spec.fn, "payload": tree}
+                    )
+                    registry.acquire(names)
+                    del payload
+                    acquired.append(names)
+                    dispatch = _Dispatch(None, blob, spec, tasks[index])
+                    dispatch.future = pool.submit(_run_message, blob)
+                    pending[index] = dispatch
+            # Unspecced tasks run inline while the pool works; their
+            # wrapping (fault point, retries, TaskError identity) is the
+            # serial engine's own.
+            for index, task in enumerate(tasks):
+                if index in pending:
+                    continue
+                _check_cancel(cancel, done, len(tasks))
+                runner = _make_runner(task, index, plan.label, retries)
+                try:
+                    results[index] = runner()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                self._count("tasks_inline", 1)
+                done += 1
+            for index in sorted(pending):
+                dispatch = pending[index]
+                while True:
+                    _check_cancel(cancel, done, len(tasks))
+                    try:
+                        blob = dispatch.future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died hard (SIGKILL fault injection,
+                        # OOM).  Every remaining future fails the same
+                        # way; surface the first as a TaskError and
+                        # rebuild the pool lazily on next use.
+                        self._reset_pool()
+                        if first_error is None:
+                            first_error = _task_failure(
+                                exc, plan.label, index,
+                                dispatch.task.tag, dispatch.attempts + 1,
+                            )
+                            first_error.__cause__ = exc
+                        break
+                    except TaskCancelled:
+                        raise
+                    except Exception as exc:
+                        if first_error is None:
+                            first_error = _task_failure(
+                                exc, plan.label, index,
+                                dispatch.task.tag, dispatch.attempts + 1,
+                            )
+                            first_error.__cause__ = exc
+                        break
+                    dispatch.attempts += 1
+                    message = decode_payload_bytes(blob)
+                    if message["status"] == "ok":
+                        merge = dispatch.spec.merge
+                        result = message["result"]
+                        results[index] = (
+                            merge(result) if merge is not None else result
+                        )
+                        self._count("tasks_executed", 1)
+                        break
+                    record = message["error"]
+                    if (
+                        record.get("transient")
+                        and dispatch.attempts <= retries
+                    ):
+                        dispatch.future = self._ensure_pool().submit(
+                            _run_message, dispatch.blob
+                        )
+                        continue
+                    if first_error is None:
+                        remote = _rebuild_exception(record)
+                        first_error = _task_failure(
+                            remote, plan.label, index,
+                            dispatch.task.tag, dispatch.attempts,
+                        )
+                        first_error.__cause__ = remote
+                    break
+                done += 1
+        except BaseException:
+            # Cancellation or KeyboardInterrupt: shed the not-yet-
+            # started tail and propagate; running workers finish their
+            # current message harmlessly.
+            for dispatch in pending.values():
+                dispatch.future.cancel()
+            raise
+        finally:
+            for names in acquired:
+                registry.release(names)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self):
+        with self._stats_lock:
+            executed = self.tasks_executed
+            inline = self.tasks_inline
+        with self._pool_lock:
+            started = self._pool is not None
+        return {
+            "start_method": self.start_method,
+            "pool_started": started,
+            "tasks_executed": int(executed),
+            "tasks_inline": int(inline),
+        }

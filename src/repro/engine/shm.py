@@ -1,0 +1,364 @@
+"""Ref-counted shared-memory segments for process-backend payloads.
+
+The process backend ships task payloads to workers pickle-free (the
+:mod:`repro.serialize` codec), but copying a circuit-sized ``G1``/``G2``
+or a Π left factor into every task message would erase the win of
+parallel dispatch.  Instead, large operands travel by *name*: the parent
+copies each distinct array **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and the
+payload carries only a small descriptor (segment name, dtype, shape);
+workers map the segment read-only instead of receiving bytes.
+
+Lifecycle
+---------
+The parent-side :class:`SegmentRegistry` deduplicates by source-array
+identity: sharing the same ndarray twice (two plans over one system)
+reuses the existing segment.  Every in-flight plan holds one reference
+per segment it shipped; a *pin* additionally keeps the segment alive
+while the source array itself is alive (``weakref.finalize``), so
+repeated plans over a long-lived system — the serving daemon's steady
+state — map the segment once per worker and never re-copy.  A segment is
+unlinked when its last plan reference is released *and* its pin is dead,
+or when the idle-segment cache overflows its byte budget (LRU), or at
+interpreter exit.  The registry is fork-safe: a forked child inherits
+the parent's registry object but every destructive operation no-ops
+unless ``os.getpid()`` matches the creating process, so pool workers can
+never unlink the parent's segments on exit.
+
+Worker side, :func:`attach_array` maps a descriptor back to a read-only
+ndarray view.  Attached segments are cached per process for its
+lifetime (mappings stay valid on POSIX even after the parent unlinks the
+name) and are attached *without* resource-tracker registration: on
+CPython < 3.13 attaching would register the segment with the worker's
+tracker, whose cleanup on worker exit would unlink (spawn) or
+unregister (fork) memory the parent still owns.
+"""
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "SegmentRegistry",
+    "attach_array",
+    "registry",
+    "registry_stats",
+]
+
+#: Descriptor marker key inside task payload trees (see engine.process).
+SHM_MARKER = "__shm__"
+
+#: Idle segments (pin alive, zero plan references) kept mapped for reuse
+#: before LRU eviction starts, in bytes.  Env-tunable because a serving
+#: daemon with many resident systems may want a bigger warm set.
+_IDLE_BYTES_DEFAULT = 256 * 1024 * 1024
+
+
+def _idle_budget():
+    raw = os.environ.get("REPRO_SHM_IDLE_BYTES", "").strip()
+    if not raw:
+        return _IDLE_BYTES_DEFAULT
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise ValidationError(
+            f"REPRO_SHM_IDLE_BYTES must be an integer, got {raw!r}"
+        ) from exc
+
+
+def _attach_untracked(name):
+    """Attach *name* without registering it with the resource tracker.
+
+    On CPython < 3.13 attaching registers the segment with the calling
+    process's tracker.  For a *spawn* worker (own tracker) that would
+    unlink parent-owned memory when the worker exits; for a *fork*
+    worker (tracker shared with the parent) a compensating unregister
+    would instead erase the parent's registration.  Not registering at
+    all is correct on both: ownership stays with the parent, which
+    unlinks explicitly (release / atexit).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= arrived in 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class _Segment:
+    __slots__ = ("name", "shm", "nbytes", "refs", "pinned", "finalizer")
+
+    def __init__(self, name, shm, nbytes):
+        self.name = name
+        self.shm = shm
+        self.nbytes = int(nbytes)
+        self.refs = 0
+        self.pinned = True
+        self.finalizer = None
+
+
+class SegmentRegistry:
+    """Parent-side segment table: share, reference-count, unlink."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        # id(array) -> segment name (valid while the pin is alive).
+        self._by_source = {}
+        self._segments = OrderedDict()  # name -> _Segment (LRU order)
+        self._counter = 0
+        self.total_bytes_shared = 0
+        self.segments_created = 0
+
+    # -- internal -----------------------------------------------------------
+
+    def _owned(self):
+        return os.getpid() == self._owner_pid
+
+    def _next_name(self):
+        self._counter += 1
+        return f"repro-shm-{self._owner_pid}-{self._counter}"
+
+    def _unlink(self, segment):
+        try:
+            segment.shm.close()
+        except OSError:
+            pass
+        try:
+            segment.shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+    def _drop_pin(self, source_id, name):
+        """weakref.finalize callback: the source array died."""
+        if not self._owned():
+            return
+        evict = None
+        with self._lock:
+            if self._by_source.get(source_id) == name:
+                del self._by_source[source_id]
+            segment = self._segments.get(name)
+            if segment is not None:
+                segment.pinned = False
+                if segment.refs == 0:
+                    evict = self._segments.pop(name)
+        if evict is not None:
+            self._unlink(evict)
+
+    def _evict_idle_locked(self):
+        """LRU-evict idle (pinned, unreferenced) segments over budget."""
+        budget = _idle_budget()
+        idle = [
+            s for s in self._segments.values() if s.refs == 0
+        ]
+        idle_bytes = sum(s.nbytes for s in idle)
+        evicted = []
+        for segment in idle:
+            if idle_bytes <= budget:
+                break
+            self._segments.pop(segment.name, None)
+            if segment.finalizer is not None:
+                segment.finalizer.detach()
+            for sid, name in list(self._by_source.items()):
+                if name == segment.name:
+                    del self._by_source[sid]
+            idle_bytes -= segment.nbytes
+            evicted.append(segment)
+        return evicted
+
+    # -- public -------------------------------------------------------------
+
+    def share(self, array):
+        """Copy *array* into a segment (or reuse) and return a descriptor.
+
+        The descriptor — ``{"name", "dtype", "shape"}`` — is pure JSON
+        and round-trips through the payload codec untouched.  The
+        returned segment holds **no** plan reference yet; callers bundle
+        the names they used and :meth:`acquire` them for the plan's
+        lifetime.
+        """
+        if not self._owned():
+            raise ValidationError(
+                "SegmentRegistry.share called from a worker process"
+            )
+        source = np.asarray(array)
+        # Dedupe and pin on the *caller's* array: a contiguous copy made
+        # here would die the moment this call returns, firing the pin
+        # and unlinking the segment before any worker attaches it.
+        contiguous = (
+            source
+            if source.flags.c_contiguous
+            else np.ascontiguousarray(source)
+        )
+        source_id = id(source)
+        with self._lock:
+            name = self._by_source.get(source_id)
+            if name is not None and name in self._segments:
+                self._segments.move_to_end(name)
+                return self._descriptor(name, source)
+            name = self._next_name()
+        nbytes = max(1, contiguous.nbytes)
+        # Distinctive names (pid + counter) make leaked segments
+        # attributable from /dev/shm and give worker-side caches a
+        # collision-free key.
+        shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=name
+        )
+        view = np.ndarray(
+            contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf
+        )
+        view[...] = contiguous
+        segment = _Segment(shm.name, shm, nbytes)
+        finalizer = weakref.finalize(
+            source, self._drop_pin, source_id, shm.name
+        )
+        finalizer.atexit = False  # shutdown() handles interpreter exit
+        segment.finalizer = finalizer
+        evicted = []
+        with self._lock:
+            self._by_source[source_id] = shm.name
+            self._segments[shm.name] = segment
+            self.total_bytes_shared += nbytes
+            self.segments_created += 1
+            evicted = self._evict_idle_locked()
+        for old in evicted:
+            self._unlink(old)
+        return self._descriptor(shm.name, source)
+
+    @staticmethod
+    def _descriptor(name, array):
+        return {
+            "name": name,
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+        }
+
+    def acquire(self, names):
+        """Add one plan reference to every segment in *names*."""
+        with self._lock:
+            for name in names:
+                segment = self._segments.get(name)
+                if segment is not None:
+                    segment.refs += 1
+
+    def release(self, names):
+        """Drop one plan reference; unlink segments that lost their pin."""
+        if not self._owned():
+            return
+        evicted = []
+        with self._lock:
+            for name in names:
+                segment = self._segments.get(name)
+                if segment is None:
+                    continue
+                segment.refs = max(0, segment.refs - 1)
+                if segment.refs == 0 and not segment.pinned:
+                    evicted.append(self._segments.pop(name))
+            evicted.extend(self._evict_idle_locked())
+        for segment in evicted:
+            self._unlink(segment)
+
+    def shutdown(self):
+        """Unlink every live segment (interpreter exit / tests)."""
+        if not self._owned():
+            return
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._by_source.clear()
+        for segment in segments:
+            if segment.finalizer is not None:
+                segment.finalizer.detach()
+            self._unlink(segment)
+
+    def stats(self):
+        with self._lock:
+            live = list(self._segments.values())
+            return {
+                "segments": len(live),
+                "bytes": int(sum(s.nbytes for s in live)),
+                "total_bytes_shared": int(self.total_bytes_shared),
+                "segments_created": int(self.segments_created),
+            }
+
+
+# ---------------------------------------------------------------------------
+# process-global registry (parent side)
+# ---------------------------------------------------------------------------
+
+_registry = None
+_registry_lock = threading.Lock()
+
+
+def registry():
+    """The process-wide :class:`SegmentRegistry` (created on first use)."""
+    global _registry
+    with _registry_lock:
+        if _registry is None or not _registry._owned():
+            # A forked child must never mutate the parent's table; give
+            # it (lazily) a registry of its own.
+            _registry = SegmentRegistry()
+            import atexit
+
+            atexit.register(_registry.shutdown)
+        return _registry
+
+
+def registry_stats():
+    """Stats of the global registry without forcing its creation."""
+    with _registry_lock:
+        if _registry is None or not _registry._owned():
+            return {
+                "segments": 0,
+                "bytes": 0,
+                "total_bytes_shared": 0,
+                "segments_created": 0,
+            }
+        reg = _registry
+    return reg.stats()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: name -> (SharedMemory, ndarray).  Never evicted: mappings must stay
+#: valid for as long as worker-cached builders (evaluators, resolvent
+#: factories) hold views into them, and the set of distinct segments a
+#: worker sees is bounded by what the parent shares.
+_attached = {}
+_attached_lock = threading.Lock()
+
+
+def attach_array(descriptor):
+    """Map a :meth:`SegmentRegistry.share` descriptor to a read-only view."""
+    name = descriptor["name"]
+    dtype = np.dtype(descriptor["dtype"])
+    shape = tuple(descriptor["shape"])
+    with _attached_lock:
+        cached = _attached.get(name)
+        if cached is None:
+            shm = _attach_untracked(name)
+            base = np.ndarray(
+                (shm.size,), dtype=np.uint8, buffer=shm.buf
+            )
+            cached = (shm, base)
+            _attached[name] = cached
+    shm, base = cached
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    view = (
+        base[: count * dtype.itemsize]
+        .view(dtype)
+        .reshape(shape)
+    )
+    view.flags.writeable = False
+    return view

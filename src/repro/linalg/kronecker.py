@@ -29,6 +29,7 @@ import scipy.sparse as sp
 
 from .._validation import as_square_matrix, check_positive_int
 from ..errors import ValidationError
+from ._hotloops import scatter_add_rows
 
 __all__ = [
     "kron",
@@ -243,7 +244,7 @@ def sparse_kron_apply(mat, factors):
         raise ValidationError(
             f"sparse_kron_apply supports 1..3 factors, got {len(factors)}"
         )
-    np.add.at(out, coo.row, contrib)
+    scatter_add_rows(out, coo.row, contrib)
     return out
 
 

@@ -23,6 +23,7 @@ import scipy.sparse as sp
 
 from .._validation import as_square_matrix, as_sparse
 from ..errors import SystemStructureError, ValidationError
+from ._hotloops import scatter_add_rows
 from .kronecker import kron_sum_power, kron_sum_power_matvec
 from .schur import SchurForm
 from .sylvester import FactoredTensor, KronSumSolver, _g2_coo_parts
@@ -383,7 +384,7 @@ class FactoredH3Operator:
         t_vals = np.einsum(
             "ab,ea,eb->e", tensor.core, p[ii], q[jj], optimize=True
         )
-        np.add.at(out, rows, vals * t_vals)
+        scatter_add_rows(out, rows, vals * t_vals)
         return out
 
     def _g3_vec(self, tensor):
@@ -397,7 +398,7 @@ class FactoredH3Operator:
             "abc,ea,eb,ec->e", tensor.core, p[ii], q[jj], s[kk],
             optimize=True,
         )
-        np.add.at(out, rows, vals * t_vals)
+        scatter_add_rows(out, rows, vals * t_vals)
         return out
 
     def solve_shifted(self, shift, vec):
@@ -447,7 +448,7 @@ class FactoredH3Operator:
             "abc,eb,ec->ea", x2.core, q[ii], s[jj], optimize=True
         )
         right = np.zeros((self.n, t.shape[1]), dtype=t.dtype)
-        np.add.at(right, rows, vals[:, None] * t)
+        scatter_add_rows(right, rows, vals[:, None] * t)
         core = np.eye(t.shape[1], dtype=t.dtype)
         return FactoredTensor(core, [p, right])
 
@@ -467,6 +468,6 @@ class FactoredH3Operator:
             "abc,ea,eb->ec", x2.core, p[ii], q[jj], optimize=True
         )
         left = np.zeros((self.n, t.shape[1]), dtype=t.dtype)
-        np.add.at(left, rows, vals[:, None] * t)
+        scatter_add_rows(left, rows, vals[:, None] * t)
         core = np.eye(t.shape[1], dtype=t.dtype)
         return FactoredTensor(core, [left, s])

@@ -289,6 +289,10 @@ class ServeDaemon:
                     for key in ("entries", "hits", "misses")
                 },
                 "coalesced": stats.get("coalescer", {}).get("coalesced", 0),
+                "engine": {
+                    key: stats.get("engine", {}).get(key)
+                    for key in ("backend", "workers")
+                },
                 "latency": {
                     verb: {
                         "p50_ms": values.get("p50_ms"),

@@ -1,0 +1,279 @@
+"""Process-pool engine backend: parity, worker protocol, shm lifecycle.
+
+The process backend's contract is the same as the thread backend's —
+wall-clock interleaving may change, results may not — plus the process
+boundary obligations the thread backend never faces: payloads must
+round-trip the pickle-free codec, large operands must travel by shared
+memory and be cleaned up on every exit path (including a SIGKILLed
+worker), worker exceptions must come back as the same typed errors the
+serial path raises, and a nested plan inside a worker must degrade to
+inline serial execution instead of touching a pool.
+"""
+
+import gc
+import glob
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.engine as engine
+from repro.analysis.distortion import distortion_sweep
+from repro.engine import SolvePlan
+from repro.engine.process import ProcessPoolBackend, ProcessSpec
+from repro.engine.shm import registry_stats
+from repro.errors import TaskError, ValidationError
+from repro.mor import AssociatedTransformMOR
+from repro.systems import PolynomialODE
+from repro.testing import faults
+
+from conftest import make_stable_matrix
+
+WORKERS = 2
+
+
+@pytest.fixture(autouse=True)
+def _serial_default():
+    """Each test starts (and the suite ends) on the serial backend."""
+    engine.configure(workers=1)
+    yield
+    engine.configure(workers=1)
+    faults.reset()
+
+
+def _sparse_ladder(n, rng):
+    """A stable sparse tridiagonal system (CSR g1) with quadratic term."""
+    main = -2.0 - 0.1 * rng.random(n)
+    off = 0.5 * np.ones(n - 1)
+    g1 = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    rows = rng.integers(0, n, size=3 * n)
+    cols = rng.integers(0, n * n, size=3 * n)
+    vals = 0.05 * rng.standard_normal(3 * n)
+    g2 = sp.csr_matrix((vals, (rows, cols)), shape=(n, n * n))
+    b = rng.standard_normal(n)
+    return PolynomialODE(g1, b, g2=g2, output=np.eye(n)[0])
+
+
+def _reset_caches(system):
+    for attr in ("_resolvent_factory", "_volterra_evaluator",
+                 "_associated_workspace"):
+        try:
+            setattr(system, attr, None)
+        except AttributeError:
+            pass
+
+
+def _probe_plan(count=2, nested=3):
+    plan = SolvePlan("test.probe")
+    for _ in range(count):
+        task = plan.add(lambda: None)
+        task.spec = ProcessSpec(
+            "repro.engine.process:_probe_worker", {"nested": nested}
+        )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# serial <-> process parity
+# ---------------------------------------------------------------------------
+
+
+class TestParity:
+    def test_solve_many_dense(self, rng):
+        from repro.linalg.resolvent import ResolventFactory
+
+        a = make_stable_matrix(rng, 40)
+        rhs = rng.standard_normal(40)
+        shifts = 1j * np.linspace(0.1, 2.0, 9)
+        serial = ResolventFactory(a).solve_many(shifts, rhs)
+        with engine.using(workers=WORKERS, backend="process"):
+            parallel = ResolventFactory(a).solve_many(shifts, rhs)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_solve_many_sparse(self, rng):
+        from repro.linalg.resolvent import ResolventFactory
+
+        system = _sparse_ladder(60, rng)
+        rhs = rng.standard_normal(60)
+        shifts = 1j * np.linspace(0.1, 2.0, 9)
+        serial = ResolventFactory(system.g1).solve_many(shifts, rhs)
+        with engine.using(workers=WORKERS, backend="process"):
+            parallel = ResolventFactory(system.g1).solve_many(shifts, rhs)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_distortion_sweep_sparse(self, rng):
+        system = _sparse_ladder(50, rng)
+        omegas = np.linspace(0.1, 0.5, 6)
+        _, hd2_s, hd3_s = distortion_sweep(system, omegas, 0.4)
+        _reset_caches(system)
+        with engine.using(workers=WORKERS, backend="process"):
+            _, hd2_p, hd3_p = distortion_sweep(system, omegas, 0.4)
+        np.testing.assert_array_equal(hd2_s, hd2_p)
+        np.testing.assert_array_equal(hd3_s, hd3_p)
+
+    def test_build_basis(self, small_qldae):
+        # Basis chains are closures (no ProcessSpec): the process
+        # backend must fall back to inline execution and still agree.
+        explicit = small_qldae.to_explicit()
+        points = tuple(1j * w for w in np.linspace(0.0, 1.0, 3))
+        reducer = AssociatedTransformMOR(
+            orders=(3, 2, 0), expansion_points=points,
+            strategy="decoupled",
+        )
+        basis_s, _ = reducer.build_basis(explicit)
+        with engine.using(workers=WORKERS, backend="process"):
+            basis_p, _ = reducer.build_basis(explicit)
+        assert np.abs(basis_s - basis_p).max() <= 1e-10
+
+
+# ---------------------------------------------------------------------------
+# worker protocol
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerProtocol:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_start_methods(self, monkeypatch, start_method):
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        monkeypatch.setenv("REPRO_START_METHOD", start_method)
+        backend = ProcessPoolBackend(WORKERS)
+        try:
+            results = _probe_plan().execute(executor=backend)
+            assert backend.stats()["start_method"] == start_method
+        finally:
+            backend.shutdown()
+        for probe in results:
+            assert probe["pid"] != os.getpid()
+            assert probe["in_worker"] is True
+
+    def test_nested_plan_runs_inline_and_blas_pinned(self):
+        with engine.using(workers=WORKERS, backend="process"):
+            results = _probe_plan(count=2, nested=4).execute()
+        for probe in results:
+            assert probe["in_worker"] is True
+            assert probe["nested"] == [0, 1, 4, 9]
+            assert probe["blas_threads"] == "1"
+
+    def test_worker_error_keeps_type_and_remote_traceback(self):
+        plan = SolvePlan("test.error")
+        for _ in range(2):
+            task = plan.add(lambda: None)
+            # int("boom") inside the worker: a genuine remote failure.
+            task.spec = ProcessSpec(
+                "repro.engine.process:_probe_worker", {"nested": "boom"}
+            )
+        with engine.using(workers=WORKERS, backend="process"):
+            with pytest.raises(TaskError) as excinfo:
+                plan.execute()
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ValueError)
+        assert "boom" in str(cause)
+        assert "_probe_worker" in getattr(cause, "remote_traceback", "")
+
+    def test_closure_tasks_run_inline(self):
+        with engine.using(workers=WORKERS, backend="process"):
+            plan = SolvePlan("test.closures")
+            for k in range(5):
+                plan.add(lambda v=k: v * v)
+            assert plan.execute() == [0, 1, 4, 9, 16]
+            stats = engine.worker_stats()
+        assert stats["tasks_inline"] >= 4
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValidationError):
+            ProcessPoolBackend(1)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _shm_files():
+    return glob.glob(f"/dev/shm/repro-shm-{os.getpid()}-*")
+
+
+class TestSharedMemory:
+    def test_segments_released_after_plan(self, rng):
+        from repro.linalg.resolvent import ResolventFactory
+
+        a = make_stable_matrix(rng, 80)
+        rhs = rng.standard_normal(80)
+        shifts = 1j * np.linspace(0.1, 2.0, 9)
+        factory = ResolventFactory(a)
+        with engine.using(workers=WORKERS, backend="process"):
+            factory.solve_many(shifts, rhs)
+        # Segments may stay mapped while the source arrays are alive
+        # (the pin); dropping the factory must unlink them.
+        del factory, a, rhs
+        gc.collect()
+        assert registry_stats()["segments"] == 0
+        assert _shm_files() == []
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="POSIX shm path required"
+    )
+    def test_worker_crash_cleans_up_segments(self, rng):
+        from repro.linalg.resolvent import ResolventFactory
+
+        system = _sparse_ladder(60, rng)
+        rhs = rng.standard_normal(60)
+        shifts = 1j * np.linspace(0.1, 2.0, 9)
+        factory = ResolventFactory(system.g1)
+        # Arm a SIGKILL at the first engine.task hit.  The armed spec is
+        # inherited by fork workers; the parent never reaches the site
+        # because every sparse solve_many chunk ships as a ProcessSpec.
+        faults.configure("engine.task:1:kill")
+        try:
+            with engine.using(workers=WORKERS, backend="process"):
+                with pytest.raises(TaskError):
+                    factory.solve_many(shifts, rhs)
+        finally:
+            faults.reset()
+        del factory, system, rhs
+        gc.collect()
+        assert registry_stats()["segments"] == 0
+        assert _shm_files() == []
+
+
+# ---------------------------------------------------------------------------
+# configuration & stats
+# ---------------------------------------------------------------------------
+
+
+class TestConfiguration:
+    def test_worker_stats_fields(self):
+        with engine.using(workers=WORKERS, backend="process"):
+            _probe_plan().execute()
+            stats = engine.worker_stats()
+        assert stats["backend"] == "process"
+        assert stats["workers"] == WORKERS
+        assert stats["pool_started"] is True
+        assert stats["tasks_executed"] >= 2
+        assert stats["start_method"] in ("fork", "spawn", "forkserver")
+        assert stats["shm_segments"] >= 0
+        assert stats["shm_bytes_mapped"] >= 0
+
+    def test_env_selects_process_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        engine.executor._set_executor(None)
+        try:
+            assert engine.worker_stats()["backend"] == "process"
+        finally:
+            engine.configure(workers=1)
+
+    def test_env_rejects_bad_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cluster")
+        engine.executor._set_executor(None)
+        with pytest.raises(ValidationError):
+            engine.get_executor()
+        engine.configure(workers=1)
+
+    def test_configure_rejects_bad_backend(self):
+        with pytest.raises(ValidationError):
+            engine.configure(workers=2, backend="gpu")
