@@ -32,7 +32,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks.perf_log import append_run  # noqa: E402
+from benchmarks.perf_log import append_run, traced_peak  # noqa: E402
 from repro.analysis.distortion import single_tone_distortion  # noqa: E402
 from repro.circuits.examples import (  # noqa: E402
     quadratic_rc_ladder_netlist,
@@ -107,7 +107,7 @@ def run_full_order_mor_case(n_nodes=DEFAULT_N):
     system = net.compile(sparse=True)
     mor = AssociatedTransformMOR(orders=(3, 2, 1), strategy="decoupled")
     t0 = time.perf_counter()
-    rom = mor.reduce(system)
+    rom, peak = traced_peak(lambda: mor.reduce(system))
     total_s = time.perf_counter() - t0
     return {
         "n": n_nodes,
@@ -116,6 +116,7 @@ def run_full_order_mor_case(n_nodes=DEFAULT_N):
         "rom_order": rom.system.n_states,
         "build_s": rom.build_time,
         "total_s": total_s,
+        "peak_mb": peak / 1e6,
         "rom_linear_stable": rom.details["rom_linear_stable"],
     }
 
@@ -167,7 +168,8 @@ def main():
     results["full_order_mor"] = run_full_order_mor_case(n)
     print(
         "  orders (3,2,1) -> ROM order {rom_order} in {total_s:.2f}s "
-        "(basis build {build_s:.2f}s)".format(**results["full_order_mor"])
+        "(basis build {build_s:.2f}s, traced peak {peak_mb:.1f} MB)"
+        .format(**results["full_order_mor"])
     )
 
     mem_n = 512 if _quick() else 1024

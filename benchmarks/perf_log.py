@@ -17,15 +17,65 @@ the previous file intact.
 import contextlib
 import json
 import os
+import sys
 import tempfile
 import time
+import tracemalloc
 
 try:
     import fcntl
 except ImportError:  # non-POSIX: fall back to O_EXCL spinning
     fcntl = None
 
-__all__ = ["append_run", "load_runs"]
+try:
+    import resource
+except ImportError:  # non-POSIX
+    resource = None
+
+__all__ = ["append_run", "load_runs", "peak_memory", "traced_peak"]
+
+
+def peak_memory():
+    """JSON-safe snapshot of this process's peak memory so far.
+
+    ``ru_maxrss_bytes`` is the OS-reported lifetime peak RSS (None on
+    platforms without ``resource``); ``tracemalloc_peak_bytes`` is the
+    allocator-level peak when tracing is active, else None.  Appended
+    runs carry this automatically — see :func:`append_run` — so the
+    perf trajectory tracks memory alongside wall time.
+    """
+    rss = None
+    if resource is not None:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # Linux reports KiB, macOS reports bytes.
+        scale = 1 if sys.platform == "darwin" else 1024
+        rss = int(usage.ru_maxrss) * scale
+    traced = None
+    if tracemalloc.is_tracing():
+        traced = int(tracemalloc.get_traced_memory()[1])
+    return {"ru_maxrss_bytes": rss, "tracemalloc_peak_bytes": traced}
+
+
+def traced_peak(fn):
+    """Run *fn* under tracemalloc; return ``(result, peak_bytes)``.
+
+    Peak is measured relative to the call (counters are reset first).
+    When tracing is already active the surrounding trace is left
+    running and its peak counter is clobbered by the reset — callers
+    own one level of tracing at a time.
+    """
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        result = fn()
+        peak = int(tracemalloc.get_traced_memory()[1])
+    finally:
+        if started:
+            tracemalloc.stop()
+    return result, peak
 
 #: Give up waiting for a concurrent appender after this many seconds —
 #: a run entry is a few KB of JSON, so a healthy holder is gone in
@@ -139,6 +189,8 @@ def append_run(path, run):
     concurrent bench runs serialize (both entries land) and a crash at
     any point leaves either the old or the new complete file.
     """
+    if isinstance(run, dict):
+        run.setdefault("peak_memory", peak_memory())
     with _exclusive_lock(path):
         runs = load_runs(path)
         runs.append(run)

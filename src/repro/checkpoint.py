@@ -17,6 +17,13 @@ On-disk layout under the checkpoint directory::
     solver-<digest>.npz    extended-Krylov solver snapshot as of a stage
     pi-<digest>.npz        factored-Π snapshot (written once: Π is
                            immutable after its build)
+    tiles/<digest>/        append-only *tile* log of the one in-flight
+                           stage: per-task payloads/snapshots plus
+                           ``log.jsonl``, whose fsync'd lines are the
+                           tile commit points.  Folded into the stage
+                           block at ``commit_stage`` and cleared, so a
+                           SIGKILL mid-stage loses at most one tile of
+                           work, not the whole stage.
 
 Commit protocol (crash consistency): the stage's block payload and
 solver snapshot are written first (atomic + fsync through
@@ -39,11 +46,17 @@ stale state and starts fresh.
 
 import hashlib
 import json
+import os
 import shutil
 from pathlib import Path
 
 from .errors import ValidationError
-from .serialize import durable_write, load_payload, save_payload
+from .serialize import (
+    durable_write,
+    fsync_directory,
+    load_payload,
+    save_payload,
+)
 from .testing.faults import fault_point
 
 __all__ = ["CHECKPOINT_SCHEMA", "JobState", "checkpoint_for"]
@@ -88,6 +101,8 @@ class JobState:
         self._order = []    # stage ids in commit order
         self.loaded = 0
         self.computed = 0
+        self.tiles_loaded = 0
+        self.tiles_computed = 0
         self.resumed = False
         self.directory.mkdir(parents=True, exist_ok=True)
         self._read_manifest()
@@ -257,7 +272,8 @@ class JobState:
         return entry
 
     def _collect_garbage(self):
-        """Unlink solver/Π snapshots no longer referenced by any stage."""
+        """Unlink solver/Π snapshots no longer referenced by any stage,
+        and tile logs of stages that have since been committed."""
         referenced = set()
         for entry in self._stages.values():
             referenced.add(entry.get("solver"))
@@ -269,6 +285,156 @@ class JobState:
                         path.unlink()
                     except OSError:
                         pass
+        tiles_root = self.directory / "tiles"
+        if tiles_root.is_dir():
+            committed = {_stage_digest(sid) for sid in self._order}
+            for child in tiles_root.iterdir():
+                if child.is_dir() and child.name in committed:
+                    shutil.rmtree(child, ignore_errors=True)
+
+    # -- tiles ---------------------------------------------------------------
+    #
+    # Within one in-flight stage, every chain task is a *tile*.  Tiles
+    # commit through a cheap append-only log (payload + optional solver
+    # snapshots written atomically first, then one fsync'd JSON line —
+    # the commit point), so the durability granularity matches the
+    # compute granularity: a SIGKILL between any two tasks loses at
+    # most the single task that was running.  The stage commit
+    # supersedes its tiles and clears the log.
+
+    def _tiles_dir(self, stage_id):
+        return self.directory / "tiles" / _stage_digest(stage_id)
+
+    def _tile_entries(self, tiles_dir):
+        """The committed tile prefix of *tiles_dir*: contiguous indices
+        from 0 with readable payloads; a torn tail line (crash mid-
+        append) or a gap ends the prefix."""
+        log = tiles_dir / "log.jsonl"
+        try:
+            text = log.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        entries = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except Exception:
+                break
+            if entry.get("index") != len(entries):
+                break
+            if not (tiles_dir / entry["payload"]).exists():
+                break
+            entries.append(entry)
+        return entries
+
+    def _resumable_tile_dir(self):
+        """The tile directory of the one in-flight (uncommitted) stage,
+        or ``None``.  Multiple pending directories cannot arise from
+        the commit protocol; if external damage produces them anyway,
+        tiles are ignored wholesale rather than guessed at."""
+        root = self.directory / "tiles"
+        if not root.is_dir():
+            return None
+        committed = {_stage_digest(sid) for sid in self._order}
+        pending = [
+            child for child in root.iterdir()
+            if child.is_dir() and child.name not in committed
+        ]
+        if len(pending) == 1:
+            return pending[0]
+        return None
+
+    def tile_count(self, stage_id):
+        """Committed tiles of *stage_id*'s in-flight log (0 when the
+        stage has no resumable tiles)."""
+        return len(self.load_tile_entries(stage_id))
+
+    def load_tile_entries(self, stage_id):
+        """Log entries of *stage_id*'s resumable tile prefix."""
+        tiles_dir = self._tiles_dir(stage_id)
+        if self._resumable_tile_dir() != tiles_dir:
+            return []
+        return self._tile_entries(tiles_dir)
+
+    def load_tiles(self, stage_id):
+        """Payload trees of *stage_id*'s committed tile prefix (each
+        counts as a tile resume hit)."""
+        tiles_dir = self._tiles_dir(stage_id)
+        payloads = []
+        for entry in self.load_tile_entries(stage_id):
+            payloads.append(load_payload(tiles_dir / entry["payload"]))
+            self.tiles_loaded += 1
+        return payloads
+
+    def commit_tile(self, stage_id, tile_index, payload, solver_state=None,
+                    pi_state=None):
+        """Durably append one tile to *stage_id*'s tile log.
+
+        The payload (and, when the workspace's solver state changed
+        since the last commit, its snapshot halves) is written atomic +
+        fsync first; the single fsync'd log line is the commit point.
+        Crash sites ``checkpoint.before_tile`` / ``checkpoint
+        .after_tile`` bracket it.
+        """
+        tiles_dir = self._tiles_dir(stage_id)
+        tiles_dir.mkdir(parents=True, exist_ok=True)
+        tile_index = int(tile_index)
+        fault_point("checkpoint.before_tile")
+        payload_name = f"tile-{tile_index:04d}.npz"
+        save_payload(tiles_dir / payload_name, payload, compress=False)
+        solver_name = pi_name = None
+        if solver_state is not None:
+            solver_name = f"solver-{tile_index:04d}.npz"
+            save_payload(
+                tiles_dir / solver_name, solver_state, compress=False
+            )
+        if pi_state is not None:
+            pi_name = f"pi-{tile_index:04d}.npz"
+            save_payload(tiles_dir / pi_name, pi_state, compress=False)
+        entry = {
+            "index": tile_index, "payload": payload_name,
+            "solver": solver_name, "pi": pi_name,
+        }
+        log = tiles_dir / "log.jsonl"
+        fresh = not log.exists()
+        with open(log, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if fresh:
+            fsync_directory(tiles_dir)
+        self.tiles_computed += 1
+        fault_point("checkpoint.after_tile")
+        return entry
+
+    def clear_tiles(self, stage_id):
+        """Drop *stage_id*'s tile log (its stage commit supersedes it)."""
+        shutil.rmtree(self._tiles_dir(stage_id), ignore_errors=True)
+
+    def has_resumable_tiles(self):
+        """True when an in-flight stage left committed tiles behind."""
+        pending = self._resumable_tile_dir()
+        return pending is not None and bool(self._tile_entries(pending))
+
+    def latest_solver_state(self):
+        """:meth:`solver_state` of the last committed stage, overlaid
+        with any snapshots the in-flight stage's tile log recorded —
+        the state a mid-stage resume must restore before re-entering
+        the build."""
+        merged = dict(self.solver_state() or {})
+        pending = self._resumable_tile_dir()
+        if pending is not None:
+            solver_name = pi_name = None
+            for entry in self._tile_entries(pending):
+                solver_name = entry.get("solver") or solver_name
+                pi_name = entry.get("pi") or pi_name
+            for name in (solver_name, pi_name):
+                if name and (pending / name).exists():
+                    merged.update(load_payload(pending / name))
+        return merged or None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -279,6 +445,8 @@ class JobState:
             "stages_committed": len(self._order),
             "loaded": int(self.loaded),
             "computed": int(self.computed),
+            "tiles_loaded": int(self.tiles_loaded),
+            "tiles_computed": int(self.tiles_computed),
             "resumed": bool(self.resumed),
         }
 

@@ -189,7 +189,14 @@ def _add_reduce_arguments(parser):
     parser.add_argument(
         "--memory-budget", metavar="BYTES",
         help="cap resident basis/Pi memory (e.g. 512M); excess blocks "
-        "spill to disk-backed memory maps",
+        "spill to disk-backed memory maps and the solver streams in "
+        "budget-derived row blocks",
+    )
+    parser.add_argument(
+        "--max-block", metavar="ROWS",
+        help="force the streaming row-block size of the solver core "
+        "(default: derived from the memory budget; >= n reproduces "
+        "the unblocked arithmetic exactly)",
     )
 
 
@@ -321,7 +328,7 @@ def build_parser():
     )
 
     p_store = sub.add_parser(
-        "store", help="model-store maintenance (verify, ...)"
+        "store", help="model-store maintenance (verify, ls, gc)"
     )
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
     p_verify = store_sub.add_parser(
@@ -335,6 +342,34 @@ def build_parser():
         help="report corrupt entries without moving them aside",
     )
     p_verify.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
+    p_ls = store_sub.add_parser(
+        "ls",
+        help="list entries (most recently accessed first) with per-entry "
+        "sizes and totals",
+    )
+    p_ls.add_argument("root", help="ModelStore directory")
+    p_ls.add_argument(
+        "--out", metavar="FILE", help="also write the JSON report here"
+    )
+    p_gc = store_sub.add_parser(
+        "gc",
+        help="evict entries by idle TTL and/or until the store fits a "
+        "size budget (oldest last_access first)",
+    )
+    p_gc.add_argument("root", help="ModelStore directory")
+    p_gc.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="size budget the store must fit after GC, e.g. '512m' "
+        "(default: no size limit)",
+    )
+    p_gc.add_argument(
+        "--ttl", metavar="AGE", default=None,
+        help="evict entries idle longer than AGE, e.g. '7d', '12h' "
+        "(default: no TTL)",
+    )
+    p_gc.add_argument(
         "--out", metavar="FILE", help="also write the JSON report here"
     )
     return parser
@@ -406,11 +441,12 @@ def _emit(args, report, csv_table=None):
 
 
 def _pipeline_extras(args):
-    """Fault-tolerance knobs shared by reduce/sweep/simulate."""
+    """Fault-tolerance/memory knobs shared by reduce/sweep/simulate."""
     return {
         "checkpoint": getattr(args, "checkpoint", None),
         "resume": bool(getattr(args, "resume", False)),
         "memory_budget": getattr(args, "memory_budget", None),
+        "max_block": getattr(args, "max_block", None),
     }
 
 
@@ -437,7 +473,7 @@ def _run(args):
         )
 
     if args.command == "store":
-        if args.store_command != "verify":
+        if args.store_command not in ("verify", "ls", "gc"):
             raise ValidationError(
                 f"unknown store command {args.store_command!r}"
             )
@@ -447,11 +483,18 @@ def _run(args):
                 f"{root} is not a ModelStore directory (no objects/)"
             )
         store = ModelStore(root)
-        report = store.verify(quarantine=not args.no_quarantine)
-        report["command"] = "store verify"
+        if args.store_command == "verify":
+            report = store.verify(quarantine=not args.no_quarantine)
+        elif args.store_command == "ls":
+            report = store.ls()
+        else:
+            report = store.gc(max_bytes=args.max_bytes, ttl=args.ttl)
+        report["command"] = f"store {args.store_command}"
         report["root"] = str(store.root)
         _emit(args, report)
-        return 1 if report["corrupt"] else 0
+        if args.store_command == "verify":
+            return 1 if report["corrupt"] else 0
+        return 0
 
     spec = _load_spec(args.spec)
     sparse = _sparse_flag(args)

@@ -52,6 +52,19 @@ _SINGULAR_RTOL = 1e-13
 _SYLVESTER_BLOCK = 64
 
 
+def _row_spans(n, step):
+    """Yield ``(lo, hi)`` row spans of at most *step* rows covering *n*.
+
+    A single span ``(0, n)`` when ``step >= n`` — the streamed code
+    paths then execute exactly the historical unblocked operations on
+    full-array views, so results are bit-identical to the pre-streaming
+    implementation.
+    """
+    step = max(int(step), 1)
+    for lo in range(0, n, step):
+        yield lo, min(n, lo + step)
+
+
 def _check_diag_gap(values, scale):
     gap = np.abs(values).min()
     if gap <= _SINGULAR_RTOL * scale:
@@ -661,11 +674,16 @@ class FactoredPi:
     space and ``L`` a dense ``(n, r²)`` left factor — the ``U·Wᵀ``
     factored form with ``W = U ⊗ U`` held implicitly in Kronecker form,
     so the ``n × n²`` matrix (and anything ``n²``-sided) is never
-    materialized.  The left side carries no reduction at all: Π's
-    singular values decay too slowly on realistic circuits for a
-    two-sided low-rank form to reach engineering residuals, but its
-    *action on the decoupled-H2 chain subspace* — all the realization
-    ever needs — is captured exactly by a small right basis.
+    materialized.  The left factor itself is built and consumed in row
+    blocks of at most ``max_block`` rows (see :mod:`repro.memory`): past
+    the byte budget it lives in the planner's tile arena as a writable
+    memmap from the moment it is produced, so even the ``(n, r²)`` slab
+    never has to be resident at once.  The left side carries no rank
+    reduction: Π's singular values decay too slowly on realistic
+    circuits for a two-sided low-rank form to reach engineering
+    residuals, but its *action on the decoupled-H2 chain subspace* —
+    all the realization ever needs — is captured exactly by a small
+    right basis.
 
     Acts on dense vectors/matrices over the ``n²`` lifted space and on
     :class:`FactoredTensor` operands (the decoupled-H2 chain vectors).
@@ -674,7 +692,9 @@ class FactoredPi:
     __slots__ = ("left", "u", "residual", "rhs_norm")
 
     def __init__(self, left, u, residual=None, rhs_norm=None):
-        self.left = np.asarray(left)
+        # Keep the ndarray subclass: an arena-backed np.memmap from the
+        # streamed build must stay recognizably disk-backed.
+        self.left = left if isinstance(left, np.ndarray) else np.asarray(left)
         self.u = np.asarray(u)
         r = self.u.shape[1]
         if self.left.shape != (self.u.shape[0], r * r):
@@ -682,10 +702,10 @@ class FactoredPi:
                 f"left factor must be (n, r^2) = ({self.u.shape[0]}, "
                 f"{r * r}), got {self.left.shape}"
             )
-        # The n × r² left factor is the single largest dense block a
-        # sparse decoupled build holds; it is only ever *read* after
-        # construction, so past the memory budget it lives on disk as a
-        # read-only memmap (a no-op while the budget is unlimited).
+        # The left factor is only ever *read* after construction.  A
+        # streamed build hands in an arena-backed memmap (admit passes
+        # it through); a RAM-resident factor past the budget is spilled
+        # to a read-only memmap here (a no-op while unlimited).
         self.left = memory.admit(self.left, "pi-left")
         self.residual = residual
         self.rhs_norm = rhs_norm
@@ -790,6 +810,29 @@ _EIG_THRESHOLD = 48
 _EIG_COND_LIMIT = 1e10
 
 
+def _blocked_product(a, b, conjugate=False):
+    """``aᴴ b`` (``aᵀ b`` when *conjugate* is false) in row blocks.
+
+    A single block (``max_block >= n``) is one GEMM — bit-identical to
+    the unblocked expression; otherwise the accumulation keeps only one
+    row block's operands live at a time (summation-order drift across
+    block boundaries is within the ≤ 1e-10 streaming parity contract).
+    """
+    n = a.shape[0]
+    width = a.shape[1] + (b.shape[1] if b.ndim > 1 else 1)
+    step = memory.block_rows(
+        n, row_bytes=width * max(a.itemsize, b.itemsize)
+    )
+    left = (lambda x: x.conj().T) if conjugate else (lambda x: x.T)
+    if step >= n:
+        return left(a) @ b
+    out = None
+    for lo, hi in _row_spans(n, step):
+        part = left(a[lo:hi]) @ b[lo:hi]
+        out = part if out is None else out + part
+    return out
+
+
 class _KrylovBasis:
     """Growing orthonormal basis of extended-Krylov directions of ``G1``.
 
@@ -844,7 +887,8 @@ class _KrylovBasis:
             return False
         for _ in range(2):  # CGS2 against the existing basis
             if self.dim:
-                block = block - self.u @ (self.u.conj().T @ block)
+                coeff = _blocked_product(self.u, block, conjugate=True)
+                block = block - self.u @ coeff
         q, r, _ = sla.qr(block, mode="economic", pivoting=True)
         diag = np.abs(np.diag(r))
         count = int(np.count_nonzero(diag > _BASIS_DROP_TOL * bscale))
@@ -896,15 +940,40 @@ class _KrylovBasis:
     def gram_plain(self):
         """``RuᴴRu`` with ``Ru = G1 U − U H`` (formed explicitly — the
         ``AUᴴAU − HᴴH`` difference would floor the measurable residual
-        around √eps through cancellation)."""
-        ru = self.au - self.u @ self.h()
-        gr = ru.conj().T @ ru
+        around √eps through cancellation).  Accumulated in row blocks,
+        so no second (n, r) residual slab is resident under tight
+        ``max_block`` settings."""
+        h = self.h()
+        step = memory.block_rows(
+            self.n, row_bytes=2 * max(self.dim, 1) * self.au.itemsize
+        )
+        if step >= self.n:
+            ru = self.au - self.u @ h
+            gr = ru.conj().T @ ru
+        else:
+            gr = None
+            for lo, hi in _row_spans(self.n, step):
+                ru = self.au[lo:hi] - self.u[lo:hi] @ h
+                part = ru.conj().T @ ru
+                gr = part if gr is None else gr + part
         return 0.5 * (gr + gr.conj().T)
 
     def gram_transpose(self):
-        """``SuᴴSu`` with ``Su = (I − UUᴴ) G1ᵀ U``."""
-        su = self.atu - self.u @ (self.u.conj().T @ self.atu)
-        gs = su.conj().T @ su
+        """``SuᴴSu`` with ``Su = (I − UUᴴ) G1ᵀ U`` (row-blocked like
+        :meth:`gram_plain`)."""
+        coeff = _blocked_product(self.u, self.atu, conjugate=True)
+        step = memory.block_rows(
+            self.n, row_bytes=2 * max(self.dim, 1) * self.atu.itemsize
+        )
+        if step >= self.n:
+            su = self.atu - self.u @ coeff
+            gs = su.conj().T @ su
+        else:
+            gs = None
+            for lo, hi in _row_spans(self.n, step):
+                su = self.atu[lo:hi] - self.u[lo:hi] @ coeff
+                part = su.conj().T @ su
+                gs = part if gs is None else gs + part
         return 0.5 * (gs + gs.conj().T)
 
 
@@ -1319,6 +1388,10 @@ class LowRankKronSolver:
                     return FactoredPi(
                         left, basis.u.copy(), float(resid), g2_norm
                     )
+                if left is not None:
+                    # Superseded round: reclaim its arena tile eagerly
+                    # (a no-op when the left factor was RAM-resident).
+                    memory.release(left)
                 if not self._extend(basis, 0.0, transpose=True):
                     break
             if pending is not None:
@@ -1365,78 +1438,135 @@ class LowRankKronSolver:
         u = basis.u
         r = basis.dim
         n = self.n
-        # Ĝ2 = G2 (U ⊗ U) via the COO contraction: (n, r, r).
-        contrib = np.einsum(
-            "e,eb,ec->ebc", vals, u[ii], u[jj], optimize=True
-        )
-        g2r = np.zeros((n, r, r))
-        scatter_add_rows(g2r, rows, contrib)
-        h = basis.h()
-        t, q = sla.schur(h.astype(complex), output="complex")
-        lam = np.diag(t)
-        # C̃ = −Ĝ2 (Q ⊗ Q): transform the pair index into Schur space.
-        ct = -np.einsum("pbc,bd,ce->pde", g2r, q, q, optimize=True)
-        xt = np.zeros((n, r, r), dtype=complex)
-        # Shell sweep: shell s handles (d, s) for d <= s and (s, c) for
-        # c < s, so all lex-earlier couplings are available and the
-        # (d, s)/(s, d) shift pair stays adjacent for LU reuse.
-        for s_idx in range(r):
-            order = []
-            for d in range(s_idx):
-                order.append((d, s_idx))
-                order.append((s_idx, d))
-            order.append((s_idx, s_idx))
-            for d, e in order:
-                # (G1 − (T[d,d]+T[e,e])I) x_de = c_de + Σ_{b<d} x_be T[b,d]
-                #                                     + Σ_{c<e} x_dc T[c,e]
-                # — the strictly-upper couplings of X̃ (T⊕T) move to the
-                # right-hand side with a PLUS sign.
-                rhs = ct[:, d, e].copy()
-                if d > 0:
-                    rhs += xt[:, :d, e] @ t[:d, d]
-                if e > 0:
-                    rhs += xt[:, d, :e] @ t[:e, e]
-                mu = lam[d] + lam[e]
-                x = self._solve(-mu, rhs)
-                # One iterative-refinement step against the same cached
-                # LU: the pair shifts λ_d + λ_e can land close to G1's
-                # spectrum (same-side spectra), where a single backsolve
-                # leaves an O(κ·eps) column defect that would propagate
-                # through the triangular sweep.
-                defect = rhs - (self.g1 @ x - mu * x)
-                x = x + self._solve(-mu, defect)
-                xt[:, d, e] = x
-        # Back-transform: Π̂ = X̃ (Qᴴ ⊗ Qᴴ) applied on the pair index.
-        qh = q.conj().T
-        left = np.einsum("pde,db,ec->pbc", xt, qh, qh, optimize=True)
-        if np.abs(left.imag).max() <= 1e-8 * max(np.abs(left).max(), 1.0):
-            left = np.ascontiguousarray(left.real)
-        # Exact residual: in-space defect + G2 projection defect +
-        # out-of-space defect through the Su Gram.
-        lmat = left.reshape(n, r * r)
-        r_in = self.g1 @ lmat + g2r.reshape(n, r * r)
-        r_in = r_in - (
-            np.einsum("pbe,bd->pde", left.reshape(n, r, r), h)
-            + np.einsum("pdc,ce->pde", left.reshape(n, r, r), h)
-        ).reshape(n, r * r)
-        resid_sq = float(np.real(np.vdot(r_in, r_in)))
-        # G2 projection defect, bounded through the explicit fiber
-        # defects (the ``‖G2‖² − ‖Ĝ2‖²`` difference would floor the
-        # measurable residual at √eps·‖G2‖ through cancellation; with
-        # the fibers seeded into U both defects are ~0).
-        for block in seeds:
-            db = block - u @ (u.T @ block)
-            resid_sq += float(np.vdot(db, db).real)
-        gs = basis.gram_transpose()
-        l3 = left.reshape(n, r, r)
-        resid_sq += max(
-            float(np.real(np.einsum(
-                "pbc,bd,pdc->", l3.conj(), gs, l3, optimize=True
-            ))), 0.0,
-        )
-        resid_sq += max(
-            float(np.real(np.einsum(
-                "pbc,ce,pbe->", l3.conj(), gs, l3, optimize=True
-            ))), 0.0,
-        )
-        return lmat, float(np.sqrt(max(resid_sq, 0.0)))
+        planner = memory.current_planner()
+        # Streamed tiling: every (n, r, r) intermediate below lives in
+        # the planner's tile arena (plain arrays under an unlimited
+        # budget) and is filled/consumed in row blocks of at most
+        # ``step`` rows, so the resident footprint of this solve is
+        # O(step · r²) + O(n · r) regardless of n.  Row width covers the
+        # two complex tiles (ct, xt) a block touches at once.
+        step = planner.block_rows(n, row_bytes=2 * r * r * 16)
+        can_slice = sp.issparse(self.g1) or isinstance(self.g1, np.ndarray)
+        if not can_slice:
+            step = n
+        g2r = ct = xt = leftc = None
+        try:
+            # Ĝ2 = G2 (U ⊗ U) via the COO contraction: (n, r, r).
+            g2r = planner.tile((n, r, r), float, "pi-g2r")
+            nnz = int(vals.shape[0])
+            chunk = max(1, nnz if step >= n else min(nnz, step))
+            for lo in range(0, nnz, chunk):
+                hi = min(nnz, lo + chunk)
+                contrib = np.einsum(
+                    "e,eb,ec->ebc", vals[lo:hi], u[ii[lo:hi]], u[jj[lo:hi]],
+                    optimize=True,
+                )
+                scatter_add_rows(g2r, rows[lo:hi], contrib)
+            h = basis.h()
+            t, q = sla.schur(h.astype(complex), output="complex")
+            lam = np.diag(t)
+            # C̃ = −Ĝ2 (Q ⊗ Q): transform the pair index into Schur space.
+            ct = planner.tile((n, r, r), complex, "pi-ct")
+            for lo, hi in _row_spans(n, step):
+                ct[lo:hi] = -np.einsum(
+                    "pbc,bd,ce->pde", g2r[lo:hi], q, q, optimize=True
+                )
+            xt = planner.tile((n, r, r), complex, "pi-xt")
+            # Shell sweep: shell s handles (d, s) for d <= s and (s, c) for
+            # c < s, so all lex-earlier couplings are available and the
+            # (d, s)/(s, d) shift pair stays adjacent for LU reuse.  The
+            # per-column state is O(n) — tile-friendly by construction.
+            for s_idx in range(r):
+                order = []
+                for d in range(s_idx):
+                    order.append((d, s_idx))
+                    order.append((s_idx, d))
+                order.append((s_idx, s_idx))
+                for d, e in order:
+                    # (G1 − (T[d,d]+T[e,e])I) x_de = c_de
+                    #     + Σ_{b<d} x_be T[b,d] + Σ_{c<e} x_dc T[c,e]
+                    # — the strictly-upper couplings of X̃ (T⊕T) move to
+                    # the right-hand side with a PLUS sign.
+                    rhs = np.array(ct[:, d, e])
+                    if d > 0:
+                        rhs += xt[:, :d, e] @ t[:d, d]
+                    if e > 0:
+                        rhs += xt[:, d, :e] @ t[:e, e]
+                    mu = lam[d] + lam[e]
+                    x = self._solve(-mu, rhs)
+                    # One iterative-refinement step against the same
+                    # cached LU: the pair shifts λ_d + λ_e can land close
+                    # to G1's spectrum (same-side spectra), where a
+                    # single backsolve leaves an O(κ·eps) column defect
+                    # that would propagate through the triangular sweep.
+                    defect = rhs - (self.g1 @ x - mu * x)
+                    x = x + self._solve(-mu, defect)
+                    xt[:, d, e] = x
+            planner.release(ct)
+            ct = None
+            # Back-transform: Π̂ = X̃ (Qᴴ ⊗ Qᴴ) applied on the pair index.
+            qh = q.conj().T
+            leftc = planner.tile((n, r, r), complex, "pi-left-work")
+            imag_max = 0.0
+            abs_max = 0.0
+            for lo, hi in _row_spans(n, step):
+                lb = np.einsum(
+                    "pde,db,ec->pbc", xt[lo:hi], qh, qh, optimize=True
+                )
+                leftc[lo:hi] = lb
+                imag_max = max(imag_max, float(np.abs(lb.imag).max()))
+                abs_max = max(abs_max, float(np.abs(lb).max()))
+            planner.release(xt)
+            xt = None
+            if imag_max <= 1e-8 * max(abs_max, 1.0):
+                left = planner.tile((n, r, r), float, "pi-left")
+                for lo, hi in _row_spans(n, step):
+                    left[lo:hi] = leftc[lo:hi].real
+                planner.release(leftc)
+                leftc = None
+            else:
+                left = leftc
+                leftc = None
+            # Exact residual: in-space defect + G2 projection defect +
+            # out-of-space defect through the Su Gram — all accumulated
+            # blockwise so no (n, r²) residual slab is ever resident.
+            lmat = left.reshape(n, r * r)
+            g2r_flat = g2r.reshape(n, r * r)
+            resid_sq = 0.0
+            for lo, hi in _row_spans(n, step):
+                if step >= n:
+                    rb = self.g1 @ lmat + g2r_flat
+                else:
+                    rb = self.g1[lo:hi] @ lmat + g2r_flat[lo:hi]
+                rb = rb - (
+                    np.einsum("pbe,bd->pde", left[lo:hi], h)
+                    + np.einsum("pdc,ce->pde", left[lo:hi], h)
+                ).reshape(hi - lo, r * r)
+                resid_sq += float(np.real(np.vdot(rb, rb)))
+            planner.release(g2r)
+            g2r = None
+            # G2 projection defect, bounded through the explicit fiber
+            # defects (the ``‖G2‖² − ‖Ĝ2‖²`` difference would floor the
+            # measurable residual at √eps·‖G2‖ through cancellation;
+            # with the fibers seeded into U both defects are ~0).
+            for block in seeds:
+                db = block - u @ (u.T @ block)
+                resid_sq += float(np.vdot(db, db).real)
+            gs = basis.gram_transpose()
+            acc1 = 0.0 + 0.0j
+            acc2 = 0.0 + 0.0j
+            for lo, hi in _row_spans(n, step):
+                lb = left[lo:hi]
+                acc1 += np.einsum(
+                    "pbc,bd,pdc->", lb.conj(), gs, lb, optimize=True
+                )
+                acc2 += np.einsum(
+                    "pbc,ce,pbe->", lb.conj(), gs, lb, optimize=True
+                )
+            resid_sq += max(float(np.real(acc1)), 0.0)
+            resid_sq += max(float(np.real(acc2)), 0.0)
+            return lmat, float(np.sqrt(max(resid_sq, 0.0)))
+        finally:
+            for temp in (g2r, ct, xt, leftc):
+                if temp is not None:
+                    planner.release(temp)

@@ -42,6 +42,7 @@ from ..volterra.associated import (
     associated_h2,
     associated_h2_decoupled,
     associated_h3,
+    stack_columns,
 )
 from .base import ReducedOrderModel
 
@@ -122,7 +123,8 @@ class AssociatedTransformMOR:
         self.deduplicate = bool(deduplicate)
         self.tol = float(tol)
 
-    def build_basis(self, system, workspace=None, checkpoint=None):
+    def build_basis(self, system, workspace=None, checkpoint=None,
+                    max_block=None):
         """Construct the projection basis ``V`` (without projecting).
 
         Returns ``(V, details)`` where *details* records per-block vector
@@ -152,7 +154,18 @@ class AssociatedTransformMOR:
         loads the committed prefix from disk, restores the solver state
         the last commit recorded, and computes only the remaining stages
         — yielding a bit-identical basis.
+
+        *max_block* forces the row-block size every streamed n-row
+        intermediate (the Π build, blocked Gram updates, tile-wise
+        block assembly) is produced in — see
+        :class:`repro.memory.BlockPlanner`.  ``None`` inherits
+        ``REPRO_MAX_BLOCK`` or the budget-derived default;
+        ``max_block >= n`` executes the unblocked operations exactly.
         """
+        with memory.tiling(max_block):
+            return self._build_basis(system, workspace, checkpoint)
+
+    def _build_basis(self, system, workspace, checkpoint):
         system = system.to_explicit()
         # Memoized per system: multiple expansion points, repeated
         # builds and any distortion analysis on the same system all
@@ -163,9 +176,10 @@ class AssociatedTransformMOR:
             # Restore *before* the realizations are constructed: the
             # decoupled-H2 realization consumes Π and the shared
             # low-rank solver at init time, and a resumed build must
-            # see exactly the state the committed stages were computed
-            # with (also skipping the Π recompute on resume).
-            state = checkpoint.solver_state()
+            # see exactly the state the committed stages — plus any
+            # tiles the in-flight stage durably logged before a kill —
+            # were computed with (also skipping the Π recompute).
+            state = checkpoint.latest_solver_state()
             if state:
                 workspace.restore_solver_state(state)
         q1, q2, q3 = self.orders
@@ -239,7 +253,8 @@ class AssociatedTransformMOR:
                     per_sub[subsystem].extend(chain)
                 for idx in (0, 1):
                     block = memory.admit(
-                        np.column_stack(per_sub[idx]), f"H2-sub{idx}"
+                        stack_columns(per_sub[idx], f"H2-sub{idx}"),
+                        f"H2-sub{idx}",
                     )
                     blocks.append(block)
                     details["blocks"].append(
@@ -247,8 +262,8 @@ class AssociatedTransformMOR:
                     )
             else:
                 block = memory.admit(
-                    np.column_stack(
-                        [vec for chain in chains for vec in chain]
+                    stack_columns(
+                        [vec for chain in chains for vec in chain], label
                     ),
                     label,
                 )
@@ -274,19 +289,31 @@ class AssociatedTransformMOR:
         are consumed strictly as a prefix (a gap — possible only through
         external file damage — breaks the prefix and everything after it
         is recomputed, so the solver-state evolution always matches the
-        cold run).  The workspace's mutable solver state is snapshotted
-        with a stage only when it changed since the last commit.
+        cold run).  Within the one in-flight stage every chain task
+        commits as a *tile* through the checkpoint's append-only tile
+        log, so a SIGKILL between any two tasks loses at most the task
+        that was running; the stage commit folds its tiles into the
+        durable stage block and clears the log.  The workspace's
+        mutable solver state is snapshotted with a tile/stage only when
+        it changed since the matching previous commit.
         """
         # On resume the restored snapshot *is* the committed version;
         # on a cold start there is no committed version yet, so the
         # first stage always snapshots (capturing e.g. the Π computed
         # during realization construction).  The two snapshot halves are
         # versioned independently: the Krylov basis grows with most
-        # stages, the (large) Π factor is written exactly once.
+        # stages, the (large) Π factor is written exactly once.  The
+        # stage-level track is kept separate from the tile-level track:
+        # stage entries carry snapshot references forward from the
+        # previous *stage*, so deduplicating a stage commit against a
+        # tile snapshot (cleared with the stage) would leave the
+        # manifest pointing at stale state.  After a mid-stage tile
+        # resume the stage track stays at "never", forcing the next
+        # stage commit to persist the tile-restored state durably.
         never = object()
-        committed_lowrank = committed_pi = never
-        if checkpoint.resumed:
-            committed_lowrank, committed_pi = workspace.solver_version()
+        stage_lowrank = stage_pi = never
+        if checkpoint.resumed and not checkpoint.has_resumable_tiles():
+            stage_lowrank, stage_pi = workspace.solver_version()
         total_stages = sum(
             -(-len(fns) // _CHECKPOINT_CHUNK) for _, _, fns, _ in specs
         )
@@ -307,37 +334,68 @@ class AssociatedTransformMOR:
                         for chain in payload["chains"]
                     ]
                 else:
+                    part = []
+                    if prefix:
+                        # Mid-stage resume: consume the in-flight
+                        # stage's committed tile prefix.  The restored
+                        # solver state already includes these tiles'
+                        # effect (build_basis restores
+                        # ``latest_solver_state``), so recomputation
+                        # continues exactly where the kill struck.
+                        part = [
+                            [np.asarray(vec) for vec in tile["chain"]]
+                            for tile in checkpoint.load_tiles(stage_id)
+                        ]
                     prefix = False
-                    plan = SolvePlan(
-                        f"assoc-mor.build_basis[{stage_id}]"
-                    )
-                    for index in range(lo, hi):
+                    tile_lowrank, tile_pi = workspace.solver_version()
+                    for index in range(lo + len(part), hi):
                         tag = (
                             (f"H2-sub{subsystems[index]}", s0)
                             if subsystems is not None else (label, s0)
                         )
+                        plan = SolvePlan(
+                            f"assoc-mor.build_basis[{stage_id}"
+                            f"#{index - lo}]"
+                        )
                         plan.add(fns[index], tag=tag)
-                    part = plan.execute()
+                        chain = plan.execute()[0]
+                        part.append(chain)
+                        if index < hi - 1:
+                            # The stage commit right after the last
+                            # task supersedes its tile: skip the
+                            # double write.
+                            snapshot = pi_snapshot = None
+                            lowrank_v, pi_v = workspace.solver_version()
+                            if lowrank_v != tile_lowrank:
+                                snapshot = workspace.lowrank_state()
+                            if pi_v != tile_pi:
+                                pi_snapshot = workspace.pi_state()
+                            checkpoint.commit_tile(
+                                stage_id, index - lo, {"chain": chain},
+                                solver_state=snapshot,
+                                pi_state=pi_snapshot,
+                            )
+                            tile_lowrank, tile_pi = lowrank_v, pi_v
                     snapshot = pi_snapshot = None
                     lowrank_v, pi_v = workspace.solver_version()
                     if stage_index < total_stages:
                         # No stage follows the last one, so its solver
                         # state can never be resumed from: skip the
                         # (largest) snapshot write entirely.
-                        if lowrank_v != committed_lowrank:
+                        if lowrank_v != stage_lowrank:
                             snapshot = workspace.lowrank_state()
-                        if pi_v != committed_pi:
+                        if pi_v != stage_pi:
                             pi_snapshot = workspace.pi_state()
                     checkpoint.commit_stage(
                         stage_id, {"chains": part},
                         solver_state=snapshot, pi_state=pi_snapshot,
                     )
-                    committed_lowrank, committed_pi = lowrank_v, pi_v
+                    stage_lowrank, stage_pi = lowrank_v, pi_v
                 chains.extend(part)
             group_chains.append((label, s0, chains, subsystems))
         return group_chains
 
-    def reduce(self, system, checkpoint=None):
+    def reduce(self, system, checkpoint=None, max_block=None):
         """Reduce *system* and return a :class:`ReducedOrderModel`.
 
         The Krylov basis is generated from the explicit form (the
@@ -349,12 +407,14 @@ class AssociatedTransformMOR:
         transfer functions, so the matched moments are the same.
 
         *checkpoint* (a :class:`~repro.checkpoint.JobState`) makes the
-        basis build stage-committed and resumable — see
-        :meth:`build_basis`.
+        basis build stage-committed and resumable; *max_block* streams
+        the build in fixed-size row blocks — see :meth:`build_basis`.
         """
         explicit = system.to_explicit()
         start = time.perf_counter()
-        basis, details = self.build_basis(explicit, checkpoint=checkpoint)
+        basis, details = self.build_basis(
+            explicit, checkpoint=checkpoint, max_block=max_block
+        )
         build_time = time.perf_counter() - start
         target = system if system.mass is not None else explicit
         reduced = target.project(basis)

@@ -588,7 +588,8 @@ def _transient_result(system, rom, transient_job):
 
 def run_pipeline(target, reduce=None, sweep=None, transient=None,
                  store=None, sparse=None, checkpoint=None, resume=False,
-                 memory_budget=None, system_fingerprint=None):
+                 memory_budget=None, max_block=None,
+                 system_fingerprint=None):
     """Run the declarative MNA → MOR → query pipeline on *target*.
 
     Parameters
@@ -627,8 +628,16 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
     memory_budget : int, str, or None, optional
         Cap resident basis/Π memory for the duration of the run (e.g.
         ``"512M"``; see :func:`repro.memory.parse_budget`); blocks past
-        the budget spill to disk-backed memory maps.  Overrides
-        ``REPRO_MEMORY_BUDGET`` for this call.
+        the budget spill to disk-backed memory maps, and the solver
+        core derives its streaming block size from the budget.
+        Overrides ``REPRO_MEMORY_BUDGET`` for this call.
+    max_block : int, str, or None, optional
+        Force the row-block size the solver core streams n-row
+        intermediates in (see :func:`repro.memory.parse_max_block`),
+        overriding ``REPRO_MAX_BLOCK`` and the budget-derived default
+        for this call.  ``max_block >= n`` reproduces the unblocked
+        arithmetic exactly; smaller blocks trade ≤ 1e-10 summation
+        reordering for O(n · max_block) peak memory.
     system_fingerprint : str, optional
         Precomputed :func:`~repro.store.fingerprint_system` value for
         the (already-built, already-lifted) *target* system, so a
@@ -646,9 +655,12 @@ def run_pipeline(target, reduce=None, sweep=None, transient=None,
     with contextlib.ExitStack() as stack:
         if memory_budget is not None:
             stack.enter_context(memory.limit(memory_budget))
+        if max_block is not None:
+            stack.enter_context(memory.tiling(max_block))
         return _run_pipeline(
             target, reduce_job, sweep_job, transient_job, store, sparse,
-            checkpoint, resume, memory_budget, system_fingerprint,
+            checkpoint, resume, memory_budget, max_block,
+            system_fingerprint,
         )
 
 
@@ -683,7 +695,7 @@ def _resolve_checkpoint(checkpoint, resume, store, system, reducer):
 
 def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
                   sparse, checkpoint, resume, memory_budget,
-                  system_fingerprint=None):
+                  max_block=None, system_fingerprint=None):
 
     if isinstance(target, dict):
         system, info = system_from_spec(target, sparse=sparse)
@@ -765,6 +777,8 @@ def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
         jobs=jobs,
         checkpoint_info=checkpoint_info,
         memory_info=(
-            memory.stats() if memory_budget is not None else None
+            memory.stats()
+            if memory_budget is not None or max_block is not None
+            else None
         ),
     )

@@ -87,7 +87,8 @@ class _JobRequestBase(_RequestBase):
     """Verbs that run jobs: adds reduce + fault-tolerance knobs."""
 
     def __init__(self, spec, sparse=None, reduce=None, checkpoint=None,
-                 resume=False, memory_budget=None, require_reduce=False):
+                 resume=False, memory_budget=None, max_block=None,
+                 require_reduce=False):
         super().__init__(spec, sparse)
         section = reduce if reduce is not None else self.spec.get("reduce")
         if section is None and require_reduce:
@@ -99,6 +100,7 @@ class _JobRequestBase(_RequestBase):
         self.checkpoint = checkpoint
         self.resume = bool(resume)
         self.memory_budget = memory_budget
+        self.max_block = max_block
         if (checkpoint or resume) and self.reduce_job is None:
             raise ValidationError(
                 "checkpoint/resume only apply to the reduce step; pass "
@@ -112,15 +114,15 @@ class ReduceRequest(_JobRequestBase):
     verb = "reduce"
     fields = (
         "spec", "sparse", "reduce", "checkpoint", "resume",
-        "memory_budget",
+        "memory_budget", "max_block",
     )
 
     def __init__(self, spec, sparse=None, reduce=None, checkpoint=None,
-                 resume=False, memory_budget=None):
+                 resume=False, memory_budget=None, max_block=None):
         super().__init__(
             spec, sparse=sparse, reduce=reduce, checkpoint=checkpoint,
             resume=resume, memory_budget=memory_budget,
-            require_reduce=True,
+            max_block=max_block, require_reduce=True,
         )
 
 
@@ -130,14 +132,16 @@ class SweepRequest(_JobRequestBase):
     verb = "sweep"
     fields = (
         "spec", "sparse", "reduce", "sweep", "checkpoint", "resume",
-        "memory_budget",
+        "memory_budget", "max_block",
     )
 
     def __init__(self, spec, sparse=None, reduce=None, sweep=None,
-                 checkpoint=None, resume=False, memory_budget=None):
+                 checkpoint=None, resume=False, memory_budget=None,
+                 max_block=None):
         super().__init__(
             spec, sparse=sparse, reduce=reduce, checkpoint=checkpoint,
             resume=resume, memory_budget=memory_budget,
+            max_block=max_block,
         )
         section = sweep if sweep is not None else self.spec.get("sweep")
         if section is None:
@@ -154,14 +158,16 @@ class SimulateRequest(_JobRequestBase):
     verb = "simulate"
     fields = (
         "spec", "sparse", "reduce", "transient", "checkpoint", "resume",
-        "memory_budget",
+        "memory_budget", "max_block",
     )
 
     def __init__(self, spec, sparse=None, reduce=None, transient=None,
-                 checkpoint=None, resume=False, memory_budget=None):
+                 checkpoint=None, resume=False, memory_budget=None,
+                 max_block=None):
         super().__init__(
             spec, sparse=sparse, reduce=reduce, checkpoint=checkpoint,
             resume=resume, memory_budget=memory_budget,
+            max_block=max_block,
         )
         section = (
             transient if transient is not None

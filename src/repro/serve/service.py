@@ -281,6 +281,9 @@ class ReproService:
             budget = getattr(request, "memory_budget", None)
             if budget is not None:
                 stack.enter_context(memory.limit(budget))
+            max_block = getattr(request, "max_block", None)
+            if max_block is not None:
+                stack.enter_context(memory.tiling(max_block))
             if verb == "info":
                 outcome = self._info(request)
             elif verb == "reduce":
@@ -299,7 +302,10 @@ class ReproService:
 
     def _memory_info(self, request):
         budget = getattr(request, "memory_budget", None)
-        return memory.stats() if budget is not None else None
+        max_block = getattr(request, "max_block", None)
+        if budget is None and max_block is None:
+            return None
+        return memory.stats()
 
     def _info(self, request):
         loaded = self._load(request.spec, request.sparse)

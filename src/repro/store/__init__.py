@@ -18,6 +18,7 @@ from .modelstore import (
     ModelStore,
     artifact_key,
     fingerprint_system,
+    parse_ttl,
     reducer_fingerprint,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "ModelStore",
     "artifact_key",
     "fingerprint_system",
+    "parse_ttl",
     "reducer_fingerprint",
 ]

@@ -32,6 +32,7 @@ import hashlib
 import inspect
 import json
 import os
+import shutil
 import tempfile
 import time
 from pathlib import Path
@@ -44,6 +45,7 @@ except ImportError:  # non-POSIX: entry locking degrades to best-effort
 import numpy as np
 
 from ..errors import ValidationError
+from ..memory import parse_budget
 from ..serialize import durable_write, json_safe, update_digest
 from ..systems.exponential import ExponentialODE
 from ..systems.lti import StateSpace
@@ -60,6 +62,7 @@ __all__ = [
     "ModelStore",
     "artifact_key",
     "fingerprint_system",
+    "parse_ttl",
     "reducer_fingerprint",
 ]
 
@@ -91,6 +94,40 @@ def _entry_lock(entry_dir):
     finally:
         fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         handle.close()
+
+
+_TTL_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_ttl(value):
+    """Parse a TTL spec to seconds, or ``None`` for "no TTL".
+
+    Accepts ``None``/``""``/``"none"``/``0`` (no TTL), a plain second
+    count, or a count with an s/m/h/d suffix (case-insensitive):
+    ``"90s"``, ``"15m"``, ``"12h"``, ``"7d"``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        seconds = float(value)
+    else:
+        text = str(value).strip().lower()
+        if text in ("", "none", "0"):
+            return None
+        scale = 1.0
+        if text[-1] in _TTL_SUFFIXES:
+            scale = _TTL_SUFFIXES[text[-1]]
+            text = text[:-1]
+        try:
+            seconds = float(text) * scale
+        except ValueError as exc:
+            raise ValidationError(
+                f"ttl must look like '7d', '12h' or a second count, "
+                f"got {value!r}"
+            ) from exc
+    if seconds < 0:
+        raise ValidationError(f"ttl must be >= 0, got {value!r}")
+    return seconds or None
 
 
 def fingerprint_system(system):
@@ -194,6 +231,7 @@ class ModelStore:
         self.corrupt = 0
         self.quarantine_collisions = 0
         self.touches = 0
+        self.evictions = 0
 
     # -- keys ----------------------------------------------------------------
 
@@ -469,6 +507,114 @@ class ModelStore:
             "entries": entries,
         }
 
+    def entry_bytes(self, key):
+        """On-disk bytes of *key*'s entry directory (0 when absent)."""
+        total = 0
+        with contextlib.suppress(OSError):
+            for child in self._entry_dir(key).iterdir():
+                with contextlib.suppress(OSError):
+                    if child.is_file():
+                        total += child.stat().st_size
+        return total
+
+    def ls(self):
+        """JSON-safe listing (``store ls``): one row per entry, most
+        recently accessed first, plus totals."""
+        rows = []
+        total = 0
+        for key in self.recent_keys():
+            size = self.entry_bytes(key)
+            total += size
+            rows.append({
+                "key": key,
+                "bytes": int(size),
+                "last_access_unix": self.last_access(key),
+            })
+        return {
+            "entries": rows,
+            "count": len(rows),
+            "total_bytes": int(total),
+        }
+
+    def _evict(self, key):
+        """Remove *key*'s entry under its flock; True when it is gone.
+
+        The artifact is unlinked first while the entry lock is held, so
+        a concurrent :meth:`load` observes a plain miss (and a racing
+        :meth:`store` that re-creates the entry after we release the
+        lock simply wins — eviction of a just-rewritten entry is not
+        worth fencing against).
+        """
+        entry = self._entry_dir(key)
+        if not entry.exists():
+            return False
+        try:
+            with _entry_lock(entry):
+                with contextlib.suppress(OSError):
+                    (entry / "artifact.npz").unlink()
+                with contextlib.suppress(OSError):
+                    (entry / "meta.json").unlink()
+        except OSError:
+            return False
+        shutil.rmtree(entry, ignore_errors=True)
+        self.evictions += 1
+        return True
+
+    def gc(self, max_bytes=None, ttl=None, now=None):
+        """Size/TTL-budgeted eviction (``store gc``).
+
+        Two policies compose, both keyed on the ``last_access_unix``
+        stamps reads record in ``meta.json``: entries idle longer than
+        *ttl* (see :func:`parse_ttl`) are dropped unconditionally, then
+        further entries go oldest-first until the store's on-disk size
+        is at most *max_bytes* (see
+        :func:`repro.memory.parse_budget`).  Entries without any
+        recorded access sort oldest.  Each eviction holds the entry
+        flock (concurrent readers see a clean miss) and an eviction is
+        atomic per entry — GC never leaves a half-deleted artifact
+        behind.  Returns a JSON-safe report.
+        """
+        max_bytes = parse_budget(max_bytes)
+        ttl_seconds = parse_ttl(ttl)
+        now = float(now if now is not None else time.time())
+        oldest_first = list(reversed(self.recent_keys()))
+        sizes = {key: self.entry_bytes(key) for key in oldest_first}
+        total = sum(sizes.values())
+        evicted = []
+
+        def drop(key, reason):
+            nonlocal total
+            if self._evict(key):
+                evicted.append({
+                    "key": key,
+                    "bytes": int(sizes[key]),
+                    "reason": reason,
+                })
+                total -= sizes[key]
+                return True
+            return False
+
+        if ttl_seconds is not None:
+            for key in list(oldest_first):
+                last = self.last_access(key)
+                if last is None or now - last > ttl_seconds:
+                    if drop(key, "ttl"):
+                        oldest_first.remove(key)
+        if max_bytes is not None:
+            for key in list(oldest_first):
+                if total <= max_bytes:
+                    break
+                drop(key, "size")
+        return {
+            "evicted": evicted,
+            "evicted_count": len(evicted),
+            "evicted_bytes": int(sum(e["bytes"] for e in evicted)),
+            "remaining_entries": len(self),
+            "remaining_bytes": int(total),
+            "max_bytes": max_bytes,
+            "ttl_seconds": ttl_seconds,
+        }
+
     def stats(self):
         """Counters + entry count, ``sparse_lu_stats``-style."""
         return {
@@ -477,6 +623,7 @@ class ModelStore:
             "corrupt": int(self.corrupt),
             "quarantine_collisions": int(self.quarantine_collisions),
             "touches": int(self.touches),
+            "evictions": int(self.evictions),
             "entries": len(self),
         }
 

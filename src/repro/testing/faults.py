@@ -33,6 +33,8 @@ Instrumented sites
 ``checkpoint.before_block``  stage computed, block file not yet written
 ``checkpoint.before_commit`` block+solver written, manifest not rewritten
 ``checkpoint.after_commit``  stage fully committed (manifest durable)
+``checkpoint.before_tile``   tile computed, payload not yet written
+``checkpoint.after_tile``    tile durably appended to the tile log
 ``engine.task``              entry of every SolveTask execution attempt
 ========================== =================================================
 """

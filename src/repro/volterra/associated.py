@@ -50,6 +50,7 @@ import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
 
+from .. import memory
 from .._validation import check_positive_int
 from ..engine import SolvePlan
 from ..errors import NumericalError, SystemStructureError, ValidationError
@@ -83,6 +84,7 @@ __all__ = [
     "associated_h2",
     "associated_h2_decoupled",
     "associated_h3",
+    "stack_columns",
 ]
 
 
@@ -92,6 +94,44 @@ def _require_explicit(system):
             "associated realizations require an explicit system; call "
             "to_explicit() first"
         )
+
+
+def _copy_column_tile(out, vectors, lo, hi):
+    """Copy rows ``[lo, hi)`` of every chain vector into *out*."""
+    for col, vec in enumerate(vectors):
+        out[lo:hi, col] = vec[lo:hi]
+    return hi - lo
+
+
+def stack_columns(vectors, label):
+    """Stack 1-D chain *vectors* columnwise into an arena-backed block.
+
+    The blockwise equivalent of ``np.column_stack(vectors)``: the output
+    lives in the tile arena (RAM, or a writable memmap once the result
+    would crowd the memory budget) and rows are copied in
+    :func:`repro.memory.block_rows`-sized tiles.  Each tile is an
+    independent engine task, so under a threaded backend tile copies
+    overlap instead of serializing behind one big allocation.  The
+    result is bit-identical to the dense stack.
+    """
+    if not vectors:
+        return np.empty((0, 0))
+    vectors = [np.asarray(vec).reshape(-1) for vec in vectors]
+    n = vectors[0].shape[0]
+    dtype = np.result_type(*vectors)
+    planner = memory.current_planner()
+    out = planner.tile((n, len(vectors)), dtype=dtype, label=label)
+    step = planner.block_rows(
+        n, row_bytes=max(len(vectors), 1) * dtype.itemsize
+    )
+    if step >= n:
+        _copy_column_tile(out, vectors, 0, n)
+        return out
+    plan = SolvePlan(f"{label}.assemble")
+    for lo in range(0, n, step):
+        plan.add(_copy_column_tile, out, vectors, lo, min(n, lo + step))
+    plan.execute()
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -709,8 +749,11 @@ class DecoupledH2Realization:
 
     Dense workspaces run the Kronecker-sum chains through the shared
     Schur form; sparse workspaces hold a factored Π and run them through
-    the low-rank solver — every large-``n`` operation is then a sparse
-    ``G1`` solve, and nothing ``n²``-sided is ever materialized densely.
+    the low-rank solver.  Every large-``n`` operation is then a sparse
+    ``G1`` solve, and the ``n``-row products those solves feed — basis
+    assembly included — stream in :func:`repro.memory.block_rows`-sized
+    row tiles, so peak resident memory follows the configured
+    ``max_block`` rather than ``n``.
     """
 
     def __init__(self, workspace):
@@ -825,7 +868,10 @@ class DecoupledH2Realization:
         Returns a list of two blocks; their union spans the same moment
         space as the coupled realization's chains.  The underlying
         chains run as one engine plan (one task per subsystem per
-        retained input column).
+        retained input column), and each block is then assembled in row
+        tiles through :func:`stack_columns` — one engine task per tile,
+        into arena-backed storage — so assembly overlaps across workers
+        and never materializes an extra dense ``n``-row stack.
         """
         tasks = self.chain_tasks(count, s0=s0, deduplicate=deduplicate)
         plan = SolvePlan("decoupled-h2.basis_blocks")
@@ -835,7 +881,10 @@ class DecoupledH2Realization:
         blocks = {0: [], 1: []}
         for (subsystem, _), chain in zip(tasks, chains):
             blocks[subsystem].extend(chain)
-        return [np.column_stack(blocks[0]), np.column_stack(blocks[1])]
+        return [
+            stack_columns(blocks[0], "h2-dec-sub0"),
+            stack_columns(blocks[1], "h2-dec-sub1"),
+        ]
 
 
 def associated_h2_decoupled(system, workspace=None):

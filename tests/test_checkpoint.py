@@ -254,8 +254,48 @@ class TestMemoryBudget:
             rom = make_reducer().reduce(system)
             assert array_digest(rom.basis) == cold_digest
             ws = system._associated_workspace
-            assert isinstance(ws.pi.left, np.memmap)
+            # The streamed build keeps the Π left factor resident when
+            # it fits the budget and arena-backs it otherwise.
+            assert (
+                isinstance(ws.pi.left, np.memmap)
+                or ws.pi.left.nbytes <= budget.budget
+            )
         assert budget.stats()["spilled_blocks"] >= 1
+
+    def test_limit_exit_reclaims_spill_files(self, tmp_path):
+        """Regression: a successful job under ``memory.limit`` must not
+        leave spilled ``.npy`` blocks (or arena tiles) behind — exit
+        runs the end-of-job cleanup even when nothing raised."""
+        with memory.limit(4096, spill_dir=tmp_path) as budget:
+            system = fresh_system()
+            rom = make_reducer().reduce(system)
+            assert rom.basis.shape[0] == system.n_states
+            assert budget.stats()["spilled_blocks"] >= 1
+            assert list(tmp_path.glob("*.npy"))  # spill live mid-job
+        assert list(tmp_path.glob("*.npy")) == []
+        assert tmp_path.exists()  # caller-owned dir is kept, emptied
+
+    def test_block_rows_derivation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_BLOCK", raising=False)
+        n = 10_000
+        row = 8 * 16  # 16 float64 columns
+        budget = memory.MemoryBudget(1024 * 1024)
+        planner = memory.BlockPlanner(budget)
+        derived = planner.block_rows(n, row_bytes=row)
+        # budget / (_TILE_FRACTION * row_bytes), floored and clamped
+        assert derived == (1024 * 1024) // (4 * row)
+        assert memory.BlockPlanner(budget).block_rows(8, row_bytes=row) == 8
+        # explicit max_block wins over the derived size, floor exempt
+        assert memory.BlockPlanner(
+            budget, max_block=1
+        ).block_rows(n, row_bytes=row) == 1
+        # unlimited budget, no override: one block covering all rows
+        assert memory.BlockPlanner(
+            memory.MemoryBudget(None)
+        ).block_rows(n, row_bytes=row) == n
+        # a tiny budget can never derive a degenerate sliver
+        tiny = memory.BlockPlanner(memory.MemoryBudget(64))
+        assert tiny.block_rows(n, row_bytes=row) == 32
 
     def test_env_budget(self, monkeypatch):
         monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1k")

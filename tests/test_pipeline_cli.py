@@ -258,6 +258,33 @@ class TestCli:
         assert second["reduction"]["store_hit"] is True
         assert second["store"]["hits"] == 1
 
+    def test_store_ls_and_gc(self, capsys, tmp_path):
+        store = tmp_path / "models"
+        assert self._run(
+            "reduce", str(SHIPPED_SPEC), "--store", str(store)
+        ) == 0
+        capsys.readouterr()
+        assert self._run("store", "ls", str(store)) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["command"] == "store ls"
+        assert listing["count"] == 1
+        assert listing["entries"][0]["bytes"] > 0
+        # generous budgets keep everything ...
+        assert self._run(
+            "store", "gc", str(store), "--ttl", "7d",
+            "--max-bytes", "1g",
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["command"] == "store gc"
+        assert report["evicted_count"] == 0
+        # ... a one-byte budget clears the store
+        assert self._run(
+            "store", "gc", str(store), "--max-bytes", "1"
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted_count"] == 1
+        assert report["remaining_entries"] == 0
+
     def test_simulate(self, capsys, tmp_path):
         csv_path = tmp_path / "trace.csv"
         code = self._run(

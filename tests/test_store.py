@@ -16,6 +16,7 @@ from repro.store import (
     ModelStore,
     ReductionArtifact,
     fingerprint_system,
+    parse_ttl,
     reducer_fingerprint,
 )
 from repro.systems import QLDAE, StateSpace
@@ -212,6 +213,96 @@ class TestStoreSemantics:
             art.provenance["basis_hash"]
         )
         assert np.array_equal(back.rom.basis, art.rom.basis)
+
+
+class TestMaintenance:
+    """``store ls`` / ``store gc``: sizes, TTL + size-budget eviction
+    keyed on the ``last_access_unix`` stamps, oldest-first ordering."""
+
+    def _fill(self, root, sizes=(12, 16, 20)):
+        store = ModelStore(root)
+        reducer = AssociatedTransformMOR(orders=(3, 2, 0))
+        for n in sizes:
+            store.reduce(ladder(n).compile(), reducer)
+        return store
+
+    def _stamp(self, store, key, when):
+        meta = store.read_meta(key)
+        meta["last_access_unix"] = when
+        path = store._entry_dir(key) / "meta.json"
+        path.write_text(json.dumps(meta))
+
+    def test_parse_ttl(self):
+        assert parse_ttl("7d") == 7 * 86400.0
+        assert parse_ttl("12h") == 12 * 3600.0
+        assert parse_ttl("90s") == 90.0
+        assert parse_ttl(90) == 90.0
+        assert parse_ttl(None) is None
+        assert parse_ttl("0") is None
+        with pytest.raises(Exception):
+            parse_ttl("sideways")
+        with pytest.raises(Exception):
+            parse_ttl(-1)
+
+    def test_ls_reports_every_entry_with_sizes(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        report = store.ls()
+        assert report["count"] == 3
+        assert len(report["entries"]) == 3
+        assert all(row["bytes"] > 0 for row in report["entries"])
+        assert report["total_bytes"] == sum(
+            row["bytes"] for row in report["entries"]
+        )
+        assert report["total_bytes"] == sum(
+            store.entry_bytes(key) for key in store.keys()
+        )
+
+    def test_gc_ttl_evicts_only_idle_entries(self, tmp_path):
+        import time as _time
+
+        store = self._fill(tmp_path / "store")
+        stale = store.recent_keys()[-1]
+        self._stamp(store, stale, _time.time() - 10 * 86400)
+        report = store.gc(ttl="7d")
+        assert report["evicted_count"] == 1
+        assert report["evicted"][0]["key"] == stale
+        assert report["evicted"][0]["reason"] == "ttl"
+        assert stale not in store.keys()
+        assert len(store) == 2
+        # idle entries survive a generous TTL
+        assert store.gc(ttl="365d")["evicted_count"] == 0
+
+    def test_gc_size_budget_evicts_oldest_first(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        now = 1_700_000_000.0
+        ordered = store.recent_keys()
+        for age, key in enumerate(ordered):
+            self._stamp(store, key, now - age)
+        keep = store.entry_bytes(ordered[0])
+        report = store.gc(max_bytes=keep, now=now)
+        evicted = [entry["key"] for entry in report["evicted"]]
+        # oldest last_access go first; the freshest entry survives
+        assert evicted == [ordered[2], ordered[1]]
+        assert store.keys() == [ordered[0]]
+        assert report["remaining_bytes"] <= keep
+        assert store.stats()["evictions"] == 2
+
+    def test_gc_noop_under_budget(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        report = store.gc(max_bytes="1g")
+        assert report["evicted_count"] == 0
+        assert len(store) == 3
+
+    def test_evicted_entry_reads_as_clean_miss(self, tmp_path):
+        root = tmp_path / "store"
+        store = self._fill(root, sizes=(12,))
+        system = ladder(12).compile()
+        reducer = AssociatedTransformMOR(orders=(3, 2, 0))
+        store.gc(max_bytes=1)
+        assert len(store) == 0
+        art, hit = ModelStore(root).reduce(system, reducer)
+        assert hit is False
+        assert art.verify()
 
 
 class TestRoundTripFidelity:
