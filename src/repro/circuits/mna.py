@@ -46,7 +46,7 @@ from .devices import (
     Resistor,
 )
 
-__all__ = ["assemble"]
+__all__ = ["assemble", "structural_digest"]
 
 #: Auto mode (``sparse=None``) stamps CSR matrices at and above this
 #: state count; below it the dense Schur machinery's lower constant
@@ -314,3 +314,40 @@ def assemble(netlist, sparse=None):
         output=output,
         name=name,
     )
+
+
+def structural_digest(system):
+    """SHA-256 of a compiled system's *structure* (never its values).
+
+    Hashes, per matrix field (``g1``, ``b``, ``g2``, ``g3``, ``mass``,
+    ``output``): presence, shape, and the stamp positions — CSR
+    ``indptr``/``indices`` for sparse storage, the boolean nonzero mask
+    for dense.  Two corners of a parameter sweep that differ only in
+    device *values* therefore share one digest, which is what makes
+    cross-corner reuse (shared symbolic sparse-LU analysis, warm-started
+    Krylov bases, ROM interpolation) structurally sound.  A parameter
+    that adds/removes a stamp — or drives the mass matrix exactly onto
+    the identity, which assembly drops — changes the digest, and the
+    parametric machinery falls back to cold reductions for that corner.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for field in ("g1", "b", "g2", "g3", "mass", "output"):
+        mat = getattr(system, field, None)
+        digest.update(field.encode())
+        if mat is None:
+            digest.update(b"none")
+            continue
+        if sp.issparse(mat):
+            csr = mat.tocsr()
+            digest.update(b"sparse")
+            digest.update(repr(csr.shape).encode())
+            digest.update(np.ascontiguousarray(csr.indptr).tobytes())
+            digest.update(np.ascontiguousarray(csr.indices).tobytes())
+        else:
+            arr = np.asarray(mat)
+            digest.update(b"dense")
+            digest.update(repr(arr.shape).encode())
+            digest.update(np.packbits(arr != 0).tobytes())
+    return digest.hexdigest()

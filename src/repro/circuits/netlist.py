@@ -42,6 +42,7 @@ class Netlist:
     def __init__(self, name=""):
         self.name = str(name)
         self.devices = []
+        self.parameters = ()
         self._n_nodes = 0
         self._n_inputs = 0
         self._output_nodes = None
@@ -93,6 +94,27 @@ class Netlist:
         return self.add_current_source(
             node, 0, input_index=input_index, gain=1.0 / source_resistance
         )
+
+    # -- parameters ------------------------------------------------------------
+
+    def with_params(self, parameters):
+        """Annotate the netlist with named device parameters.
+
+        Each entry is a :class:`repro.params.Parameter` (or its dict
+        form): a name bound to a numeric field of one or more existing
+        devices, with a nominal value and optional corner range /
+        Monte-Carlo sigma.  Bindings are validated immediately —
+        out-of-range device indices, unknown fields, duplicate names,
+        or topology fields all raise :class:`~repro.errors.
+        ValidationError`.  Returns ``self`` so annotation chains onto
+        construction; concrete instances come from
+        :func:`repro.params.materialize`, :class:`repro.params.
+        ParameterGrid`, or :class:`repro.params.MonteCarloSampler`.
+        """
+        from ..params import check_bindings
+
+        self.parameters = check_bindings(self, parameters)
+        return self
 
     # -- outputs ---------------------------------------------------------------
 
@@ -149,7 +171,7 @@ class Netlist:
                     f"device type {type(device).__name__} has no JSON tag"
                 )
             devices.append({"type": tag, **dataclasses.asdict(device)})
-        return {
+        data = {
             "name": self.name,
             "devices": devices,
             "output_nodes": (
@@ -158,6 +180,11 @@ class Netlist:
                 else list(self._output_nodes)
             ),
         }
+        if self.parameters:
+            # Emitted only when present so unannotated specs (and their
+            # digests) are byte-identical to the pre-parameter format.
+            data["parameters"] = [p.to_dict() for p in self.parameters]
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -198,6 +225,8 @@ class Netlist:
             net._register(device)
         if data.get("output_nodes") is not None:
             net.set_output_nodes(data["output_nodes"])
+        if data.get("parameters"):
+            net.with_params(data["parameters"])
         return net
 
     def compile(self, sparse=None):

@@ -42,6 +42,7 @@ from .errors import ReproError, ValidationError
 from .serialize import json_safe
 from .serve import (
     InfoRequest,
+    McRequest,
     ReduceRequest,
     ReproService,
     SimulateRequest,
@@ -273,6 +274,46 @@ def build_parser():
         help="also integrate the full model and report ROM error",
     )
     _add_output_arguments(p_sim)
+
+    p_mc = sub.add_parser(
+        "mc",
+        help="parametric multi-corner / Monte-Carlo distortion "
+        "distributions over a parameter-annotated spec",
+    )
+    _add_spec_argument(p_mc)
+    _add_reduce_arguments(p_mc)
+    p_mc.add_argument("--omega-start", type=float)
+    p_mc.add_argument("--omega-stop", type=float)
+    p_mc.add_argument("--points", type=int)
+    p_mc.add_argument("--amplitude", type=float)
+    p_mc.add_argument(
+        "--corners", type=int, metavar="N",
+        help="grid points per ranged-parameter axis",
+    )
+    p_mc.add_argument(
+        "--draws", type=int, metavar="N",
+        help="Monte-Carlo draws on top of the corner grid",
+    )
+    p_mc.add_argument(
+        "--seed", type=int, metavar="SEED",
+        help="Monte-Carlo seed (recorded in the report)",
+    )
+    p_mc.add_argument(
+        "--interp-tol", type=float, metavar="TOL",
+        help="distortion tolerance of the ROM-interpolation tier",
+    )
+    p_mc.add_argument(
+        "--no-warm", action="store_true",
+        help="disable the warm-start reuse tier",
+    )
+    p_mc.add_argument(
+        "--no-interp", action="store_true",
+        help="disable the ROM-interpolation reuse tier",
+    )
+    # _sweep_job reads compare_full; for mc the per-corner accuracy
+    # check is the interp tier's probe test, so the flag is fixed off.
+    p_mc.set_defaults(compare_full=False)
+    _add_output_arguments(p_mc)
 
     p_serve = sub.add_parser(
         "serve",
@@ -543,6 +584,45 @@ def _run(args):
         if "hd2_full" in sweep:
             headers += ["hd2_full", "hd3_full"]
             columns += [sweep["hd2_full"], sweep["hd3_full"]]
+        rows = [list(row) for row in zip(*columns)]
+        _emit(args, report, csv_table=(headers, rows))
+        return 0
+
+    if args.command == "mc":
+        if args.checkpoint or args.resume:
+            raise ValidationError(
+                "checkpoint/resume do not apply to mc: the store dedup "
+                "tier makes a rerun resume naturally"
+            )
+        section = spec.get("mc")
+        mc_job = dict(section) if isinstance(section, dict) else {}
+        if args.corners is not None:
+            mc_job["grid_points"] = args.corners
+        if args.draws is not None:
+            mc_job["draws"] = args.draws
+        if args.seed is not None:
+            mc_job["seed"] = args.seed
+        if args.interp_tol is not None:
+            mc_job["interp_tol"] = args.interp_tol
+        if args.no_warm:
+            mc_job["warm"] = False
+        if args.no_interp:
+            mc_job["interp"] = False
+        outcome = service.handle(McRequest.from_payload({
+            "spec": spec,
+            "sparse": sparse,
+            "reduce": _reduce_job(args, spec, required=False),
+            "sweep": _sweep_job(args, spec),
+            "mc": mc_job or None,
+        }))
+        report = outcome.report()
+        dist = outcome.result.distributions
+        corners = dist["corners"]
+        headers = ["omega", "hd2_p50", "hd2_p99", "hd3_p50", "hd3_p99"]
+        columns = [
+            dist["omegas"], corners["hd2_p50"], corners["hd2_p99"],
+            corners["hd3_p50"], corners["hd3_p99"],
+        ]
         rows = [list(row) for row in zip(*columns)]
         _emit(args, report, csv_table=(headers, rows))
         return 0

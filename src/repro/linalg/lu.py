@@ -12,6 +12,10 @@ cache-facing factorization objects instead, because the chord cache
 tracks which storage form it holds.
 """
 
+import hashlib
+import threading
+from collections import OrderedDict
+
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
@@ -19,12 +23,47 @@ import scipy.sparse.linalg as spla
 
 from ..errors import NumericalError
 
-__all__ = ["factorized_solver", "shifted_matrix", "sparse_lu"]
+__all__ = [
+    "csc_pattern_digest",
+    "factorized_solver",
+    "shifted_matrix",
+    "sparse_lu",
+    "sparse_lu_shared",
+    "symbolic_cache_stats",
+]
 
 #: A sparse-LU U-pivot smaller than this multiple of the largest pivot
 #: marks the matrix numerically singular (mirrors the dense Schur
 #: eigenvalue-gap threshold in the resolvent factory).
 _PIVOT_RTOL = 1e-13
+
+#: Distinct sparsity patterns whose fill-reducing column orderings are
+#: kept alive for :func:`sparse_lu_shared`.  A parametric corner sweep
+#: uses exactly one pattern; the bound only matters when many unrelated
+#: systems interleave.
+_SYMBOLIC_CACHE_CAP = 32
+
+_SYMBOLIC_LOCK = threading.Lock()
+_SYMBOLIC_CACHE = OrderedDict()  # pattern digest -> perm_c ndarray
+
+
+def _guard_pivots(lu):
+    pivots = np.abs(lu.U.diagonal())
+    if pivots.size and pivots.min() <= _PIVOT_RTOL * pivots.max():
+        raise NumericalError(
+            "matrix is numerically singular (sparse LU pivot ratio "
+            f"{pivots.min() / max(pivots.max(), 1e-300):.3e})"
+        )
+
+
+def _splu(csc, guard, **options):
+    try:
+        lu = spla.splu(csc, **options)
+    except RuntimeError as exc:
+        raise NumericalError(f"sparse LU failed: {exc}") from exc
+    if guard:
+        _guard_pivots(lu)
+    return lu
 
 
 def sparse_lu(mat, guard=True):
@@ -36,18 +75,99 @@ def sparse_lu(mat, guard=True):
     ``guard=False``: its near-singular iteration matrices are recovered
     by backtracking/refresh, matching the dense LAPACK behavior.
     """
-    try:
-        lu = spla.splu(sp.csc_matrix(mat))
-    except RuntimeError as exc:
-        raise NumericalError(f"sparse LU failed: {exc}") from exc
-    if guard:
-        pivots = np.abs(lu.U.diagonal())
-        if pivots.size and pivots.min() <= _PIVOT_RTOL * pivots.max():
-            raise NumericalError(
-                "matrix is numerically singular (sparse LU pivot ratio "
-                f"{pivots.min() / max(pivots.max(), 1e-300):.3e})"
-            )
-    return lu
+    return _splu(sp.csc_matrix(mat), guard)
+
+
+def csc_pattern_digest(mat):
+    """Content digest of a sparse matrix's CSC sparsity pattern.
+
+    Hashes shape + ``indptr`` + ``indices`` (never the data), so two
+    matrices with the same structure — e.g. every corner of a parameter
+    sweep — share one digest regardless of their numeric values.
+    """
+    csc = mat if sp.issparse(mat) and mat.format == "csc" \
+        else sp.csc_matrix(mat)
+    digest = hashlib.sha256()
+    digest.update(repr(csc.shape).encode())
+    digest.update(np.ascontiguousarray(csc.indptr).tobytes())
+    digest.update(np.ascontiguousarray(csc.indices).tobytes())
+    return digest.hexdigest()
+
+
+class _PermutedLU:
+    """SuperLU factorization of a column-pre-permuted matrix.
+
+    Wraps ``splu(A[:, perm])`` so callers see solves in the original
+    column order: ``A x = b`` with ``x = Π y`` where ``A[:, perm] y = b``
+    (and the transposed/adjoint variants permute the right-hand side
+    instead).  Exposes ``.U``/``.L`` of the underlying factorization for
+    the pivot guard.
+    """
+
+    __slots__ = ("_lu", "_perm")
+
+    def __init__(self, lu, perm):
+        self._lu = lu
+        self._perm = perm
+
+    @property
+    def U(self):
+        return self._lu.U
+
+    @property
+    def L(self):
+        return self._lu.L
+
+    def solve(self, rhs, trans="N"):
+        if trans == "N":
+            y = self._lu.solve(np.ascontiguousarray(rhs))
+            out = np.empty_like(y)
+            out[self._perm] = y
+            return out
+        if trans in ("T", "H"):
+            permuted = np.ascontiguousarray(np.asarray(rhs)[self._perm])
+            return self._lu.solve(permuted, trans=trans)
+        raise ValueError(f"unsupported trans {trans!r}")
+
+
+def sparse_lu_shared(mat, pattern, guard=True):
+    """Factor *mat* reusing the symbolic analysis cached for *pattern*.
+
+    SuperLU has no public symbolic/numeric split, but its expensive
+    structural work — the fill-reducing column ordering — depends only
+    on the sparsity pattern.  The first factorization of a pattern runs
+    the full analysis and caches ``perm_c``; later factorizations of
+    the *same* pattern (every corner of a parameter sweep, every shift
+    of one resolvent factory) pre-permute the columns and factor with
+    ``permc_spec="NATURAL"``, i.e. a numeric-only refactorization under
+    the shared ordering.  Row (partial) pivoting still runs per matrix,
+    so the numerics are those of a fresh factorization.
+
+    *pattern* is the :func:`csc_pattern_digest` of *mat* (callers cache
+    it; a digest from a different pattern degrades fill quality but
+    never correctness).  Returns ``(lu, reused)`` where *reused* tells
+    whether the cached ordering served this factorization.
+    """
+    csc = sp.csc_matrix(mat)
+    with _SYMBOLIC_LOCK:
+        perm = _SYMBOLIC_CACHE.get(pattern)
+        if perm is not None:
+            _SYMBOLIC_CACHE.move_to_end(pattern)
+    if perm is None or perm.shape[0] != csc.shape[1]:
+        lu = _splu(csc, guard)
+        with _SYMBOLIC_LOCK:
+            _SYMBOLIC_CACHE[pattern] = np.asarray(lu.perm_c).copy()
+            while len(_SYMBOLIC_CACHE) > _SYMBOLIC_CACHE_CAP:
+                _SYMBOLIC_CACHE.popitem(last=False)
+        return lu, False
+    lu = _splu(csc[:, perm], guard, permc_spec="NATURAL")
+    return _PermutedLU(lu, perm), True
+
+
+def symbolic_cache_stats():
+    """Size snapshot of the shared symbolic-analysis cache (tests)."""
+    with _SYMBOLIC_LOCK:
+        return {"patterns": len(_SYMBOLIC_CACHE)}
 
 
 def shifted_matrix(a, shift):

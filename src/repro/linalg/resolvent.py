@@ -35,7 +35,7 @@ from .._validation import as_square_matrix
 from ..engine import ProcessSpec, SolvePlan, chunk_bounds, get_executor
 from ..engine.process import process_token, worker_cache
 from ..errors import NumericalError, ValidationError
-from .lu import sparse_lu
+from .lu import csc_pattern_digest, sparse_lu_shared
 from .schur import SchurForm
 
 __all__ = ["ResolventFactory"]
@@ -182,7 +182,18 @@ class ResolventFactory:
             self._csc_complex = None if self._real else self._csc
             self._eye_complex = None if self._real else self._eye
             self._lu_cache = OrderedDict()
-            self.sparse_lu_stats = {"real": 0, "complex": 0}
+            # Pattern digest of the shifted matrix (sI − A) per
+            # arithmetic kind, computed from the first factorization:
+            # the shift only changes values, so one digest per kind
+            # serves every subsequent shift — and every *other* factory
+            # over the same sparsity pattern (parametric corners).
+            self._shift_pattern = {}
+            self.sparse_lu_stats = {
+                "real": 0,
+                "complex": 0,
+                "symbolic_analyses": 0,
+                "symbolic_reuses": 0,
+            }
         else:
             dense = as_square_matrix(a, "a")
             self.matrix = a if isinstance(a, np.ndarray) else dense
@@ -272,23 +283,37 @@ class ResolventFactory:
         real matrices, complex otherwise."""
         # sparse_lu's pivot guard mirrors the dense path's eigenvalue-gap
         # check: a shift numerically on the spectrum raises instead of
-        # returning a garbage backsolve silently.
+        # returning a garbage backsolve silently.  The factorization
+        # goes through the shared symbolic-analysis cache: the
+        # fill-reducing column ordering is computed once per sparsity
+        # pattern (module-wide, so parametric corners with identical
+        # CSR structure share it) and later shifts/corners pay a
+        # numeric-only refactorization.
         try:
             if self._real and key.imag == 0.0:
-                lu = _RealSparseLU(
-                    sparse_lu(self._csc * (-1.0) + key.real * self._eye)
-                )
                 kind = "real"
+                shifted = self._csc * (-1.0) + key.real * self._eye
             else:
-                csc, eye = self._csc_as_complex()
-                lu = sparse_lu(csc * (-1.0) + key * eye)
                 kind = "complex"
+                csc, eye = self._csc_as_complex()
+                shifted = csc * (-1.0) + key * eye
+            pattern = self._shift_pattern.get(kind)
+            if pattern is None:
+                pattern = csc_pattern_digest(shifted)
+                with self._lock:
+                    self._shift_pattern.setdefault(kind, pattern)
+            lu, reused = sparse_lu_shared(shifted, pattern)
+            if kind == "real":
+                lu = _RealSparseLU(lu)
         except NumericalError as exc:
             raise NumericalError(
                 f"sparse LU of (sI - A) at s = {key}: {exc}"
             ) from exc
         with self._lock:
             self.sparse_lu_stats[kind] += 1
+            self.sparse_lu_stats[
+                "symbolic_reuses" if reused else "symbolic_analyses"
+            ] += 1
         return lu
 
     def _sparse_lu(self, s):

@@ -910,9 +910,14 @@ class _KrylovBasis:
     def state_dict(self):
         """Snapshot of the growth state (checkpoint/resume round trip).
 
-        ``u``/``au``/``atu``/``last`` fully determine every future
-        absorb/extend decision; the projected-matrix cache ``_h`` is
-        derived and rebuilds on demand.
+        ``u``/``au``/``atu``/``last`` determine every future
+        absorb/extend decision.  The projected-matrix cache ``_h`` is
+        mathematically derived but still snapshotted when present: a
+        BLAS product is only reproducible down to the last ulp within
+        one execution context, so a resumed run recomputing ``H`` from
+        bit-identical factors can land one ulp away from the cached
+        value the cold run kept using — enough to break bit-identical
+        resume at tight solve tolerances.
         """
         return {
             "u": self.u.copy(),
@@ -920,6 +925,7 @@ class _KrylovBasis:
             "atu": self.atu.copy(),
             "last": int(self.last),
             "max_dim": int(self.max_dim),
+            "h": None if self._h is None else self._h.copy(),
         }
 
     def load_state(self, state):
@@ -929,7 +935,8 @@ class _KrylovBasis:
         self.atu = np.ascontiguousarray(np.asarray(state["atu"]))
         self.last = int(state["last"])
         self.max_dim = int(state.get("max_dim", self.max_dim))
-        self._h = None
+        h = state.get("h")
+        self._h = None if h is None else np.ascontiguousarray(np.asarray(h))
 
     def h(self):
         """Projected matrix ``H = Uᴴ G1 U`` (cached per growth step)."""
@@ -1023,6 +1030,14 @@ class LowRankKronSolver:
         Same contract for ``G1ᵀ``; required by :meth:`solve_pi`.
     tol : float
         Default relative residual target.
+    tol_floor : float, optional
+        Soft acceptance floor: when the basis cap stalls an iteration
+        above *tol* but at or below ``tol_floor``, the solve returns
+        the stalled solution (counted in ``stats["soft_accepts"]``)
+        instead of raising.  Lets callers request residuals well below
+        a downstream decision threshold (e.g. a basis-deflation
+        cutoff, whose keep/drop choices must not flip on solve noise)
+        without turning previously-convergent problems into failures.
     max_dim : int
         Basis-dimension cap; exceeding it raises
         :class:`~repro.errors.NumericalError`.
@@ -1037,6 +1052,7 @@ class LowRankKronSolver:
         solve_shifted_transpose=None,
         *,
         tol=1e-9,
+        tol_floor=None,
         max_dim=None,
         block_cap=32,
         compress_tol=1e-12,
@@ -1048,6 +1064,7 @@ class LowRankKronSolver:
         self._solve = solve_shifted
         self._solve_t = solve_shifted_transpose
         self.tol = float(tol)
+        self.tol_floor = None if tol_floor is None else float(tol_floor)
         self.max_dim = int(max_dim) if max_dim else min(self.n, 320)
         self.block_cap = int(block_cap)
         self.compress_tol = float(compress_tol)
@@ -1060,12 +1077,42 @@ class LowRankKronSolver:
         diag = g1.diagonal() if sp.issparse(g1) else np.diag(g1)
         self._fallback_sigma = -(1.0 + float(np.abs(diag).mean()))
         self._sigma_ok = {}
-        self.stats = {"solves": 0, "pi_iterations": 0, "extensions": 0}
+        self.stats = {
+            "solves": 0, "pi_iterations": 0, "extensions": 0,
+            "soft_accepts": 0,
+        }
 
     @property
     def dim(self):
         """Current dimension of the shared Kronecker-sum basis."""
         return self._basis.dim
+
+    def basis_columns(self):
+        """Copy of the shared basis ``U`` (warm-start seed for a
+        neighboring parametric corner's solver)."""
+        with self._lock:
+            return self._basis.u.copy()
+
+    def seed_basis(self, u):
+        """Warm-start the shared basis with columns from a *different*
+        system's converged basis (e.g. the nearest completed corner of
+        a parameter sweep).
+
+        Unlike :meth:`load_state` — which restores a same-``g1``
+        snapshot verbatim — seeding runs the columns through
+        :meth:`_KrylovBasis.absorb`, which re-orthonormalizes them and
+        recomputes ``G1 U`` / ``G1ᵀ U`` against *this* solver's ``g1``.
+        Every later solve still converges on the exact-residual test,
+        so seeding changes iteration counts, never the answers beyond
+        the configured tolerance.  Returns True when the basis grew.
+        """
+        u = np.asarray(u)
+        if u.ndim != 2 or u.shape[0] != self.n:
+            raise ValidationError(
+                f"seed basis must be ({self.n}, r), got {u.shape}"
+            )
+        with self._lock:
+            return self._basis.absorb(u)
 
     # -- checkpoint state ----------------------------------------------------
 
@@ -1082,6 +1129,7 @@ class LowRankKronSolver:
             basis.dim,
             bool(np.iscomplexobj(basis.u)),
             len(self._sigma_ok),
+            basis._h is not None,
         )
 
     def state_dict(self):
@@ -1230,6 +1278,14 @@ class LowRankKronSolver:
                         self.compress_tol, factors_orthonormal=True
                     )
                 if not self._extend(basis, sigma):
+                    floor = self.tol_floor
+                    if (y is not None and floor is not None
+                            and resid <= floor * rhs_norm):
+                        self.stats["soft_accepts"] += 1
+                        out = FactoredTensor(y, [basis.u] * k)
+                        return out.compress(
+                            self.compress_tol, factors_orthonormal=True
+                        )
                     break
             if pending is not None:
                 raise pending
@@ -1330,7 +1386,8 @@ class LowRankKronSolver:
 
     # -- the eq.-(18) Π equation ---------------------------------------------
 
-    def solve_pi(self, g2, tol=None, max_rank=None, max_seed=None):
+    def solve_pi(self, g2, tol=None, max_rank=None, max_seed=None,
+                 seed_basis=None, floor=None):
         """Right-sided low-rank solve of ``G1 Π + G2 = Π (G1 ⊕ G1)``.
 
         Builds a private real basis ``U`` from ``G2``'s lifted-side COO
@@ -1342,11 +1399,22 @@ class LowRankKronSolver:
         ``residual ≤ tol · ‖G2‖_F`` is the true
         :func:`pi_sylvester_residual` value.
 
+        *seed_basis* optionally warm-starts the right basis with extra
+        real ``(n, r)`` columns — typically the ``.u`` factor of a
+        neighboring parametric corner's converged :class:`FactoredPi`.
+        The mandatory G2 fiber seeds are always absorbed first (they
+        make the residual identity exact), the warm columns after; the
+        stopping test is unchanged, so a warm start saves extension
+        rounds without relaxing the accuracy contract.
+
         Raises :class:`NumericalError` when ``G2``'s fiber spans are too
         wide for a low-rank treatment (callers may then fall back to the
-        dense Schur path) or when the iteration stalls.
+        dense Schur path) or when the iteration stalls above *floor*
+        (the soft acceptance threshold — defaults to the solver's
+        ``tol_floor``; see the class docstring).
         """
         tol = self.tol if tol is None else float(tol)
+        floor = self.tol_floor if floor is None else float(floor)
         with self._lock:
             n = self.n
             rows, ii, jj, vals = _g2_coo_parts(g2, n)
@@ -1369,6 +1437,15 @@ class LowRankKronSolver:
             seeds = self._pi_seed_blocks(rows, ii, jj, vals, max_seed)
             for block in seeds:
                 basis.absorb(block)
+            if seed_basis is not None:
+                warm = np.asarray(seed_basis)
+                if warm.ndim != 2 or warm.shape[0] != n:
+                    raise ValidationError(
+                        f"Pi seed basis must be ({n}, r), got {warm.shape}"
+                    )
+                if np.iscomplexobj(warm):
+                    warm = np.ascontiguousarray(warm.real)
+                basis.absorb(warm)
             resid = np.inf
             pending = None
             for _ in range(_MAX_GALERKIN_ROUNDS):
@@ -1388,12 +1465,20 @@ class LowRankKronSolver:
                     return FactoredPi(
                         left, basis.u.copy(), float(resid), g2_norm
                     )
+                if not self._extend(basis, 0.0, transpose=True):
+                    if (left is not None and floor is not None
+                            and resid <= floor * g2_norm):
+                        self.stats["soft_accepts"] += 1
+                        return FactoredPi(
+                            left, basis.u.copy(), float(resid), g2_norm
+                        )
+                    if left is not None:
+                        memory.release(left)
+                    break
                 if left is not None:
                     # Superseded round: reclaim its arena tile eagerly
                     # (a no-op when the left factor was RAM-resident).
                     memory.release(left)
-                if not self._extend(basis, 0.0, transpose=True):
-                    break
             if pending is not None:
                 raise pending
             raise NumericalError(

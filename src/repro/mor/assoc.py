@@ -166,12 +166,19 @@ class AssociatedTransformMOR:
             return self._build_basis(system, workspace, checkpoint)
 
     def _build_basis(self, system, workspace, checkpoint):
-        system = system.to_explicit()
-        # Memoized per system: multiple expansion points, repeated
-        # builds and any distortion analysis on the same system all
-        # share one Schur factorization of G1 (and one Π / lifted
-        # operator when present).
-        workspace = workspace or AssociatedWorkspace.for_system(system)
+        if workspace is not None:
+            # A caller-supplied workspace (multi-point reuse, parametric
+            # warm start) pins the explicit form: its factorizations —
+            # and any warm-start seeds — must act on the very matrices
+            # the chains see.
+            system = workspace.system
+        else:
+            system = system.to_explicit()
+            # Memoized per system: multiple expansion points, repeated
+            # builds and any distortion analysis on the same system all
+            # share one Schur factorization of G1 (and one Π / lifted
+            # operator when present).
+            workspace = AssociatedWorkspace.for_system(system)
         if checkpoint is not None:
             # Restore *before* the realizations are constructed: the
             # decoupled-H2 realization consumes Π and the shared
@@ -395,7 +402,8 @@ class AssociatedTransformMOR:
             group_chains.append((label, s0, chains, subsystems))
         return group_chains
 
-    def reduce(self, system, checkpoint=None, max_block=None):
+    def reduce(self, system, checkpoint=None, max_block=None,
+               workspace=None):
         """Reduce *system* and return a :class:`ReducedOrderModel`.
 
         The Krylov basis is generated from the explicit form (the
@@ -409,11 +417,18 @@ class AssociatedTransformMOR:
         *checkpoint* (a :class:`~repro.checkpoint.JobState`) makes the
         basis build stage-committed and resumable; *max_block* streams
         the build in fixed-size row blocks — see :meth:`build_basis`.
+        *workspace* (an :class:`~repro.volterra.associated.
+        AssociatedWorkspace` over this system's explicit form) lets a
+        caller pre-seed the lazy solvers — the parametric sweep's
+        warm-start hook; the basis build then runs on the workspace's
+        explicit system.
         """
-        explicit = system.to_explicit()
+        explicit = workspace.system if workspace is not None \
+            else system.to_explicit()
         start = time.perf_counter()
         basis, details = self.build_basis(
-            explicit, checkpoint=checkpoint, max_block=max_block
+            explicit, workspace=workspace, checkpoint=checkpoint,
+            max_block=max_block,
         )
         build_time = time.perf_counter() - start
         target = system if system.mass is not None else explicit

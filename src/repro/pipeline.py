@@ -31,25 +31,37 @@ import numpy as np
 
 from . import memory
 from ._validation import check_positive_int
-from .analysis.distortion import distortion_sweep
+from .analysis.distortion import (
+    _sum_type_metrics,
+    _system_tree,
+    distortion_sweep,
+)
 from .analysis.metrics import max_relative_error
 from .checkpoint import JobState, checkpoint_for
 from .circuits.netlist import Netlist
+from .engine import ProcessSpec, SolvePlan, get_executor
 from .errors import ValidationError
+from .linalg.arnoldi import merge_bases
 from .mor.assoc import AssociatedTransformMOR
+from .mor.base import ReducedOrderModel
 from .serialize import json_safe
 from .simulation import sources as _sources
 from .simulation.transient import simulate
 from .store import ModelStore, ReductionArtifact, fingerprint_system
 from .systems.exponential import ExponentialODE
 from .systems.polynomial import PolynomialODE
+from .volterra.associated import AssociatedWorkspace
+from .volterra.evaluator import volterra_evaluator
 
 __all__ = [
     "ReductionJob",
     "SweepJob",
     "TransientJob",
+    "ParametricReductionJob",
+    "ParametricResult",
     "PipelineResult",
     "run_pipeline",
+    "run_parametric",
     "system_from_spec",
 ]
 
@@ -781,4 +793,649 @@ def _run_pipeline(target, reduce_job, sweep_job, transient_job, store,
             if memory_budget is not None or max_block is not None
             else None
         ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# parametric multi-corner reduction
+# ---------------------------------------------------------------------------
+
+#: Probe-check acceptance margin: an interpolated ROM is accepted when
+#: its probe-frequency distortion deviation from the full corner model
+#: stays below ``margin * interp_tol``, leaving headroom for deviation
+#: between probes and for the anchors' own truncation error.
+_INTERP_MARGIN = 0.5
+
+
+class ParametricReductionJob:
+    """Declarative multi-corner configuration for :func:`run_parametric`.
+
+    Parameters
+    ----------
+    grid_points : int or {name: int}
+        Points per ranged-parameter axis of the corner grid.
+    draws : int
+        Monte-Carlo draw count on top of the grid.
+    seed : int
+        Seed of the Monte-Carlo generator; recorded in every report so
+        a distribution reproduces bit-for-bit.
+    warm : bool
+        Enable the warm-start tier: seed each reduction's extended-
+        Krylov bases (and the Π build) with the nearest completed
+        corner's basis and let the exact-residual test converge.
+    interp : bool
+        Enable the interpolation tier: project a corner's own system
+        onto the merged bases of its two bracketing neighbors, accept
+        only when the probe-frequency distortion deviation from the
+        full corner model stays within ``interp_tol`` (times the
+        acceptance margin), and fall back to a real reduction
+        otherwise.
+    interp_tol : float
+        Distortion-deviation tolerance of the interpolation tier.
+    probe_points : int
+        Probe frequencies (a subset of the sweep grid) the
+        interpolation check evaluates.
+    warm_pool : int
+        Completed warm states kept for nearest-corner seeding (bounds
+        the O(n · basis) memory the tier retains).
+    """
+
+    def __init__(self, grid_points=3, draws=0, seed=2012, warm=True,
+                 interp=True, interp_tol=1e-4, probe_points=3,
+                 warm_pool=4):
+        if isinstance(grid_points, dict):
+            self.grid_points = {
+                str(k): check_positive_int(v, f"grid_points[{k!r}]")
+                for k, v in grid_points.items()
+            }
+        else:
+            self.grid_points = check_positive_int(grid_points, "grid_points")
+        self.draws = int(draws)
+        if self.draws < 0:
+            raise ValidationError("draws must be >= 0")
+        self.seed = int(seed)
+        self.warm = bool(warm)
+        self.interp = bool(interp)
+        self.interp_tol = float(interp_tol)
+        if self.interp_tol <= 0:
+            raise ValidationError("interp_tol must be positive")
+        self.probe_points = check_positive_int(probe_points, "probe_points")
+        self.warm_pool = check_positive_int(warm_pool, "warm_pool")
+
+    @classmethod
+    def coerce(cls, value):
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            unknown = set(value) - {
+                "grid_points", "draws", "seed", "warm", "interp",
+                "interp_tol", "probe_points", "warm_pool",
+            }
+            if unknown:
+                raise ValidationError(
+                    f"unknown ParametricReductionJob fields: "
+                    f"{sorted(unknown)}"
+                )
+            return cls(**value)
+        raise ValidationError(
+            "mc must be a ParametricReductionJob or a dict, got "
+            f"{type(value).__name__}"
+        )
+
+    def to_dict(self):
+        return {
+            "grid_points": json_safe(self.grid_points),
+            "draws": self.draws,
+            "seed": self.seed,
+            "warm": self.warm,
+            "interp": self.interp,
+            "interp_tol": self.interp_tol,
+            "probe_points": self.probe_points,
+            "warm_pool": self.warm_pool,
+        }
+
+
+def _distortion_arrays(explicit, omegas, amplitude, evaluator=None):
+    """HD2/HD3 arrays of one already-explicit system, inline.
+
+    The shared scalar loop behind the parametric sweep fan-out: the
+    in-process path and :func:`_corner_sweep_worker` both run exactly
+    this code on the same matrices, so serial and process backends
+    produce bit-identical distributions.
+    """
+    if evaluator is None:
+        evaluator = volterra_evaluator(explicit)
+    omegas = np.asarray(omegas, dtype=float).reshape(-1)
+    hd2 = np.empty(omegas.size)
+    hd3 = np.empty(omegas.size)
+    for idx in range(omegas.size):
+        metrics, _ = _sum_type_metrics(
+            explicit, evaluator, omegas[idx], amplitude
+        )
+        hd2[idx] = metrics["hd2"]
+        hd3[idx] = metrics["hd3"]
+    return hd2, hd3
+
+
+def _corner_sweep_worker(payload):
+    """Process-backend worker: the full distortion sweep of one corner.
+
+    One task per corner (not per frequency): corner ROMs are small, so
+    the whole ω-loop amortizes one payload decode.  The ω-grid array is
+    the *same object* in every corner's payload, which the shared-
+    memory registry dedups to a single segment — corners ship only
+    their own reduced matrices.
+    """
+    from .systems.polynomial import PolynomialODE as _PolyODE
+
+    mats = payload["system"]
+    system = _PolyODE(
+        mats["g1"],
+        mats["b"],
+        g2=mats.get("g2"),
+        g3=mats.get("g3"),
+        d1=mats.get("d1"),
+        mass=mats.get("mass"),
+        output=mats.get("output"),
+    )
+    hd2, hd3 = _distortion_arrays(
+        system, payload["omegas"], payload["amplitude"]
+    )
+    return {"hd2": hd2, "hd3": hd3}
+
+
+def _probe_omegas(omegas, probe_points):
+    """An evenly spread ``probe_points``-subset of the sweep grid."""
+    omegas = np.asarray(omegas, dtype=float).reshape(-1)
+    if probe_points >= omegas.size:
+        return omegas
+    picks = np.unique(
+        np.linspace(0, omegas.size - 1, probe_points).round().astype(int)
+    )
+    return omegas[picks]
+
+
+class _WarmPool:
+    """The most recent completed warm states, for nearest-corner seeding.
+
+    Bounded (``cap`` entries, FIFO) because a warm state holds O(n ·
+    basis) floats; distances are normalized per axis by the grid span
+    so heterogeneous parameter scales compare fairly.
+    """
+
+    def __init__(self, spans, cap):
+        self._spans = dict(spans)  # name -> axis span (0 span -> 1.0)
+        self._cap = int(cap)
+        self._entries = []  # (values, warm_state) newest last
+
+    def add(self, values, state):
+        if not state:
+            return
+        self._entries.append((dict(values), state))
+        if len(self._entries) > self._cap:
+            del self._entries[0]
+
+    def nearest(self, values):
+        best, best_dist = None, np.inf
+        for stored, state in self._entries:
+            dist = 0.0
+            for name, span in self._spans.items():
+                delta = values.get(name, 0.0) - stored.get(name, 0.0)
+                dist += (delta / span) ** 2
+            if dist < best_dist:
+                best, best_dist = state, dist
+        return best
+
+
+class ParametricResult:
+    """Everything one :func:`run_parametric` call produced.
+
+    Attributes
+    ----------
+    system_info : dict
+        Structure summary of the base (nominal) corner's system.
+    grid_info, mc_info : dict
+        :meth:`~repro.params.ParameterGrid.describe` /
+        :meth:`~repro.params.MonteCarloSampler.describe` summaries.
+    tiers : dict
+        Per-tier reuse counters: ``dedup`` / ``warm`` / ``interp`` /
+        ``cold`` plus ``interp_rejected`` (candidates whose probe check
+        failed and fell back to a real reduction).
+    corners, draws : list of dict
+        Per-point records: parameter values, the tier that served the
+        reduction, timings, ROM order, and the HD2/HD3 sweep arrays.
+    distributions : dict
+        Per-frequency p50/p99 of HD2/HD3 across grid corners (and
+        across Monte-Carlo draws when the job has any), plus scalar
+        percentiles of each corner's worst-case figures.
+    roms : {flat_index: ReducedOrderModel}
+        Grid-corner ROMs, kept so callers (and the serving layer) can
+        query individual corners without re-reducing.
+    """
+
+    def __init__(self, system_info, grid_info, mc_info, tiers, corners,
+                 draws, distributions, jobs, timings, roms=None,
+                 store_stats=None):
+        self.system_info = dict(system_info)
+        self.grid_info = dict(grid_info)
+        self.mc_info = dict(mc_info)
+        self.tiers = dict(tiers)
+        self.corners = list(corners)
+        self.draws = list(draws)
+        self.distributions = dict(distributions)
+        self.jobs = dict(jobs)
+        self.timings = dict(timings)
+        self.roms = dict(roms or {})
+        self.store_stats = store_stats
+
+    def report(self):
+        """JSON-able report (the CLI's and the ``/mc`` endpoint's body)."""
+        report = {
+            "system": dict(self.system_info),
+            "grid": json_safe(self.grid_info),
+            "mc": json_safe(self.mc_info),
+            "tiers": dict(self.tiers),
+            "corners": json_safe(self.corners),
+            "distributions": json_safe(self.distributions),
+            "jobs": {k: job.to_dict() for k, job in self.jobs.items()},
+            "timings": json_safe(self.timings),
+        }
+        if self.draws:
+            report["draws"] = json_safe(self.draws)
+        if self.store_stats is not None:
+            report["store"] = dict(self.store_stats)
+        return report
+
+    def __repr__(self):
+        tiers = ", ".join(f"{k}={v}" for k, v in sorted(self.tiers.items()))
+        return (
+            f"ParametricResult(corners={len(self.corners)}, "
+            f"draws={len(self.draws)}, {tiers})"
+        )
+
+
+def _parametric_netlist(target, sparse):
+    """Coerce :func:`run_parametric`'s *target* to an annotated netlist.
+
+    Accepts an annotated :class:`Netlist` or a JSON spec — a netlist
+    spec whose (possibly nested) dict carries ``"parameters"``, or a
+    generator spec with a top-level ``"parameters"`` list annotating
+    the generated netlist.
+    """
+    if isinstance(target, dict):
+        compile_opts = target.get("compile", {})
+        if not isinstance(compile_opts, dict):
+            raise ValidationError("spec 'compile' must be a dict")
+        if sparse is None:
+            sparse = compile_opts.get("sparse")
+        if "generator" in target:
+            name = target["generator"]
+            generator = _load_generators().get(name)
+            if generator is None:
+                raise ValidationError(
+                    f"unknown generator {name!r}; expected one of "
+                    f"{sorted(_load_generators())}"
+                )
+            built = generator(**target.get("args", {}))
+            if not isinstance(built, Netlist):
+                raise ValidationError(
+                    f"generator {name!r} builds a compiled system; "
+                    "parametric runs need a Netlist-producing generator"
+                )
+        else:
+            built = Netlist.from_dict(target.get("netlist", target))
+        if target.get("parameters") and not built.parameters:
+            built.with_params(target["parameters"])
+        target = built
+    if not isinstance(target, Netlist):
+        raise ValidationError(
+            "run_parametric needs a Netlist or a netlist spec, got "
+            f"{type(target).__name__}"
+        )
+    if not getattr(target, "parameters", ()):
+        raise ValidationError(
+            "netlist has no parameters; annotate it with "
+            "Netlist.with_params (or a spec-level 'parameters' list)"
+        )
+    return target, sparse
+
+
+def run_parametric(target, reduce=None, sweep=None, mc=None, store=None,
+                   sparse=None):
+    """Reduce a ROM *family* over corners and Monte-Carlo draws.
+
+    The parametric counterpart of :func:`run_pipeline`: *target* is a
+    parameter-annotated netlist (or spec), and the job materializes the
+    corner grid plus ``draws`` Monte-Carlo samples, reduces every
+    member, sweeps each ROM's distortion figures, and reports their
+    distributions (p50/p99 across the family).
+
+    Every corner of a well-formed parametric netlist shares one
+    structural fingerprint (parameters drive device *values* only), so
+    the reductions share work through four tiers, cheapest first:
+
+    1. **dedup** — the corner's exact store key (value fingerprint ×
+       reducer config) was already reduced, in this run or in the
+       given :class:`~repro.store.ModelStore`; serve it outright.
+    2. **interp** — project the corner's own system onto the merged
+       bases of its two bracketing neighbors and accept the candidate
+       only when its probe-frequency distortion deviation from the
+       corner's *full* model stays within the configured tolerance
+       (times the acceptance margin); interpolated ROMs are never
+       written to the store — they are not the canonical reduction for
+       their key.
+    3. **warm** — run a real reduction, but seed the extended-Krylov
+       solver and the Π build with the nearest completed corner's
+       basis (:meth:`~repro.volterra.associated.AssociatedWorkspace.
+       warm_start`); the exact-residual stopping tests make the result
+       meet the same tolerance as a cold build.  The shared symbolic
+       sparse-LU analysis (same CSR pattern across corners) accelerates
+       this tier implicitly — see ``sparse_lu_stats``.
+    4. **cold** — a from-scratch reduction (the first corner, corners
+       whose assembled structure diverges from the family's, and
+       probe-check rejections, which are counted under
+       ``interp_rejected`` plus the tier that actually ran).
+
+    Per-corner distortion sweeps then fan out through the engine (one
+    :class:`~repro.engine.ProcessSpec` task per corner; the shared
+    ω-grid ships once via the shared-memory registry), and serial /
+    process backends produce bit-identical distributions.
+
+    Parameters mirror :func:`run_pipeline` where shared; *mc* is a
+    :class:`ParametricReductionJob` (or its dict form).  Returns a
+    :class:`ParametricResult`.
+    """
+    from .circuits.mna import structural_digest
+    from .params import MonteCarloSampler, ParameterGrid, materialize
+
+    netlist, sparse = _parametric_netlist(target, sparse)
+    reduce_job = ReductionJob.coerce(reduce) or ReductionJob()
+    sweep_job = SweepJob.coerce(sweep)
+    if sweep_job is None:
+        raise ValidationError(
+            "run_parametric needs a sweep: the distortion distributions "
+            "across the family are its output"
+        )
+    mc_job = ParametricReductionJob.coerce(mc) or ParametricReductionJob()
+    if store is not None and not isinstance(store, ModelStore):
+        store = ModelStore(store)
+
+    reducer = reduce_job.reducer()
+    grid = ParameterGrid(netlist, mc_job.grid_points)
+    sampler = MonteCarloSampler(netlist, mc_job.draws, mc_job.seed)
+    spans = {
+        param.name: float(axis[-1] - axis[0]) or 1.0
+        for param, axis in grid.axes
+    }
+    warm_pool = _WarmPool(spans, mc_job.warm_pool)
+    probe = _probe_omegas(sweep_job.omegas, mc_job.probe_points)
+
+    tiers = {
+        "dedup": 0, "warm": 0, "interp": 0, "cold": 0,
+        "interp_rejected": 0,
+    }
+    seen = {}          # value fingerprint -> completed record
+    records = {}       # flat grid index -> record
+    system_info = None
+    base_digest = None
+    t_start = time.perf_counter()
+
+    def _build(values):
+        system = materialize(netlist, values, check=False).compile(
+            sparse=sparse
+        )
+        lifted = isinstance(system, ExponentialODE)
+        if lifted:
+            system = system.quadratic_linearize()
+        return system, lifted
+
+    def _try_interp(system, digest, pair):
+        """Tier-2 candidate: merged-neighbor projection + probe check.
+
+        Returns ``(rom, dev)`` on acceptance, ``(None, dev)`` on
+        rejection (structure mismatch, missing anchors, or probe
+        deviation past the margin).
+        """
+        left = records.get(pair[0])
+        right = records.get(pair[1])
+        if left is None or right is None:
+            return None, None
+        if left["rom"] is None or right["rom"] is None:
+            return None, None
+        if left["digest"] != digest or right["digest"] != digest:
+            return None, None
+        basis = merge_bases([left["rom"].basis, right["rom"].basis])
+        candidate = system.project(basis)
+        hd2c, hd3c = _distortion_arrays(
+            candidate.to_explicit(), probe, sweep_job.amplitude
+        )
+        hd2f, hd3f = _distortion_arrays(
+            system.to_explicit(), probe, sweep_job.amplitude
+        )
+        devs = [
+            _worst_rel_dev(hd2c, hd2f),
+            _worst_rel_dev(hd3c, hd3f),
+        ]
+        dev = max((d for d in devs if d is not None), default=0.0)
+        if dev > _INTERP_MARGIN * mc_job.interp_tol:
+            return None, dev
+        source = left["rom"]
+        rom = ReducedOrderModel(
+            candidate,
+            basis,
+            method=source.method,
+            orders=source.orders,
+            expansion_points=source.expansion_points,
+            details={
+                "interpolated": True,
+                "anchors": [int(pair[0]), int(pair[1])],
+                "probe_dev": float(dev),
+            },
+        )
+        return rom, dev
+
+    def _reduce_member(values, pair=None):
+        """Run one family member through the tier ladder."""
+        nonlocal system_info, base_digest
+        start = time.perf_counter()
+        system, lifted = _build(values)
+        if system_info is None:
+            system_info = _system_info(system, lifted)
+        digest = structural_digest(system)
+        if base_digest is None:
+            base_digest = digest
+        fingerprint = fingerprint_system(system)
+        record = {
+            "values": dict(values),
+            "digest": digest,
+            "fingerprint": fingerprint,
+            "rom": None,
+            "tier": None,
+            "reduce_time": None,
+            "store_key": None,
+        }
+
+        # tier 1: exact dedup -- in-run first, then the store.
+        prior = seen.get(fingerprint)
+        if prior is not None:
+            tiers["dedup"] += 1
+            record.update(
+                rom=prior["rom"], tier="dedup",
+                store_key=prior["store_key"],
+                reduce_time=time.perf_counter() - start,
+            )
+            return record
+        key = None
+        if store is not None:
+            key = store.key_for(
+                system, reducer, system_fingerprint=fingerprint
+            )
+            record["store_key"] = key
+            artifact = store.load(key)
+            if artifact is not None:
+                store.hits += 1
+                tiers["dedup"] += 1
+                record.update(
+                    rom=artifact.rom, tier="dedup",
+                    reduce_time=time.perf_counter() - start,
+                )
+                seen[fingerprint] = record
+                return record
+            store.misses += 1
+
+        # tier 2: residual-checked interpolation between neighbors.
+        if mc_job.interp and pair is not None:
+            rom, dev = _try_interp(system, digest, pair)
+            if dev is not None:
+                record["probe_dev"] = float(dev)
+            if rom is not None:
+                tiers["interp"] += 1
+                record.update(
+                    rom=rom, tier="interp",
+                    reduce_time=time.perf_counter() - start,
+                )
+                # Interpolated ROMs never enter the store (see the
+                # docstring) and never dedup later exact requests.
+                return record
+            if dev is not None:
+                tiers["interp_rejected"] += 1
+
+        # tier 3/4: a real reduction, warm-seeded when possible.  The
+        # warm seed only applies within the family's shared structure;
+        # a corner whose assembled structure diverged runs cold.
+        explicit = system.to_explicit()
+        workspace = AssociatedWorkspace.for_system(explicit)
+        tier = "cold"
+        if mc_job.warm and digest == base_digest:
+            state = warm_pool.nearest(values)
+            if state is not None:
+                workspace.warm_start(**state)
+                tier = "warm"
+        rom = reducer.reduce(system, workspace=workspace)
+        if digest == base_digest:
+            warm_pool.add(values, workspace.warm_state())
+        tiers[tier] += 1
+        record.update(
+            rom=rom, tier=tier,
+            reduce_time=time.perf_counter() - start,
+        )
+        if store is not None:
+            artifact = ReductionArtifact.from_reduction(
+                rom, system=system, reducer=reducer,
+                system_fingerprint=fingerprint,
+            )
+            store.store(key, artifact)
+        seen[fingerprint] = record
+        return record
+
+    # -- phase 1: the corner grid, wave by wave -----------------------------
+    for wave in grid.interp_schedule():
+        for flat, pair in wave:
+            record = _reduce_member(grid.corner_values(flat), pair=pair)
+            record["index"] = int(flat)
+            records[flat] = record
+    t_grid = time.perf_counter() - t_start
+
+    # -- phase 2: Monte-Carlo draws, served from the grid -------------------
+    draw_records = []
+    for draw_idx, values in enumerate(sampler):
+        pair = None
+        if mc_job.interp and len(grid) >= 2:
+            pair = grid.bracket(values)
+            if pair[0] == pair[1]:
+                pair = None
+        record = _reduce_member(values, pair=pair)
+        record["index"] = int(draw_idx)
+        draw_records.append(record)
+    t_draws = time.perf_counter() - t_start - t_grid
+
+    # -- phase 3: per-member distortion sweeps through the engine -----------
+    omegas = sweep_job.omegas
+    amplitude = sweep_job.amplitude
+    all_records = [records[flat] for flat in sorted(records)] + draw_records
+    ship = getattr(get_executor(), "backend_name", "serial") == "process"
+    plan = SolvePlan("parametric_sweeps")
+
+    def _inline(record):
+        explicit = record["rom"].system.to_explicit()
+        hd2, hd3 = _distortion_arrays(explicit, omegas, amplitude)
+        record["hd2"], record["hd3"] = hd2, hd3
+
+    def _merge(record):
+        def apply(result):
+            record["hd2"] = result["hd2"]
+            record["hd3"] = result["hd3"]
+
+        return apply
+
+    for record in all_records:
+        task = plan.add(_inline, record)
+        if ship:
+            tree = _system_tree(record["rom"].system.to_explicit())
+            task.spec = ProcessSpec(
+                "repro.pipeline:_corner_sweep_worker",
+                lambda tree=tree: {
+                    "system": tree,
+                    "omegas": omegas,
+                    "amplitude": amplitude,
+                },
+                merge=_merge(record),
+            )
+    plan.execute()
+    t_sweeps = time.perf_counter() - t_start - t_grid - t_draws
+
+    def _distribution(members):
+        hd2 = np.stack([m["hd2"] for m in members])
+        hd3 = np.stack([m["hd3"] for m in members])
+        worst2 = hd2.max(axis=1)
+        worst3 = hd3.max(axis=1)
+        return {
+            "hd2_p50": np.percentile(hd2, 50, axis=0),
+            "hd2_p99": np.percentile(hd2, 99, axis=0),
+            "hd3_p50": np.percentile(hd3, 50, axis=0),
+            "hd3_p99": np.percentile(hd3, 99, axis=0),
+            "worst_hd2_p50": float(np.percentile(worst2, 50)),
+            "worst_hd2_p99": float(np.percentile(worst2, 99)),
+            "worst_hd3_p50": float(np.percentile(worst3, 50)),
+            "worst_hd3_p99": float(np.percentile(worst3, 99)),
+        }
+
+    distributions = {"omegas": omegas, "corners": _distribution(all_records[:len(records)])}
+    if draw_records:
+        distributions["draws"] = _distribution(draw_records)
+
+    def _public(record, keep_rom=False):
+        public = {
+            "index": record["index"],
+            "values": record["values"],
+            "tier": record["tier"],
+            "reduce_time_s": record["reduce_time"],
+            "rom_order": int(record["rom"].order),
+            "hd2": record["hd2"],
+            "hd3": record["hd3"],
+        }
+        if record.get("store_key"):
+            public["store_key"] = record["store_key"]
+        if record.get("probe_dev") is not None:
+            public["probe_dev"] = record.get("probe_dev")
+        return public
+
+    roms = {flat: records[flat]["rom"] for flat in records}
+    return ParametricResult(
+        system_info,
+        grid.describe(),
+        sampler.describe(),
+        tiers,
+        [_public(records[flat]) for flat in sorted(records)],
+        [_public(record) for record in draw_records],
+        distributions,
+        {"reduce": reduce_job, "sweep": sweep_job, "mc": mc_job},
+        {
+            "grid_s": t_grid,
+            "draws_s": t_draws,
+            "sweeps_s": t_sweeps,
+            "total_s": time.perf_counter() - t_start,
+        },
+        roms=roms,
+        store_stats=store.stats() if store is not None else None,
     )

@@ -30,6 +30,7 @@ from .coalesce import SweepCoalescer
 from .contracts import (
     REQUEST_TYPES,
     InfoRequest,
+    McRequest,
     ReduceRequest,
     ServeOutcome,
     SimulateRequest,
@@ -48,6 +49,7 @@ __all__ = [
     "ReduceRequest",
     "SweepRequest",
     "SimulateRequest",
+    "McRequest",
     "ServeOutcome",
     "ServeDaemon",
     "run_daemon",

@@ -20,13 +20,19 @@ added *additively*, so existing report consumers keep parsing.
 """
 
 from ..errors import ValidationError
-from ..pipeline import ReductionJob, SweepJob, TransientJob
+from ..pipeline import (
+    ParametricReductionJob,
+    ReductionJob,
+    SweepJob,
+    TransientJob,
+)
 
 __all__ = [
     "InfoRequest",
     "ReduceRequest",
     "SweepRequest",
     "SimulateRequest",
+    "McRequest",
     "ServeOutcome",
     "REQUEST_TYPES",
 ]
@@ -181,10 +187,52 @@ class SimulateRequest(_JobRequestBase):
         self.transient_job = TransientJob.coerce(section)
 
 
+class McRequest(_RequestBase):
+    """Parametric multi-corner / Monte-Carlo sweep of a ROM family.
+
+    The spec must describe a parameter-annotated netlist (a netlist
+    dict with a ``parameters`` list, or a generator spec plus a
+    top-level ``parameters`` list); ``reduce`` / ``sweep`` / ``mc``
+    sections come from the payload or fall back to the spec's embedded
+    sections, exactly like the other job verbs.  Handled by
+    :func:`~repro.pipeline.run_parametric` — checkpoint/resume do not
+    apply (every family member is cheap relative to the family, and
+    the store dedup tier makes a rerun resume naturally).
+    """
+
+    verb = "mc"
+    fields = ("spec", "sparse", "reduce", "sweep", "mc")
+
+    def __init__(self, spec, sparse=None, reduce=None, sweep=None,
+                 mc=None):
+        super().__init__(spec, sparse)
+        self.reduce_job = ReductionJob.coerce(
+            reduce if reduce is not None else self.spec.get("reduce")
+        )
+        sweep_section = (
+            sweep if sweep is not None else self.spec.get("sweep")
+        )
+        if sweep_section is None:
+            raise ValidationError(
+                "no sweep configured: pass 'sweep' in the payload or "
+                "add a 'sweep' section to the spec (the distortion "
+                "distributions across the family are the mc output)"
+            )
+        self.sweep_job = SweepJob.coerce(sweep_section)
+        self.mc_job = ParametricReductionJob.coerce(
+            mc if mc is not None else self.spec.get("mc")
+        )
+        if self.mc_job is None:
+            self.mc_job = ParametricReductionJob()
+
+
 #: verb name -> request class (the daemon's routing table).
 REQUEST_TYPES = {
     cls.verb: cls
-    for cls in (InfoRequest, ReduceRequest, SweepRequest, SimulateRequest)
+    for cls in (
+        InfoRequest, ReduceRequest, SweepRequest, SimulateRequest,
+        McRequest,
+    )
 }
 
 

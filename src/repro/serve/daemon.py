@@ -281,6 +281,7 @@ class ServeDaemon:
             line = {
                 "requests": metrics.get("total", 0),
                 "tiers": metrics.get("tiers", {}),
+                "mc_tiers": metrics.get("parametric_tiers", {}),
                 "rejected": metrics.get("rejected", 0),
                 "timeouts": metrics.get("timeouts", 0),
                 "queue_depth": int(self._inflight),

@@ -35,6 +35,7 @@ class ServeMetrics:
         self._window = int(window)
         self.requests = {}
         self.tiers = {"hot": 0, "disk": 0, "cold": 0}
+        self.parametric_tiers = {}
         self.rejected = 0
         self.timeouts = 0
         self.errors = 0
@@ -50,6 +51,21 @@ class ServeMetrics:
             if window is None:
                 window = self._latency[verb] = deque(maxlen=self._window)
             window.append(float(seconds))
+
+    def record_tiers(self, counters):
+        """Accumulate a parametric run's per-reuse-tier counters.
+
+        ``counters`` is the :attr:`~repro.pipeline.ParametricResult.
+        tiers` dict (``dedup`` / ``warm`` / ``interp`` / ``cold`` /
+        ``interp_rejected``); unlike :meth:`observe`'s one-tier-per-
+        request accounting, one ``mc`` request contributes its whole
+        family here.
+        """
+        with self._lock:
+            for tier, count in dict(counters).items():
+                self.parametric_tiers[tier] = (
+                    self.parametric_tiers.get(tier, 0) + int(count)
+                )
 
     def count_rejected(self):
         """One request shed by backpressure (HTTP 429)."""
@@ -83,6 +99,7 @@ class ServeMetrics:
                 "requests": dict(self.requests),
                 "total": int(sum(self.requests.values())),
                 "tiers": dict(self.tiers),
+                "parametric_tiers": dict(self.parametric_tiers),
                 "rejected": int(self.rejected),
                 "timeouts": int(self.timeouts),
                 "errors": int(self.errors),

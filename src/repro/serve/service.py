@@ -52,6 +52,7 @@ from ..pipeline import (
     _reduce_step,
     _sweep_result,
     _transient_result,
+    run_parametric,
     system_from_spec,
 )
 from ..store import ModelStore, artifact_key
@@ -66,7 +67,9 @@ __all__ = ["LoadedSpec", "ReproService", "ServeTimeout"]
 
 #: Spec sections that configure *jobs*, not the system: two specs that
 #: differ only here compile to the same system and share one cache slot.
-_JOB_SECTIONS = frozenset({"reduce", "sweep", "transient", "description"})
+_JOB_SECTIONS = frozenset(
+    {"reduce", "sweep", "transient", "mc", "description"}
+)
 
 
 class ServeTimeout(ReproError):
@@ -292,6 +295,8 @@ class ReproService:
                 outcome = self._sweep(request, cancel)
             elif verb == "simulate":
                 outcome = self._simulate(request, cancel)
+            elif verb == "mc":
+                outcome = self._mc(request)
             else:
                 raise ValidationError(f"unknown serve verb {verb!r}")
         outcome.wall_time_s = time.perf_counter() - start
@@ -421,6 +426,28 @@ class ReproService:
         return ServeOutcome(
             "simulate", result, served_from=tier, artifact_key=key,
         )
+
+    def _mc(self, request):
+        """Serve one parametric multi-corner / Monte-Carlo request.
+
+        Delegates to :func:`~repro.pipeline.run_parametric` against the
+        service's store (so corner reductions dedup across requests and
+        daemon restarts) and folds the run's per-reuse-tier counters
+        into :meth:`ServeMetrics.record_tiers` — the ``/metrics``
+        ``parametric_tiers`` block and the heartbeat's ``mc_tiers``
+        field.  The hot-ROM cache and the coalescer are not involved:
+        a family sweep is one batch, not a stream of repeat queries.
+        """
+        result = run_parametric(
+            request.spec,
+            reduce=request.reduce_job,
+            sweep=request.sweep_job,
+            mc=request.mc_job,
+            store=self.store,
+            sparse=request.sparse,
+        )
+        self.metrics.record_tiers(result.tiers)
+        return ServeOutcome("mc", result)
 
     # -- introspection -------------------------------------------------------
 

@@ -110,11 +110,14 @@ class TestTileBoundaryParity:
 class TestPeakMemoryFollowsMaxBlock:
     @pytest.mark.slow
     def test_blocked_build_caps_allocations_at_n4096(self, monkeypatch):
-        """At n = 4096 the unstreamed build peaks near 100 MB of traced
+        """At n = 4096 the unstreamed build peaks near 122 MB of traced
         allocations and a single dense n x n intermediate alone would
         be 134 MB; the streamed build under a 512-row block sits near
-        70 MB (irreducible O(n * r) basis tiles plus the shift-cached
-        sparse LUs).  Cap it at 80 MB — between the two regimes — and
+        87 MB — irreducible O(n * r) basis tiles, the shift-cached
+        sparse LUs, and the transient extended-Krylov workspace the
+        tightened chain/Π residual targets (1e-13 / 1e-12, for
+        warm-vs-cold parametric-corner parity) iterate through before
+        truncation.  Cap it at 100 MB — between the two regimes — and
         forbid densifying any sparse operator to get there."""
         def boom(self, *args, **kwargs):
             raise AssertionError(
@@ -134,7 +137,7 @@ class TestPeakMemoryFollowsMaxBlock:
         finally:
             tracemalloc.stop()
         assert rom.basis.shape[0] == 4096
-        assert peak <= 80 * 1024 * 1024, f"traced peak {peak / 1e6:.1f} MB"
+        assert peak <= 100 * 1024 * 1024, f"traced peak {peak / 1e6:.1f} MB"
 
 
 class TestSigkillMidTile:
